@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artefact (figure or table) through
+the experiment runners and prints the resulting series, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section as ASCII tables.  The benches run
+one round each: the experiments are deterministic simulations, so repeat
+timing adds nothing.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single deterministic round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_once` for terseness in benches."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,29 @@
+"""Extension benchmark — the parallel/serial transition (§5.5.1).
+
+Sweeps the synthetic workload's parallel ratio between the paper's two
+algorithm families and locates the break-even point where GPUs start to
+pay off, comparing the simulated measurement against the analytic
+Amdahl-with-overhead prediction — the "method to decide when it is worth
+exploiting GPUs based on the ratio of parallel / serial code" the paper
+proposes as future work.
+"""
+
+from repro.core.experiments import run_parallel_ratio_sweep
+
+
+def test_parallel_ratio_transition(once):
+    result = once(run_parallel_ratio_sweep)
+    print()
+    print(result.render())
+    measured = result.breakeven_ratio()
+    predicted = result.breakeven_ratio(predicted=True)
+    assert measured is not None and 0.0 < measured < 1.0
+    assert predicted == measured
+    # The transition is monotone once the GPU engages (ratio > 0): more
+    # parallel code, more GPU gain.
+    values = [
+        p.measured_user_code_speedup
+        for p in result.points
+        if p.parallel_ratio > 0 and p.measured_user_code_speedup is not None
+    ]
+    assert values == sorted(values)

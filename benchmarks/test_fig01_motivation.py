@@ -1,0 +1,16 @@
+"""Benchmark E1 — Figure 1: the motivating K-means experiment.
+
+Paper shape: parallel-fraction speedup ~5.7x, user-code speedup ~1.2x,
+distributed parallel-task speedup negative (GPU slower).
+"""
+
+from repro.core.experiments import run_fig1
+
+
+def test_fig1_motivation(once):
+    result = once(run_fig1)
+    print()
+    print(result.render())
+    assert 4.5 <= result.parallel_fraction_speedup <= 7.0
+    assert 1.0 < result.user_code_speedup <= 1.6
+    assert result.parallel_tasks_speedup < 1.0

@@ -1,0 +1,22 @@
+"""Benchmark — Figure 2: the CPU-GPU processing taxonomy.
+
+Regenerates the paper's related-work classification tree with the study's
+scope marked, and cross-checks that the limitation areas of the taxonomy
+are exactly the system functions Table 1's factors stress — the paper's
+scope is internally consistent.
+"""
+
+from repro.core.taxonomy import figure2_taxonomy, scope_matches_table1
+
+
+def test_fig2_taxonomy(once):
+    tree = once(figure2_taxonomy)
+    print()
+    print("Figure 2: taxonomy of CPU-GPU processing ('*' = this study's scope)")
+    print()
+    print(tree.render())
+    scope = tree.scope()
+    assert "Task-based Workflows" in scope
+    assert "Heterogeneous CPU-GPU" in scope
+    assert "Dedicated" in scope
+    assert scope_matches_table1()

@@ -1,0 +1,93 @@
+"""Benchmark — Figure 4: the abstract task-processing stages, verified.
+
+Figure 4 defines the stage sequence for the three task families:
+
+* serial task:            deser -> serial fraction -> ser
+* partially parallel:     deser -> serial -> [comm, parallel, comm] -> ser
+* fully parallel:         deser -> [comm, parallel, comm] -> ser
+
+Rather than redrawing the figure, this bench executes one task of each
+family on the simulated cluster and asserts the *trace* walks exactly the
+stages Figure 4 prescribes.
+"""
+
+from repro.core.report import Table
+from repro.perfmodel import TaskCost
+from repro.runtime import Runtime, RuntimeConfig
+from repro.tracing import Stage
+
+
+def _cost(serial, parallel):
+    return TaskCost(
+        serial_flops=serial,
+        parallel_flops=parallel,
+        parallel_items=1e6 if parallel else 0.0,
+        arithmetic_intensity=10.0,
+        input_bytes=10**7,
+        output_bytes=10**6,
+        host_device_bytes=(10**7 + 10**6) if parallel else 0,
+        gpu_memory_bytes=2 * 10**7,
+    )
+
+
+FAMILIES = {
+    "serial task": _cost(serial=1e10, parallel=0.0),
+    "partially parallel task": _cost(serial=1e10, parallel=1e11),
+    "fully parallel task": _cost(serial=0.0, parallel=1e11),
+}
+
+EXPECTED = {
+    "serial task": [
+        Stage.DESERIALIZATION,
+        Stage.SERIAL_FRACTION,
+        Stage.SERIALIZATION,
+    ],
+    "partially parallel task": [
+        Stage.DESERIALIZATION,
+        Stage.SERIAL_FRACTION,
+        Stage.CPU_GPU_COMM,
+        Stage.PARALLEL_FRACTION,
+        Stage.CPU_GPU_COMM,
+        Stage.SERIALIZATION,
+    ],
+    "fully parallel task": [
+        Stage.DESERIALIZATION,
+        Stage.CPU_GPU_COMM,
+        Stage.PARALLEL_FRACTION,
+        Stage.CPU_GPU_COMM,
+        Stage.SERIALIZATION,
+    ],
+}
+
+
+def _stage_walk(cost) -> list[Stage]:
+    rt = Runtime(RuntimeConfig(use_gpu=True))
+    # Two identical tasks so the DAG is distributed (width > 1) and the
+    # (de-)serialization stages of Figure 4 actually occur.
+    for i in range(2):
+        ref = rt.register_input(10**7, name=f"in{i}")
+        rt.submit(name="probe", inputs=[ref], cost=cost)
+    trace = rt.run().trace
+    first_task = min(r.task_id for r in trace.stages)
+    records = sorted(
+        (r for r in trace.stages if r.task_id == first_task),
+        key=lambda r: (r.start, r.end),
+    )
+    return [r.stage for r in records]
+
+
+def test_fig4_stage_sequences(once):
+    def measure():
+        return {family: _stage_walk(cost) for family, cost in FAMILIES.items()}
+
+    walks = once(measure)
+    table = Table(
+        title="Figure 4: measured task-processing stage sequences",
+        headers=("task family", "stages (traced)"),
+    )
+    for family, walk in walks.items():
+        table.add_row(family, " -> ".join(stage.value for stage in walk))
+    print()
+    print(table.render())
+    for family, walk in walks.items():
+        assert walk == EXPECTED[family], family

@@ -1,0 +1,31 @@
+"""Benchmark — Figure 5: the data partitioning / task parallelisation example.
+
+Regenerates the paper's illustration: an 8x8 dataset (64 elements) split
+into 2x4 blocks forming a 4x2 grid, assigned to tasks under row-wise
+chunking (4 tasks, the K-means policy) and hybrid row/column chunking
+(8 tasks, the Matmul policy).
+"""
+
+from repro.data import Blocking, ChunkingPolicy, DatasetSpec, GridSpec
+from repro.data.blocking import render_partitioning
+
+
+def test_fig5_partitioning(once):
+    dataset = DatasetSpec("fig5", rows=8, cols=8)
+    blocking = once(Blocking.from_grid, dataset, GridSpec(k=4, l=2))
+    # The paper's numbers: 64 elements, 8 blocks of 8 elements each.
+    assert dataset.elements == 64
+    assert blocking.grid.num_blocks == 8
+    assert blocking.block.elements == 8
+
+    row_wise = render_partitioning(blocking, ChunkingPolicy.ROW_WISE)
+    hybrid = render_partitioning(blocking, ChunkingPolicy.HYBRID)
+    print()
+    print(row_wise)
+    print()
+    print(hybrid)
+
+    # Row-wise: 4 tasks, one per block-row.
+    assert "T4" in row_wise and "T5" not in row_wise
+    # Hybrid: 8 tasks, one per block.
+    assert "T8" in hybrid and "T9" not in hybrid

@@ -1,0 +1,18 @@
+"""Benchmark E2 — Figure 6: DAG shapes of the two algorithm families.
+
+Paper shape: the PyCOMPSs DAG for Matmul 4x4 holds 112 tasks (64
+matmul_func + 48 add_func) and is wide-shallow; K-means 4x1 x 3
+iterations is narrow-deep.
+"""
+
+from repro.core.experiments import run_fig6
+
+
+def test_fig6_dag_shapes(once):
+    result = once(run_fig6)
+    print()
+    print(result.render())
+    assert result.matmul.num_tasks == 112
+    assert result.matmul.tasks_per_type == {"matmul_func": 64, "add_func": 48}
+    assert result.matmul.aspect > 1.0
+    assert result.kmeans.aspect < 1.0

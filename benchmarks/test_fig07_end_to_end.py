@@ -1,0 +1,61 @@
+"""Benchmarks E3/E4 — Figure 7: end-to-end analysis, all four panels.
+
+Paper shapes per panel: parallel-fraction and user-code speedups scale
+with the block size for Matmul but stay flat for K-means (O1);
+parallel-task speedups peak when (de-)serialization is fully parallel and
+never at the coarsest grain (O2); GPU OOM truncates the large datasets
+(32 GB Matmul beyond the 4x4 grid, 100 GB K-means beyond 16x1).
+"""
+
+from repro.core.experiments import run_fig7_for
+from repro.core.experiments.fig7 import KMEANS_GRIDS, MATMUL_GRIDS
+from repro.core.observations import check_o1, check_o2
+
+
+def test_fig7_matmul_8gb(once):
+    series = once(run_fig7_for, "matmul", "matmul_8gb", MATMUL_GRIDS)
+    print()
+    print(series.render())
+    speedups = series.speedup_by_block("user_code_speedup")
+    valid = {k: v for k, v in speedups.items() if v is not None}
+    assert max(valid.values()) / min(valid.values()) > 2.0  # scales with block
+    assert series.points[-1].status == "gpu_oom"  # 8192 MB block
+
+
+def test_fig7_matmul_32gb(once):
+    series = once(run_fig7_for, "matmul", "matmul_32gb", MATMUL_GRIDS)
+    print()
+    print(series.render())
+    statuses = {p.grid_label: p.status for p in series.points}
+    assert statuses["4 x 4"] == "ok"
+    assert statuses["2 x 2"] == "gpu_oom"
+
+
+def test_fig7_kmeans_10gb(once):
+    series = once(run_fig7_for, "kmeans", "kmeans_10gb", KMEANS_GRIDS)
+    print()
+    print(series.render())
+    print()
+    print(series.chart())
+    o1 = check_o1(series)
+    o2 = check_o2(series)
+    print(o1)
+    print(o2)
+    assert o1.passed
+    assert o2.passed
+
+
+def test_fig7_kmeans_100gb(once):
+    series = once(run_fig7_for, "kmeans", "kmeans_100gb", KMEANS_GRIDS)
+    print()
+    print(series.render())
+    statuses = {p.grid_label: p.status for p in series.points}
+    assert statuses["16 x 1"] == "ok"
+    assert statuses["8 x 1"] == "gpu_oom"
+    # §5.1.3: larger dataset -> higher stage-level GPU speedups.
+    small = run_fig7_for("kmeans", "kmeans_10gb", (64,))
+    large = next(p for p in series.points if p.grid_label == "64 x 1")
+    assert (
+        large.parallel_fraction_speedup
+        > small.points[0].parallel_fraction_speedup
+    )

@@ -1,0 +1,24 @@
+"""Benchmark E5 — Figure 8: task computational complexity in Matmul.
+
+Paper shape: matmul_func (O(N^3)) user-code speedup scales with block
+size up to ~21x; add_func (O(N)) is slower on GPU at every block size
+because PCIe transfer dominates its negligible kernel (O3).
+"""
+
+from repro.core.experiments import run_fig8
+from repro.core.experiments.fig8 import FIG8_GRIDS
+from repro.core.observations import check_o3
+
+
+def test_fig8_complexity(once):
+    result = once(run_fig8, "matmul_8gb", FIG8_GRIDS)
+    print()
+    print(result.render())
+    print()
+    print(result.chart())
+    matmul_speedups = [v for v in result.speedups("matmul_func").values() if v]
+    assert matmul_speedups == sorted(matmul_speedups)
+    assert 17.0 <= max(matmul_speedups) <= 26.0
+    o3 = check_o3(result)
+    print(o3)
+    assert o3.passed

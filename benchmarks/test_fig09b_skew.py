@@ -1,0 +1,22 @@
+"""Benchmark E7 — Figure 9b: data skew.
+
+Paper shape: 50% skew does not change task user-code execution time for
+either algorithm — the tested algorithms do not process skewed data
+differently.
+"""
+
+import pytest
+
+from repro.core.experiments import run_fig9b
+
+
+def test_fig9b_skew(once):
+    result = once(run_fig9b)
+    print()
+    print(result.render())
+    for algorithm in ("matmul", "kmeans"):
+        times = result.times_for(algorithm)
+        cpu_uniform, gpu_uniform = times[0.0]
+        cpu_skewed, gpu_skewed = times[0.5]
+        assert cpu_skewed == pytest.approx(cpu_uniform, rel=1e-9)
+        assert gpu_skewed == pytest.approx(gpu_uniform, rel=1e-9)

@@ -1,0 +1,45 @@
+"""Benchmarks E8/E9 — Figure 10: storage architecture x scheduling policy.
+
+Paper shapes: local disk beats shared disk end-to-end; the policy barely
+matters on local disks (O5); on shared disks the policy visibly shifts
+the CPU-GPU gap for the cheap K-means tasks (O6); parallel-task time
+rises with block size and drops at the single-task maximum granularity;
+Matmul's 8192 MB block OOMs the GPU (3 x 8 GB > 12 GB).
+"""
+
+from repro.core.experiments import run_fig10_for
+from repro.core.experiments.fig10 import KMEANS_GRIDS, MATMUL_GRIDS
+from repro.core.observations import check_o5, check_o6
+from repro.hardware import StorageKind
+from repro.runtime import SchedulingPolicy
+
+
+def test_fig10_storage_and_scheduling(once):
+    def both():
+        matmul = run_fig10_for("matmul", "matmul_8gb", MATMUL_GRIDS)
+        kmeans = run_fig10_for("kmeans", "kmeans_10gb", KMEANS_GRIDS)
+        return matmul, kmeans
+
+    matmul, kmeans = once(both)
+    print()
+    print(matmul.render())
+    print()
+    print(kmeans.render())
+
+    gen = SchedulingPolicy.GENERATION_ORDER
+    local_cpu = kmeans.series(StorageKind.LOCAL, gen, False)
+    shared_cpu = kmeans.series(StorageKind.SHARED, gen, False)
+    # Local storage wins at every distributed grid.
+    for grid, local_time in local_cpu.items():
+        if grid > 1:
+            assert local_time <= shared_cpu[grid]
+    # Time rises toward coarse grains, then drops at the single task.
+    assert shared_cpu[2] > shared_cpu[64]
+    assert shared_cpu[1] < shared_cpu[2]
+    # Matmul GPU OOM at maximum granularity.
+    matmul_gpu = matmul.series(StorageKind.SHARED, gen, True)
+    assert matmul_gpu[1] is None
+
+    for check in (check_o5(matmul), check_o5(kmeans), check_o6(kmeans, matmul)):
+        print(check)
+        assert check.passed

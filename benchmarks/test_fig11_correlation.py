@@ -1,0 +1,41 @@
+"""Benchmark E10 — Figure 11: the Spearman correlation matrix.
+
+Paper shapes (signs and rough magnitudes of the key cells): execution
+time correlates positively with block size (~0.4), parallel fraction
+(~0.38), computational complexity (~0.5), and shared-disk storage
+(~0.19); it is nearly uncorrelated with DAG width and dataset size; block
+size anti-correlates with grid dimension (~-0.78); GPU anti-correlates
+with the measured parallel-fraction time.
+"""
+
+import pytest
+
+from repro.core.experiments import run_fig11
+
+
+def test_fig11_correlation(once):
+    result = once(run_fig11)
+    print()
+    print(result.render())
+    value = result.value
+
+    # Signs of the paper's key cells.
+    assert value("parallel_task_exec_time", "block_size") > 0.2
+    assert value("parallel_task_exec_time", "computational_complexity") > 0.2
+    assert value("parallel_task_exec_time", "parallel_fraction") > 0.2
+    assert abs(value("parallel_task_exec_time", "dag_max_width")) < 0.35
+    assert value("block_size", "grid_dimension") < -0.5
+    assert value("gpu", "parallel_fraction") < 0.0
+    assert value("cpu", "gpu") == pytest.approx(-1.0)
+    assert value("shared_disk_storage", "local_disk_storage") == pytest.approx(-1.0)
+    # Storage matters more than scheduling (paper §5.4.1 O5/O6 cells).
+    storage_rho = abs(value("parallel_task_exec_time", "shared_disk_storage"))
+    scheduling_rho = abs(
+        value("parallel_task_exec_time", "task_gen_order_scheduling")
+    )
+    assert storage_rho > scheduling_rho
+    # Additional finding (a): block size correlates more strongly with
+    # execution time than dataset size does.
+    assert value("parallel_task_exec_time", "block_size") > abs(
+        value("parallel_task_exec_time", "dataset_size")
+    )

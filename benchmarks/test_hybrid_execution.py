@@ -1,0 +1,53 @@
+"""Extension benchmark — hybrid heterogeneous CPU-GPU execution.
+
+The paper's taxonomy (Figure 2) covers heterogeneous CPU-GPU usage, and
+its Figure 8 exposes the tension inside one workflow: ``matmul_func``
+loves the GPU, ``add_func`` never profits from it.  Hybrid execution —
+GPU for the Amdahl-worthy task types, CPU for the rest, planned
+analytically by the advisor — resolves the tension without touching the
+block size and beats both pure modes.
+"""
+
+from repro.algorithms import MatmulWorkflow
+from repro.core.advisor import WorkflowAdvisor
+from repro.core.report import Table, format_seconds, format_speedup
+from repro.data import paper_datasets
+from repro.runtime import Runtime, RuntimeConfig
+from repro.tracing import parallel_task_metrics
+
+
+def test_hybrid_execution(once):
+    datasets = paper_datasets()
+    advisor = WorkflowAdvisor()
+    plan = advisor.plan_hybrid(MatmulWorkflow(datasets["matmul_8gb"], grid=4))
+
+    def measure():
+        times = {}
+        for label, config in (
+            ("CPU only", RuntimeConfig(use_gpu=False)),
+            ("GPU all types", RuntimeConfig(use_gpu=True)),
+            ("hybrid (advisor plan)", RuntimeConfig(use_gpu=True,
+                                                    gpu_task_types=plan)),
+        ):
+            rt = Runtime(config)
+            MatmulWorkflow(datasets["matmul_8gb"], grid=4).build(rt)
+            result = rt.run()
+            times[label] = parallel_task_metrics(
+                result.trace, {"matmul_func", "add_func"}
+            ).average_parallel_time
+        return times
+
+    times = once(measure)
+    table = Table(
+        title=f"Hybrid execution: Matmul 8GB 4x4, GPU plan = {sorted(plan)}",
+        headers=("mode", "parallel-task time", "vs CPU"),
+    )
+    for label, value in times.items():
+        table.add_row(
+            label, format_seconds(value), format_speedup(times["CPU only"] / value)
+        )
+    print()
+    print(table.render())
+    assert plan == frozenset({"matmul_func"})
+    assert times["hybrid (advisor plan)"] < times["GPU all types"]
+    assert times["GPU all types"] < times["CPU only"]

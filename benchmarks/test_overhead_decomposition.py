@@ -1,0 +1,51 @@
+"""Extension benchmark — overhead decomposition across granularities.
+
+Quantifies the paper's bottleneck narrative from the traces themselves:
+how the occupied core-seconds split between user-code compute, data
+movement ((de-)serialization), CPU-GPU communication, scheduling, and
+idle time, as the block dimension moves from fine to coarse.  Fine grains
+drown in movement and scheduling; coarse grains idle most of the cluster.
+"""
+
+from repro.algorithms import KMeansWorkflow
+from repro.core.report import Table
+from repro.data import paper_datasets
+from repro.runtime import Runtime, RuntimeConfig
+from repro.tracing import decompose_overheads
+
+
+def test_overhead_decomposition(once):
+    datasets = paper_datasets()
+
+    def measure():
+        rows = {}
+        for grid in (256, 64, 16, 4):
+            rt = Runtime(RuntimeConfig(use_gpu=True))
+            KMeansWorkflow(
+                datasets["kmeans_10gb"], grid_rows=grid, n_clusters=10,
+                iterations=3,
+            ).build(rt)
+            rows[grid] = decompose_overheads(rt.run().trace)
+        return rows
+
+    rows = once(measure)
+    table = Table(
+        title="Overhead decomposition: K-means 10GB, GPU, shared disk",
+        headers=("grid", "compute", "movement", "comm", "sched", "idle"),
+    )
+    for grid, breakdown in rows.items():
+        table.add_row(
+            f"{grid} x 1",
+            f"{breakdown.compute_share:.0%}",
+            f"{breakdown.movement_share:.0%}",
+            f"{breakdown.comm_share:.0%}",
+            f"{breakdown.scheduling_share:.0%}",
+            f"{breakdown.idle_share:.0%}",
+        )
+    print()
+    print(table.render())
+    # Movement dominates compute at every distributed granularity (§5.1.2)
+    for breakdown in rows.values():
+        assert breakdown.movement_share > breakdown.compute_share
+    # Idle share grows as task parallelism is starved at coarse grains.
+    assert rows[4].idle_share > rows[256].idle_share

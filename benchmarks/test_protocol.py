@@ -1,0 +1,44 @@
+"""Extension benchmark — the §5 measurement protocol in action.
+
+Runs the Figure-1 operating point the way the paper measured everything:
+six repetitions with run-to-run jitter, discarding the warm-up run whose
+first task per core pays module loading and kernel compilation.  Shows
+the warm-up excess the paper's protocol exists to remove, and the small
+residual spread across kept runs.
+"""
+
+from repro.algorithms import KMeansWorkflow
+from repro.core.experiments.protocol import run_with_protocol
+from repro.core.report import Table, format_seconds
+from repro.data import paper_datasets
+from repro.runtime import RuntimeConfig
+
+
+def test_measurement_protocol(once):
+    datasets = paper_datasets()
+
+    def measure():
+        return run_with_protocol(
+            lambda: KMeansWorkflow(
+                datasets["kmeans_10gb"], grid_rows=256, n_clusters=10,
+                iterations=3,
+            ),
+            config=RuntimeConfig(use_gpu=True),
+            runs=6,
+        )
+
+    outcome = once(measure)
+    table = Table(
+        title="Six runs, discard the first (K-means 10GB, 256 tasks, GPU)",
+        headers=("run", "makespan"),
+    )
+    table.add_row("1 (warm-up, discarded)", format_seconds(outcome.warmup_makespan))
+    for index, makespan in enumerate(outcome.makespans, start=2):
+        table.add_row(str(index), format_seconds(makespan))
+    table.add_row("mean of kept", format_seconds(outcome.mean_makespan))
+    table.add_row("std of kept", format_seconds(outcome.std_makespan))
+    print()
+    print(table.render())
+    print(f"warm-up excess: {outcome.warmup_excess:.1%}")
+    assert outcome.warmup_makespan > max(outcome.makespans)
+    assert outcome.std_makespan < 0.1 * outcome.mean_makespan

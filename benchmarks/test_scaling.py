@@ -1,0 +1,66 @@
+"""Extension benchmark — strong scaling over the node count.
+
+The paper ran on 8 of Minotauro's 38 nodes (§4.4.1).  This bench holds
+the workload fixed (K-means 10 GB, 128 tasks) and sweeps the node count,
+reporting makespan and parallel efficiency for both processor types.
+Expected shapes: CPU runs scale close to linearly while cores remain the
+binding resource; GPU runs saturate earlier (task parallelism caps at
+4 GPUs/node); the shared file system eventually bounds both — the
+scale-out limits §2 attributes to cluster deployments.
+"""
+
+from repro.algorithms import KMeansWorkflow
+from repro.core.report import Table, format_seconds
+from repro.data import paper_datasets
+from repro.hardware import minotauro
+from repro.runtime import Runtime, RuntimeConfig
+
+NODE_COUNTS = (1, 2, 4, 8)
+
+
+def test_strong_scaling(once):
+    datasets = paper_datasets()
+
+    def measure():
+        times = {}
+        for nodes in NODE_COUNTS:
+            for use_gpu in (False, True):
+                rt = Runtime(
+                    RuntimeConfig(cluster=minotauro(num_nodes=nodes),
+                                  use_gpu=use_gpu)
+                )
+                KMeansWorkflow(
+                    datasets["kmeans_10gb"], grid_rows=128, n_clusters=100,
+                    iterations=3,
+                ).build(rt)
+                times[(nodes, use_gpu)] = rt.run().makespan
+        return times
+
+    times = once(measure)
+    table = Table(
+        title="Strong scaling: K-means 10GB, 128 tasks, K=100",
+        headers=("nodes", "CPU makespan", "CPU efficiency",
+                 "GPU makespan", "GPU efficiency"),
+    )
+    for nodes in NODE_COUNTS:
+        cpu_eff = times[(1, False)] / (times[(nodes, False)] * nodes)
+        gpu_eff = times[(1, True)] / (times[(nodes, True)] * nodes)
+        table.add_row(
+            nodes,
+            format_seconds(times[(nodes, False)]),
+            f"{cpu_eff:.0%}",
+            format_seconds(times[(nodes, True)]),
+            f"{gpu_eff:.0%}",
+        )
+    print()
+    print(table.render())
+    # More nodes never hurt, and the 8-node run is substantially faster.
+    for use_gpu in (False, True):
+        series = [times[(n, use_gpu)] for n in NODE_COUNTS]
+        assert all(a >= b * 0.999 for a, b in zip(series, series[1:]))
+        assert series[-1] < series[0] / 2
+    # Efficiency decays with scale (storage contention + fixed overheads).
+    cpu_effs = [
+        times[(1, False)] / (times[(n, False)] * n) for n in NODE_COUNTS
+    ]
+    assert cpu_effs[-1] <= cpu_effs[0] + 1e-9

@@ -1,0 +1,35 @@
+"""Meta-benchmark — the simulator's own throughput.
+
+Unlike the figure benches (which measure *simulated* time), this one
+measures the wall-clock cost of running the discrete-event simulation,
+as a regression guard: the heaviest single configuration in the suite
+(Matmul 16x16, 7936 tasks with full storage contention) must stay fast
+enough that the full evaluation regenerates in minutes.
+"""
+
+import time
+
+from repro.algorithms import MatmulWorkflow
+from repro.data import paper_datasets
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def test_simulator_throughput(benchmark):
+    dataset = paper_datasets()["matmul_8gb"]
+
+    def run():
+        runtime = Runtime(RuntimeConfig(use_gpu=False))
+        MatmulWorkflow(dataset, grid=16).build(runtime)
+        started = time.perf_counter()
+        result = runtime.run()
+        elapsed = time.perf_counter() - started
+        return len(result.trace.tasks), elapsed
+
+    tasks, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    rate = tasks / elapsed
+    print(f"\nsimulated {tasks} tasks in {elapsed:.2f}s wall "
+          f"({rate:,.0f} tasks/s)")
+    assert tasks == 7936
+    # Regression guard: the dispatcher fix keeps this configuration in
+    # single-digit seconds; alert if it regresses by an order of magnitude.
+    assert rate > 500

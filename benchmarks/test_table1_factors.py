@@ -1,0 +1,18 @@
+"""Benchmark E12 — Table 1: the factor/parameter inventory.
+
+Regenerates the paper's Table 1 from the factor framework and checks its
+structure: eight factors across four dimensions, with the block dimension
+stressing all five system functions.
+"""
+
+from repro.core import Dimension, SystemFunction, TABLE1_FACTORS, factors_table
+
+
+def test_table1_factors(once):
+    table = once(factors_table)
+    print()
+    print(table.render())
+    assert len(TABLE1_FACTORS) == 8
+    assert {f.dimension for f in TABLE1_FACTORS} == set(Dimension)
+    block = next(f for f in TABLE1_FACTORS if f.name == "block dimension")
+    assert block.affects == frozenset(SystemFunction)

@@ -1,0 +1,105 @@
+"""What-if study on a custom cluster: beyond the paper's testbed.
+
+Defines a modern-GPU cluster (A100-class devices on NVLink-class
+interconnect) next to the paper's K80-era Minotauro, and reruns the
+K-means and Matmul sweeps on both.  The point of the paper's analysis
+method is exactly this kind of question: does a faster device change
+*when* GPUs are worth using, or only *how much* they win by?
+
+Run:  python examples/custom_cluster.py
+"""
+
+from repro import (
+    KMeansWorkflow,
+    MatmulWorkflow,
+    Runtime,
+    RuntimeConfig,
+    minotauro,
+    paper_datasets,
+)
+from repro.core.report import Table, format_speedup
+from repro.hardware import GpuOutOfMemoryError, HostOutOfMemoryError
+from repro.tracing import parallel_task_metrics, user_code_metrics
+
+
+def modern_cluster():
+    """The library's A100-class preset (see repro.hardware.presets)."""
+    from repro.hardware import modern
+
+    return modern()
+
+
+def speedups(cluster, workflow_factory, primary):
+    """(user-code speedup, parallel-task speedup) or None on OOM."""
+    measured = {}
+    for use_gpu in (False, True):
+        workflow = workflow_factory()
+        runtime = Runtime(RuntimeConfig(cluster=cluster, use_gpu=use_gpu))
+        workflow.build(runtime)
+        try:
+            result = runtime.run()
+        except (GpuOutOfMemoryError, HostOutOfMemoryError):
+            return None
+        measured[use_gpu] = (
+            user_code_metrics(result.trace)[primary].user_code,
+            parallel_task_metrics(
+                result.trace, set(workflow.parallel_task_types)
+            ).average_parallel_time,
+        )
+    return (
+        measured[False][0] / measured[True][0],
+        measured[False][1] / measured[True][1],
+    )
+
+
+def main():
+    datasets = paper_datasets()
+    workloads = {
+        "Matmul 8GB, 4x4": (
+            lambda: MatmulWorkflow(datasets["matmul_8gb"], grid=4),
+            "matmul_func",
+        ),
+        "Matmul 8GB, 16x16": (
+            lambda: MatmulWorkflow(datasets["matmul_8gb"], grid=16),
+            "matmul_func",
+        ),
+        "K-means 10GB, 128x1, K=10": (
+            lambda: KMeansWorkflow(datasets["kmeans_10gb"], 128, 10, 3),
+            "partial_sum",
+        ),
+        "K-means 10GB, 128x1, K=1000": (
+            lambda: KMeansWorkflow(datasets["kmeans_10gb"], 128, 1000, 3),
+            "partial_sum",
+        ),
+    }
+    table = Table(
+        title="GPU-over-CPU speedups: K80-era vs A100-class cluster",
+        headers=(
+            "workload",
+            "K80 Usr.Code",
+            "K80 P.Task",
+            "A100 Usr.Code",
+            "A100 P.Task",
+        ),
+    )
+    clusters = {"K80": minotauro(), "A100": modern_cluster()}
+    for name, (factory, primary) in workloads.items():
+        cells = [name]
+        for label in ("K80", "A100"):
+            outcome = speedups(clusters[label], factory, primary)
+            if outcome is None:
+                cells += ["OOM", "OOM"]
+            else:
+                cells += [format_speedup(outcome[0]), format_speedup(outcome[1])]
+        table.add_row(*cells)
+    print(table.render())
+    print(
+        "\nA faster device widens the user-code speedups, but the "
+        "distributed-level picture\nstill hinges on serial fractions, data "
+        "movement, and the 32-vs-128 parallelism gap —\nthe paper's factors "
+        "survive a hardware generation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""A composite data-science pipeline: preprocessing + clustering, one DAG.
+
+The paper motivates its analysis with data-science pipelines "composed of
+multiple processing stages" (§1).  This example builds such a pipeline as
+a single task workflow — global feature means (map + reduce), feature
+centering (elementwise), then K-means clustering — and runs it twice:
+
+1. at paper scale on the simulated cluster, CPU vs GPU, reporting the
+   per-stage metrics and the DAG shape of the whole pipeline;
+2. at laptop scale on the in-process backend, checking the centroids
+   against a plain-NumPy reference of the same pipeline.
+
+Run:  python examples/ds_pipeline.py
+"""
+
+import numpy as np
+
+from repro import DatasetSpec, DistributedArray, Runtime, RuntimeConfig, kmeans_reference
+from repro.algorithms.kmeans import append_kmeans_iterations
+from repro.arrays.ops import center, column_means
+from repro.core.report import Table, format_seconds
+from repro.data import Blocking, GridSpec
+from repro.data.generator import generate_matrix
+from repro.runtime.runtime import Backend
+from repro.tracing import user_code_metrics
+
+N_CLUSTERS = 10
+ITERATIONS = 3
+_ELEM = 8
+
+
+def build_pipeline(runtime, blocking, materialize=False):
+    """Centering + K-means as one DAG; returns the final centroids ref."""
+    data = DistributedArray.create(runtime, blocking, name="X",
+                                   materialize=materialize)
+    means = column_means(runtime, data)
+    centered = center(runtime, data, means)
+    centered_blocks = [row[0] for row in centered]
+    initial = runtime.register_input(
+        size_bytes=_ELEM * N_CLUSTERS * blocking.block.n,
+        name="centroids0",
+        value=(
+            np.random.default_rng(7).random((N_CLUSTERS, blocking.block.n))
+            if materialize
+            else None
+        ),
+    )
+    return append_kmeans_iterations(
+        runtime,
+        centered_blocks,
+        block_rows=blocking.block.m,
+        n_features=blocking.block.n,
+        n_clusters=N_CLUSTERS,
+        iterations=ITERATIONS,
+        centroids=initial,
+    )
+
+
+def simulated_study():
+    blocking = Blocking.from_grid(
+        DatasetSpec("pipeline_10gb", rows=12_500_000, cols=100),
+        GridSpec(k=128, l=1),
+    )
+    table = Table(
+        title="Pipeline on the simulated cluster (10 GB, 128 blocks)",
+        headers=("processor", "makespan", "colsum avg", "center avg",
+                 "partial_sum avg"),
+    )
+    for use_gpu in (False, True):
+        runtime = Runtime(RuntimeConfig(use_gpu=use_gpu))
+        build_pipeline(runtime, blocking)
+        if not use_gpu:
+            print(f"pipeline DAG: {runtime.graph.describe()}")
+        result = runtime.run()
+        metrics = user_code_metrics(result.trace)
+        table.add_row(
+            "GPU" if use_gpu else "CPU",
+            format_seconds(result.makespan),
+            format_seconds(metrics["block_colsum"].user_code),
+            format_seconds(metrics["block_center"].user_code),
+            format_seconds(metrics["partial_sum"].user_code),
+        )
+    print()
+    print(table.render())
+    print(
+        "\nThe clustering stage dominates and is the only stage with a "
+        "meaningful serial\nfraction; the memory-bound preprocessing "
+        "stages gain little from the GPU — each\npipeline stage sits at a "
+        "different point of the paper's factor space."
+    )
+
+
+def correctness_check():
+    blocking = Blocking.from_grid(
+        DatasetSpec("pipeline_small", rows=3_000, cols=6), GridSpec(k=5, l=1)
+    )
+    runtime = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+    centroids_ref = build_pipeline(runtime, blocking, materialize=True)
+    result = runtime.run()
+    got = result.value_of(centroids_ref)
+
+    data = generate_matrix(blocking.dataset)
+    centered = data - data.mean(axis=0)[None, :]
+    initial = np.random.default_rng(7).random((N_CLUSTERS, blocking.block.n))
+    expected = kmeans_reference(centered, initial, ITERATIONS)
+    ok = np.allclose(got, expected)
+    print(f"\nin-process correctness vs NumPy reference: "
+          f"{'ok' if ok else 'MISMATCH'}")
+    if not ok:
+        raise SystemExit(1)
+
+
+def main():
+    simulated_study()
+    correctness_check()
+
+
+if __name__ == "__main__":
+    main()

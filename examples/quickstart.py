@@ -1,0 +1,65 @@
+"""Quickstart: run one distributed workflow on the simulated cluster.
+
+Builds the paper's motivating workload — distributed K-means over a 10 GB
+dataset split into 256 tasks — on the Minotauro-like cluster (8 nodes x
+16 cores + 4 GPUs), executes it once on CPUs and once with GPU
+acceleration, and prints the stage-level metrics of §4.2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import KMeansWorkflow, Runtime, RuntimeConfig, paper_datasets
+from repro.core.report import Table, format_seconds, format_speedup
+from repro.tracing import parallel_task_metrics, user_code_metrics
+
+
+def run(use_gpu: bool):
+    workflow = KMeansWorkflow(
+        paper_datasets()["kmeans_10gb"], grid_rows=256, n_clusters=10, iterations=3
+    )
+    runtime = Runtime(RuntimeConfig(use_gpu=use_gpu))
+    workflow.build(runtime)
+    print(
+        f"DAG ({'GPU' if use_gpu else 'CPU'} run): {runtime.graph.describe()}"
+    )
+    result = runtime.run()
+    user_code = user_code_metrics(result.trace)["partial_sum"]
+    parallel = parallel_task_metrics(result.trace, {"partial_sum"})
+    return user_code, parallel.average_parallel_time, result.makespan
+
+
+def main():
+    cpu_uc, cpu_pt, cpu_makespan = run(use_gpu=False)
+    gpu_uc, gpu_pt, gpu_makespan = run(use_gpu=True)
+
+    table = Table(
+        title="Distributed K-means, 10 GB, 256 tasks (per-task averages)",
+        headers=("metric", "CPU", "GPU", "GPU speedup"),
+    )
+    rows = (
+        ("parallel fraction", cpu_uc.parallel_fraction, gpu_uc.parallel_fraction),
+        ("serial fraction", cpu_uc.serial_fraction, gpu_uc.serial_fraction),
+        ("CPU-GPU communication", cpu_uc.cpu_gpu_comm, gpu_uc.cpu_gpu_comm),
+        ("task user code", cpu_uc.user_code, gpu_uc.user_code),
+        ("parallel tasks (per iteration)", cpu_pt, gpu_pt),
+        ("workflow makespan", cpu_makespan, gpu_makespan),
+    )
+    for name, cpu_value, gpu_value in rows:
+        speedup = cpu_value / gpu_value if gpu_value else None
+        table.add_row(
+            name,
+            format_seconds(cpu_value),
+            format_seconds(gpu_value),
+            format_speedup(speedup),
+        )
+    print()
+    print(table.render())
+    print(
+        "\nNote the paper's Figure 1 pattern: the GPU wins clearly on the "
+        "parallel fraction,\nbarely on the full user code, and loses once "
+        "tasks are distributed (32 GPUs vs 128 cores)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Real in-process execution: the runtime as an actual dataflow engine.
+
+Everything in the other examples runs on the simulated cluster; this one
+uses the in-process backend to really execute the task functions on NumPy
+data, verifying that the blocked algorithms compute correct results:
+
+* blocked Matmul and its FMA variant against ``numpy.matmul``;
+* distributed K-means against a single-machine reference implementation
+  (and against itself under different blockings).
+
+Run:  python examples/real_execution.py
+"""
+
+import numpy as np
+
+from repro import (
+    DatasetSpec,
+    DistributedArray,
+    KMeansWorkflow,
+    MatmulFmaWorkflow,
+    MatmulWorkflow,
+    Runtime,
+    RuntimeConfig,
+    kmeans_reference,
+)
+from repro.data.generator import generate_matrix
+from repro.runtime.runtime import Backend
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if not ok:
+        raise SystemExit(1)
+
+
+def main():
+    print("Blocked Matmul vs numpy:")
+    dataset = DatasetSpec("demo_matmul", rows=96, cols=96)
+    full = generate_matrix(dataset)
+    for grid in (1, 2, 4):
+        runtime = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        _a, _b, c_refs = MatmulWorkflow(dataset, grid=grid).build(
+            runtime, materialize=True
+        )
+        result = runtime.run()
+        got = DistributedArray.assemble(c_refs, result)
+        check(
+            f"grid {grid}x{grid}: {runtime.graph.num_tasks} tasks",
+            np.allclose(got, full @ full),
+        )
+
+    print("Matmul FMA vs numpy:")
+    runtime = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+    _a, _b, c_refs = MatmulFmaWorkflow(dataset, grid=4).build(
+        runtime, materialize=True
+    )
+    got = DistributedArray.assemble(c_refs, runtime.run())
+    check(f"grid 4x4: {runtime.graph.num_tasks} tasks", np.allclose(got, full @ full))
+
+    print("Distributed K-means vs single-machine reference:")
+    kdataset = DatasetSpec("demo_kmeans", rows=2_000, cols=8)
+    kdata = generate_matrix(kdataset)
+    reference = None
+    for grid_rows in (1, 4, 7):
+        workflow = KMeansWorkflow(kdataset, grid_rows=grid_rows, n_clusters=5,
+                                  iterations=4)
+        runtime = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        _data, centroids_ref = workflow.build(runtime, materialize=True)
+        centroids = runtime.run().value_of(centroids_ref)
+        if reference is None:
+            reference = kmeans_reference(
+                kdata, workflow.initial_centroids(), iterations=4
+            )
+        check(
+            f"grid {grid_rows}x1 matches reference",
+            np.allclose(centroids, reference),
+        )
+    print("\nAll real executions agree with their references — the DAG")
+    print("machinery, chunking, and reductions are computationally faithful.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Storage x scheduler deployment study (the paper's §5.3 as a tool).
+
+Given a workload, compares the four combinations of storage architecture
+(node-local disks vs a GPFS-like shared file system) and scheduling
+policy (task generation order vs data locality) and reports which
+deployment runs the workload fastest on CPUs and on GPUs.
+
+Run:  python examples/storage_scheduler_study.py
+"""
+
+from repro import KMeansWorkflow, Runtime, RuntimeConfig, paper_datasets
+from repro.core.report import Table, format_seconds
+from repro.hardware import StorageKind
+from repro.runtime import SchedulingPolicy
+from repro.tracing import data_movement_metrics, parallel_task_metrics
+
+
+def measure(storage, scheduling, use_gpu):
+    workflow = KMeansWorkflow(
+        paper_datasets()["kmeans_10gb"], grid_rows=128, n_clusters=10, iterations=3
+    )
+    runtime = Runtime(
+        RuntimeConfig(storage=storage, scheduling=scheduling, use_gpu=use_gpu)
+    )
+    workflow.build(runtime)
+    result = runtime.run()
+    return {
+        "parallel_tasks": parallel_task_metrics(
+            result.trace, {"partial_sum"}
+        ).average_parallel_time,
+        "movement": data_movement_metrics(result.trace).total_per_core,
+    }
+
+
+def main():
+    table = Table(
+        title="K-means 10 GB, 128 tasks: deployment comparison",
+        headers=(
+            "storage",
+            "scheduler",
+            "CPU P.Task",
+            "GPU P.Task",
+            "(de)ser/core CPU",
+        ),
+    )
+    results = {}
+    for storage in (StorageKind.LOCAL, StorageKind.SHARED):
+        for policy in SchedulingPolicy:
+            cpu = measure(storage, policy, use_gpu=False)
+            gpu = measure(storage, policy, use_gpu=True)
+            results[(storage, policy)] = (cpu, gpu)
+            table.add_row(
+                storage.label,
+                policy.label,
+                format_seconds(cpu["parallel_tasks"]),
+                format_seconds(gpu["parallel_tasks"]),
+                format_seconds(cpu["movement"]),
+            )
+    print(table.render())
+
+    best_cpu = min(results, key=lambda k: results[k][0]["parallel_tasks"])
+    best_gpu = min(results, key=lambda k: results[k][1]["parallel_tasks"])
+    print(
+        f"\nfastest CPU deployment: {best_cpu[0].label} + {best_cpu[1].label}"
+        f"\nfastest GPU deployment: {best_gpu[0].label} + {best_gpu[1].label}"
+    )
+    print(
+        "\nLocal disks beat the shared file system for this read-heavy "
+        "workload, and the\nscheduling policy matters far less on local "
+        "storage — observations O5/O6 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate the complete evaluation: tests, benchmarks, figure records.
+#
+# Usage:  scripts/regenerate_results.sh [output_dir]
+#
+# Produces, under the output directory (default ./results):
+#   test_output.txt     — full unit/integration/property test run
+#   bench_output.txt    — every paper figure/table + extension benches
+#   figures/*.json      — machine-readable records of each figure
+set -euo pipefail
+
+out="${1:-results}"
+mkdir -p "$out"
+
+echo "== tests =="
+pytest tests/ 2>&1 | tee "$out/test_output.txt"
+
+echo "== benchmarks (every paper artefact) =="
+pytest benchmarks/ --benchmark-only -s 2>&1 | tee "$out/bench_output.txt"
+
+echo "== figure JSON records =="
+python -m repro figures all --save "$out/figures"
+
+echo "done: $out"

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (PEP 660 editable builds need it; `setup.py develop`
+does not)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — a reproduction of "Performance Analysis of Distributed
+GPU-Accelerated Task-Based Workflows" (EDBT 2024).
+
+The package rebuilds the paper's entire experimental stack in Python:
+
+* :mod:`repro.sim` — a deterministic discrete-event simulation engine;
+* :mod:`repro.hardware` — the Minotauro-like CPU-GPU cluster model
+  (cores, devices with memory ceilings, PCIe, local/shared storage,
+  network);
+* :mod:`repro.perfmodel` — the calibrated per-stage task cost model;
+* :mod:`repro.runtime` — a PyCOMPSs-like task runtime (automatic DAG
+  construction, two scheduling policies, simulated and real backends);
+* :mod:`repro.arrays` / :mod:`repro.data` — the dislib-like blocked
+  distributed array and the grid/block partitioning formalism;
+* :mod:`repro.algorithms` — Matmul, Matmul FMA, and K-means workloads;
+* :mod:`repro.tracing` — the §4.2 metrics over execution traces;
+* :mod:`repro.core` — the paper's analysis layer: Table-1 factors,
+  per-figure experiment runners, Spearman correlation, and the O1-O6
+  observation checkers.
+
+Quickstart::
+
+    from repro import Runtime, RuntimeConfig, KMeansWorkflow, paper_datasets
+    from repro.tracing import user_code_metrics
+
+    wf = KMeansWorkflow(paper_datasets()["kmeans_10gb"], grid_rows=256)
+    rt = Runtime(RuntimeConfig(use_gpu=True))
+    wf.build(rt)
+    result = rt.run()
+    print(user_code_metrics(result.trace)["partial_sum"].user_code)
+"""
+
+from repro.algorithms import (
+    KMeansWorkflow,
+    MatmulFmaWorkflow,
+    MatmulWorkflow,
+    kmeans_reference,
+)
+from repro.arrays import DistributedArray
+from repro.data import (
+    BlockSpec,
+    Blocking,
+    DatasetSpec,
+    GridSpec,
+    paper_datasets,
+)
+from repro.hardware import (
+    ClusterSpec,
+    GpuOutOfMemoryError,
+    HostOutOfMemoryError,
+    StorageKind,
+    minotauro,
+)
+from repro.perfmodel import CostModel, TaskCost
+from repro.runtime import (
+    DataRef,
+    Runtime,
+    RuntimeConfig,
+    SchedulingPolicy,
+    TaskGraph,
+    WorkflowResult,
+    task,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockSpec",
+    "Blocking",
+    "ClusterSpec",
+    "CostModel",
+    "DataRef",
+    "DatasetSpec",
+    "DistributedArray",
+    "GpuOutOfMemoryError",
+    "GridSpec",
+    "HostOutOfMemoryError",
+    "KMeansWorkflow",
+    "MatmulFmaWorkflow",
+    "MatmulWorkflow",
+    "Runtime",
+    "RuntimeConfig",
+    "SchedulingPolicy",
+    "StorageKind",
+    "TaskCost",
+    "TaskGraph",
+    "WorkflowResult",
+    "__version__",
+    "kmeans_reference",
+    "minotauro",
+    "paper_datasets",
+    "task",
+]

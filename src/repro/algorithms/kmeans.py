@@ -1,0 +1,238 @@
+"""Distributed K-means (dislib-style).
+
+Each iteration runs one ``partial_sum`` task per row block — computing
+distances to the current centroids, assigning samples, and accumulating
+per-cluster sums and counts — followed by a serial ``merge`` on the master
+that reduces the partials into new centroids.  The resulting DAG is narrow
+and deep (the paper's Figure 6a): width = number of row blocks, height =
+2 x iterations.
+
+``partial_sum`` is *partially parallel* (family (b) of §4.1): the distance
+computation is thread-parallel with complexity O(M N K^2) (the paper's
+stated complexity, where M = samples, N = features, K = clusters per
+block), while the assignment bookkeeping is a serial fraction.  The serial
+fraction's sub-quadratic growth in K is why GPU speedup rises with the
+cluster count in Figure 9a.
+
+Calibrated constants (see ``repro.perfmodel.calibration`` for method):
+
+* ``_ALPHA = 1.5`` — effective FLOPs per M*N*K^2 unit of the parallel
+  fraction.
+* ``_SERIAL_PER_ELEMENT = 10`` / ``_SERIAL_PER_ASSIGNMENT = 3000`` —
+  effective FLOPs of the serial fraction per data element and per
+  sample-cluster pair; dominated by Python/NumPy dispatch in dislib, hence
+  far above one machine instruction.
+* ``_GPU_EFFICIENCY = 0.66`` — dislib's CuPy K-means kernel quality; set
+  so the single-task parallel-fraction speedup at the Figure 1 operating
+  point is ~5.7x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import Blocking, DatasetSpec, GridSpec
+from repro.perfmodel import TaskCost
+from repro.runtime import DataRef, Runtime, task
+from repro.arrays import DistributedArray
+
+_ELEM = 8
+_ALPHA = 1.5
+_SERIAL_PER_ELEMENT = 10.0
+_SERIAL_PER_ASSIGNMENT = 3000.0
+_GPU_EFFICIENCY = 0.66
+
+
+@task(returns=1, name="partial_sum")
+def partial_sum(block: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Per-block cluster assignment and partial accumulation.
+
+    Returns a ``K x (N + 1)`` array: per-cluster feature sums in the first
+    ``N`` columns, per-cluster sample counts in the last.
+    """
+    distances = np.linalg.norm(block[:, None, :] - centroids[None, :, :], axis=2)
+    nearest = np.argmin(distances, axis=1)
+    k, n = centroids.shape
+    partials = np.zeros((k, n + 1))
+    for cluster in range(k):
+        members = block[nearest == cluster]
+        partials[cluster, :n] = members.sum(axis=0)
+        partials[cluster, n] = len(members)
+    return partials
+
+
+@task(returns=1, name="merge")
+def merge(*partials: np.ndarray) -> np.ndarray:
+    """Reduce partial sums into new centroids (serial, on the master).
+
+    Empty clusters collapse to the origin (their count is clamped to 1);
+    the reference implementation mirrors this rule so results compare
+    exactly.
+    """
+    total = np.sum(partials, axis=0)
+    counts = np.maximum(total[:, -1:], 1.0)
+    return total[:, :-1] / counts
+
+
+def partial_sum_cost(m: int, n: int, k_clusters: int) -> TaskCost:
+    """Cost of one ``partial_sum`` on an ``m x n`` block with K clusters."""
+    parallel_flops = _ALPHA * m * n * k_clusters**2
+    serial_flops = _SERIAL_PER_ELEMENT * m * n + _SERIAL_PER_ASSIGNMENT * m * k_clusters
+    touched = _ELEM * (m * n + n * k_clusters + m * k_clusters)
+    centroid_bytes = _ELEM * k_clusters * n
+    out_bytes = _ELEM * k_clusters * (n + 1)
+    in_bytes = _ELEM * m * n + centroid_bytes
+    # Device working set: the block, the M x K distance matrix, and one
+    # temporary of the same size (CuPy's broadcasting intermediates).
+    gpu_memory = _ELEM * m * n + 2 * _ELEM * m * k_clusters
+    # Host working set: block plus the same distance matrices NumPy builds.
+    host_memory = _ELEM * m * n + 2 * _ELEM * m * k_clusters
+    return TaskCost(
+        serial_flops=serial_flops,
+        parallel_flops=parallel_flops,
+        parallel_items=float(m * n),
+        arithmetic_intensity=parallel_flops / touched,
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=in_bytes + out_bytes,
+        gpu_memory_bytes=gpu_memory,
+        host_memory_bytes=host_memory,
+        gpu_efficiency=_GPU_EFFICIENCY,
+    )
+
+
+def merge_cost(num_partials: int, n: int, k_clusters: int) -> TaskCost:
+    """Cost of the serial merge of ``num_partials`` partial-sum arrays."""
+    entry_count = k_clusters * (n + 1)
+    in_bytes = _ELEM * num_partials * entry_count
+    out_bytes = _ELEM * k_clusters * n
+    return TaskCost(
+        serial_flops=float(num_partials * entry_count) * 8.0,
+        parallel_flops=0.0,
+        parallel_items=0.0,
+        arithmetic_intensity=0.0,
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=0,
+        gpu_memory_bytes=0,
+        host_memory_bytes=4 * in_bytes,
+    )
+
+
+class KMeansWorkflow:
+    """Builds the distributed K-means workflow.
+
+    Parameters mirror §4.4.4/§4.4.5: row-wise chunking (grid ``k x 1``),
+    an algorithm-specific cluster count, and a fixed iteration count (the
+    paper's DAG of Figure 6a shows 3 iterations).
+    """
+
+    name = "kmeans"
+    #: Task types counted by the parallel-task-time metric.
+    parallel_task_types = frozenset({"partial_sum"})
+    #: The dominant task type used for stage-level speedups.
+    primary_task_type = "partial_sum"
+
+    def __init__(
+        self,
+        dataset: DatasetSpec,
+        grid_rows: int,
+        n_clusters: int = 10,
+        iterations: int = 3,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.blocking = Blocking.from_grid(dataset, GridSpec(k=grid_rows, l=1))
+        self.n_clusters = n_clusters
+        self.iterations = iterations
+
+    @property
+    def block_mb(self) -> float:
+        """Block size label used on the figures' X axes."""
+        return self.blocking.block_mb
+
+    def initial_centroids(self) -> np.ndarray:
+        """Deterministic initial centroids (first K unit directions)."""
+        n = self.blocking.dataset.cols
+        k = self.n_clusters
+        rng = np.random.default_rng(self.blocking.dataset.seed + 1)
+        return rng.random((k, n))
+
+    def build(
+        self, runtime: Runtime, materialize: bool = False
+    ) -> tuple[DistributedArray, DataRef]:
+        """Submit all tasks; returns (data array, final centroids ref)."""
+        data = DistributedArray.create(
+            runtime, self.blocking, name="X", materialize=materialize
+        )
+        centroids = runtime.register_input(
+            size_bytes=_ELEM * self.n_clusters * self.blocking.block.n,
+            name="centroids0",
+            value=self.initial_centroids() if materialize else None,
+        )
+        final = append_kmeans_iterations(
+            runtime,
+            data.blocks(),
+            block_rows=self.blocking.block.m,
+            n_features=self.blocking.block.n,
+            n_clusters=self.n_clusters,
+            iterations=self.iterations,
+            centroids=centroids,
+        )
+        return data, final
+
+    def task_costs(self) -> dict[str, TaskCost]:
+        """Per-task-type costs for analytic (single-task) experiments."""
+        m, n = self.blocking.block.m, self.blocking.block.n
+        return {"partial_sum": partial_sum_cost(m, n, self.n_clusters)}
+
+
+
+def append_kmeans_iterations(
+    runtime: Runtime,
+    blocks: list[DataRef],
+    block_rows: int,
+    n_features: int,
+    n_clusters: int,
+    iterations: int,
+    centroids: DataRef,
+) -> DataRef:
+    """Append K-means iterations to an existing workflow.
+
+    ``blocks`` may be workflow inputs or outputs of earlier tasks (e.g. a
+    feature-centering stage), which is how composite data-science
+    pipelines chain preprocessing into clustering inside one DAG.
+    Returns the ref of the final centroids.
+    """
+    centroid_bytes = _ELEM * n_clusters * n_features
+    ps_cost = partial_sum_cost(block_rows, n_features, n_clusters)
+    mg_cost = merge_cost(len(blocks), n_features, n_clusters)
+    with runtime:
+        for _ in range(iterations):
+            partials = [
+                partial_sum(block, centroids, _cost=ps_cost) for block in blocks
+            ]
+            centroids = merge(
+                *partials, _cost=mg_cost, _output_bytes=[centroid_bytes]
+            )
+    return centroids
+
+def kmeans_reference(
+    data: np.ndarray, centroids: np.ndarray, iterations: int
+) -> np.ndarray:
+    """Single-machine K-means with the same update rule, for correctness."""
+    current = centroids.copy()
+    for _ in range(iterations):
+        distances = np.linalg.norm(data[:, None, :] - current[None, :, :], axis=2)
+        nearest = np.argmin(distances, axis=1)
+        k, n = current.shape
+        sums = np.zeros((k, n))
+        counts = np.zeros(k)
+        for cluster in range(k):
+            members = data[nearest == cluster]
+            sums[cluster] = members.sum(axis=0)
+            counts[cluster] = len(members)
+        current = sums / np.maximum(counts[:, None], 1.0)
+    return current

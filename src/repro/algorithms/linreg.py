@@ -1,0 +1,185 @@
+"""Distributed linear regression via normal equations.
+
+The paper motivates Matmul as "a fundamental operation in many ML/DL
+techniques, including LLMs, PCA, SVD, linear regression" (§4.1).  This
+workload makes that concrete: ordinary least squares over a row-chunked
+design matrix, solved through the normal equations
+
+    beta = (X^T X)^-1  X^T y
+
+Per row block ``X_i`` (``m x n``) and target block ``y_i`` (``m x 1``),
+one ``gram_func`` task computes the partial Gram matrix ``X_i^T X_i``
+(fully parallel, O(m n^2)) and one ``xty_func`` task the partial moment
+vector ``X_i^T y_i`` (fully parallel, O(m n)); two serial reductions and
+a tiny ``n x n`` solve finish on the master.  The task mix — a
+compute-heavy fully parallel type next to a memory-bound one — sits
+between the paper's Matmul extremes, like ``matmul_func``/``add_func`` at
+a different complexity ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import Blocking, DatasetSpec, GridSpec
+from repro.perfmodel import TaskCost
+from repro.runtime import DataRef, Runtime, task
+from repro.arrays import DistributedArray
+
+_ELEM = 8
+
+
+@task(returns=1, name="gram_func")
+def gram_func(block: np.ndarray) -> np.ndarray:
+    """Partial Gram matrix ``X_i^T X_i`` of one row block."""
+    return block.T @ block
+
+
+@task(returns=1, name="xty_func")
+def xty_func(block: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Partial moment vector ``X_i^T y_i`` of one row block."""
+    return block.T @ targets
+
+
+@task(returns=1, name="reduce_sum")
+def reduce_sum(*parts: np.ndarray) -> np.ndarray:
+    """Sum partial matrices/vectors (serial reduction on the master)."""
+    return np.sum(parts, axis=0)
+
+
+@task(returns=1, name="solve_normal")
+def solve_normal(gram: np.ndarray, moment: np.ndarray) -> np.ndarray:
+    """Solve the (small, dense) normal equations."""
+    return np.linalg.solve(gram, moment)
+
+
+def gram_cost(m: int, n: int) -> TaskCost:
+    """Cost of one ``gram_func``: O(m n^2) compute over O(m n) bytes."""
+    flops = float(m) * n * n
+    in_bytes = _ELEM * m * n
+    out_bytes = _ELEM * n * n
+    touched = in_bytes + out_bytes
+    return TaskCost(
+        serial_flops=0.0,
+        parallel_flops=flops,
+        parallel_items=float(m * n),
+        arithmetic_intensity=flops / touched,
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=in_bytes + out_bytes,
+        gpu_memory_bytes=in_bytes + out_bytes,
+        host_memory_bytes=2 * (in_bytes + out_bytes),
+    )
+
+
+def xty_cost(m: int, n: int) -> TaskCost:
+    """Cost of one ``xty_func``: O(m n) compute, memory-bound."""
+    flops = 2.0 * m * n
+    in_bytes = _ELEM * (m * n + m)
+    out_bytes = _ELEM * n
+    touched = in_bytes + out_bytes
+    return TaskCost(
+        serial_flops=0.0,
+        parallel_flops=flops,
+        parallel_items=float(m * n),
+        arithmetic_intensity=flops / touched,
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=in_bytes + out_bytes,
+        gpu_memory_bytes=in_bytes + out_bytes,
+        host_memory_bytes=2 * in_bytes,
+    )
+
+
+def _serial_cost(in_bytes: int, out_bytes: int, flops: float) -> TaskCost:
+    return TaskCost(
+        serial_flops=flops,
+        parallel_flops=0.0,
+        parallel_items=0.0,
+        arithmetic_intensity=0.0,
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=0,
+        gpu_memory_bytes=0,
+        host_memory_bytes=4 * in_bytes,
+    )
+
+
+class LinearRegressionWorkflow:
+    """Builds the OLS workflow over a row-chunked design matrix."""
+
+    name = "linear_regression"
+    parallel_task_types = frozenset({"gram_func", "xty_func"})
+    primary_task_type = "gram_func"
+
+    def __init__(self, dataset: DatasetSpec, grid_rows: int) -> None:
+        self.blocking = Blocking.from_grid(dataset, GridSpec(k=grid_rows, l=1))
+
+    @property
+    def block_mb(self) -> float:
+        """Block size label for reports."""
+        return self.blocking.block_mb
+
+    def targets(self) -> np.ndarray:
+        """Deterministic synthetic targets (linear model + noise)."""
+        from repro.data.generator import generate_matrix
+
+        data = generate_matrix(self.blocking.dataset)
+        rng = np.random.default_rng(self.blocking.dataset.seed + 2)
+        true_beta = rng.random(self.blocking.dataset.cols)
+        noise = rng.normal(scale=0.01, size=self.blocking.dataset.rows)
+        return data @ true_beta + noise
+
+    def build(
+        self, runtime: Runtime, materialize: bool = False
+    ) -> tuple[DistributedArray, DataRef]:
+        """Submit all tasks; returns (design matrix array, beta ref)."""
+        blocking = self.blocking
+        m, n = blocking.block.m, blocking.block.n
+        k = blocking.grid.k
+        data = DistributedArray.create(
+            runtime, blocking, name="X", materialize=materialize
+        )
+        target_values = self.targets() if materialize else None
+        target_refs = []
+        for i in range(k):
+            rows = blocking.block_rows(i)
+            value = None
+            if target_values is not None:
+                start = i * m
+                value = target_values[start : start + rows]
+            target_refs.append(
+                runtime.register_input(
+                    size_bytes=_ELEM * rows, name=f"y[{i}]", value=value
+                )
+            )
+        g_cost = gram_cost(m, n)
+        v_cost = xty_cost(m, n)
+        gram_reduce_cost = _serial_cost(
+            in_bytes=_ELEM * k * n * n,
+            out_bytes=_ELEM * n * n,
+            flops=float(k * n * n),
+        )
+        moment_reduce_cost = _serial_cost(
+            in_bytes=_ELEM * k * n, out_bytes=_ELEM * n, flops=float(k * n)
+        )
+        solve_cost = _serial_cost(
+            in_bytes=_ELEM * (n * n + n),
+            out_bytes=_ELEM * n,
+            flops=float(n**3),
+        )
+        with runtime:
+            grams = [gram_func(block, _cost=g_cost) for block in data.blocks()]
+            moments = [
+                xty_func(block, target, _cost=v_cost)
+                for block, target in zip(data.blocks(), target_refs)
+            ]
+            gram = reduce_sum(*grams, _cost=gram_reduce_cost)
+            moment = reduce_sum(*moments, _cost=moment_reduce_cost)
+            beta = solve_normal(gram, moment, _cost=solve_cost)
+        return data, beta
+
+    def task_costs(self) -> dict[str, TaskCost]:
+        """Per-task-type costs for analytic experiments."""
+        m, n = self.blocking.block.m, self.blocking.block.n
+        return {"gram_func": gram_cost(m, n), "xty_func": xty_cost(m, n)}

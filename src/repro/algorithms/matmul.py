@@ -1,0 +1,145 @@
+"""Blocked matrix multiplication (dislib-style).
+
+``C = A @ B`` over square ``g x g`` block grids.  Each output block
+``C[i][j]`` is the sum of ``g`` partial products ``A[i][q] @ B[q][j]``:
+``g`` ``matmul_func`` tasks (complexity O(N^3) in the block order N)
+followed by a binary tree of ``add_func`` tasks (complexity O(N)), giving
+the wide-shallow DAG of the paper's Figure 6b.  Both task types have fully
+parallel user code (no serial fraction) — family (a) of §4.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import Blocking, DatasetSpec, GridSpec
+from repro.perfmodel import TaskCost
+from repro.runtime import DataRef, Runtime, task
+from repro.arrays import DistributedArray
+
+#: Bytes per float64 element, matching the paper's datasets.
+_ELEM = 8
+
+
+@task(returns=1, name="matmul_func")
+def matmul_func(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply two blocks."""
+    return a @ b
+
+
+@task(returns=1, name="add_func")
+def add_func(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Add two partial-product blocks."""
+    return a + b
+
+
+def matmul_cost(m: int, p: int, n: int) -> TaskCost:
+    """Cost of one ``matmul_func`` on blocks ``(m x p) @ (p x n)``.
+
+    Compute-bound: 2mpn FLOPs over 8(mp + pn + mn) bytes touched, so the
+    arithmetic intensity grows with the block order — the reason GPU
+    speedup scales with block size in Figure 8.  Device memory holds all
+    three blocks, which is the paper's "three times the block size" rule
+    that OOMs the 8192 MB block (§5.3).
+    """
+    flops = 2.0 * m * p * n
+    in_bytes = _ELEM * (m * p + p * n)
+    out_bytes = _ELEM * m * n
+    touched = in_bytes + out_bytes
+    return TaskCost(
+        serial_flops=0.0,
+        parallel_flops=flops,
+        parallel_items=float(m * n),
+        arithmetic_intensity=flops / touched,
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=in_bytes + out_bytes,
+        gpu_memory_bytes=in_bytes + out_bytes,
+        host_memory_bytes=2 * (in_bytes + out_bytes),
+    )
+
+
+def add_cost(m: int, n: int) -> TaskCost:
+    """Cost of one ``add_func`` on ``m x n`` blocks.
+
+    Memory-bound: 1 FLOP per 24 bytes touched.  Its O(N) parallel fraction
+    is two orders of magnitude below ``matmul_func``'s O(N^3), which is why
+    the GPU *loses* on this task at every block size (Figure 8): the PCIe
+    transfer of three blocks dominates the negligible kernel.
+    """
+    flops = float(m * n)
+    in_bytes = 2 * _ELEM * m * n
+    out_bytes = _ELEM * m * n
+    touched = in_bytes + out_bytes
+    return TaskCost(
+        serial_flops=0.0,
+        parallel_flops=flops,
+        parallel_items=float(m * n),
+        arithmetic_intensity=flops / touched,
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=in_bytes + out_bytes,
+        gpu_memory_bytes=in_bytes + out_bytes,
+        host_memory_bytes=2 * (in_bytes + out_bytes),
+    )
+
+
+class MatmulWorkflow:
+    """Builds the blocked Matmul workflow for one (dataset, grid) pair."""
+
+    name = "matmul"
+    #: Task types counted by the parallel-task-time metric.
+    parallel_task_types = frozenset({"matmul_func", "add_func"})
+    #: The dominant task type used for stage-level speedups.
+    primary_task_type = "matmul_func"
+
+    def __init__(self, dataset: DatasetSpec, grid: int | GridSpec) -> None:
+        if isinstance(grid, int):
+            grid = GridSpec(k=grid, l=grid)
+        if grid.k != grid.l:
+            raise ValueError("Matmul uses square grids (hybrid chunking)")
+        self.blocking = Blocking.from_grid(dataset, grid)
+
+    @property
+    def block_mb(self) -> float:
+        """Block size label used on the figures' X axes."""
+        return self.blocking.block_mb
+
+    def build(
+        self, runtime: Runtime, materialize: bool = False
+    ) -> tuple[DistributedArray, DistributedArray, list[list[DataRef]]]:
+        """Submit all tasks; returns (A, B, C block refs)."""
+        blocking = self.blocking
+        m, n = blocking.block.m, blocking.block.n
+        g = blocking.grid.k
+        a = DistributedArray.create(runtime, blocking, name="A", materialize=materialize)
+        b = DistributedArray.create(runtime, blocking, name="B", materialize=materialize)
+        mm_cost = matmul_cost(m, n, n)
+        ad_cost = add_cost(m, n)
+        c_refs: list[list[DataRef]] = []
+        with runtime:
+            for i in range(g):
+                row: list[DataRef] = []
+                for j in range(g):
+                    partials = [
+                        matmul_func(a.block(i, q), b.block(q, j), _cost=mm_cost)
+                        for q in range(g)
+                    ]
+                    while len(partials) > 1:
+                        next_round = []
+                        for left, right in zip(partials[::2], partials[1::2]):
+                            next_round.append(add_func(left, right, _cost=ad_cost))
+                        if len(partials) % 2:
+                            next_round.append(partials[-1])
+                        partials = next_round
+                    row.append(partials[0])
+                c_refs.append(row)
+        return a, b, c_refs
+
+    def task_costs(self) -> dict[str, TaskCost]:
+        """Per-task-type costs for analytic (single-task) experiments."""
+        m, n = self.blocking.block.m, self.blocking.block.n
+        costs = {"matmul_func": matmul_cost(m, n, n)}
+        if self.blocking.grid.k > 1:
+            costs["add_func"] = add_cost(m, n)
+        return costs

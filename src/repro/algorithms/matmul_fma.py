@@ -1,0 +1,121 @@
+"""Fused Multiply-Add matrix multiplication (the COMPSs sample).
+
+Used for the generalizability experiment (§5.5.1, Figure 12): instead of
+materialising partial products and reducing them with ``add_func``, each
+output block is updated in place by a chain of ``fma_func`` tasks
+``C[i][j] += A[i][q] @ B[q][j]``.  The per-task cost profile matches
+``matmul_func`` (O(N^3) compute over three resident blocks), so the user
+code trends of Figure 8 repeat — which is exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import Blocking, DatasetSpec, GridSpec
+from repro.perfmodel import TaskCost
+from repro.runtime import DataRef, Runtime, task
+from repro.arrays import DistributedArray
+
+_ELEM = 8
+
+
+@task(returns=1, name="fma_func")
+def fma_func(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Return ``c + a @ b`` (functional update of the accumulator block)."""
+    return c + a @ b
+
+
+@task(returns=1, name="zero_block")
+def zero_block(like: np.ndarray) -> np.ndarray:
+    """An all-zero accumulator block shaped like the input."""
+    return np.zeros_like(like)
+
+
+def fma_cost(m: int, p: int, n: int) -> TaskCost:
+    """Cost of one ``fma_func``: the multiply plus the fused accumulate.
+
+    Reads three blocks (accumulator and both operands) and writes one, so
+    device memory holds 3-4 block-sized buffers like dislib's Matmul.
+    """
+    flops = 2.0 * m * p * n + m * n
+    in_bytes = _ELEM * (m * n + m * p + p * n)
+    out_bytes = _ELEM * m * n
+    touched = in_bytes + out_bytes
+    return TaskCost(
+        serial_flops=0.0,
+        parallel_flops=flops,
+        parallel_items=float(m * n),
+        arithmetic_intensity=flops / touched,
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=in_bytes + out_bytes,
+        gpu_memory_bytes=in_bytes + out_bytes,
+        host_memory_bytes=2 * (in_bytes + out_bytes),
+    )
+
+
+def zero_cost(m: int, n: int) -> TaskCost:
+    """Cost of materialising one zero accumulator block (serial, cheap)."""
+    out_bytes = _ELEM * m * n
+    return TaskCost(
+        serial_flops=float(m * n),
+        parallel_flops=0.0,
+        parallel_items=0.0,
+        arithmetic_intensity=0.0,
+        input_bytes=0,
+        output_bytes=out_bytes,
+        host_device_bytes=0,
+        gpu_memory_bytes=0,
+        host_memory_bytes=2 * out_bytes,
+    )
+
+
+class MatmulFmaWorkflow:
+    """Builds the FMA Matmul workflow for one (dataset, grid) pair."""
+
+    name = "matmul_fma"
+    #: Task types counted by the parallel-task-time metric.
+    parallel_task_types = frozenset({"fma_func"})
+    #: The dominant task type used for stage-level speedups.
+    primary_task_type = "fma_func"
+
+    def __init__(self, dataset: DatasetSpec, grid: int | GridSpec) -> None:
+        if isinstance(grid, int):
+            grid = GridSpec(k=grid, l=grid)
+        if grid.k != grid.l:
+            raise ValueError("Matmul FMA uses square grids")
+        self.blocking = Blocking.from_grid(dataset, grid)
+
+    @property
+    def block_mb(self) -> float:
+        """Block size label used on the figures' X axes."""
+        return self.blocking.block_mb
+
+    def build(
+        self, runtime: Runtime, materialize: bool = False
+    ) -> tuple[DistributedArray, DistributedArray, list[list[DataRef]]]:
+        """Submit all tasks; returns (A, B, C block refs)."""
+        blocking = self.blocking
+        m, n = blocking.block.m, blocking.block.n
+        g = blocking.grid.k
+        a = DistributedArray.create(runtime, blocking, name="A", materialize=materialize)
+        b = DistributedArray.create(runtime, blocking, name="B", materialize=materialize)
+        f_cost = fma_cost(m, n, n)
+        z_cost = zero_cost(m, n)
+        c_refs: list[list[DataRef]] = []
+        with runtime:
+            for i in range(g):
+                row: list[DataRef] = []
+                for j in range(g):
+                    acc = zero_block(a.block(i, 0), _cost=z_cost)
+                    for q in range(g):
+                        acc = fma_func(acc, a.block(i, q), b.block(q, j), _cost=f_cost)
+                    row.append(acc)
+                c_refs.append(row)
+        return a, b, c_refs
+
+    def task_costs(self) -> dict[str, TaskCost]:
+        """Per-task-type costs for analytic (single-task) experiments."""
+        m, n = self.blocking.block.m, self.blocking.block.n
+        return {"fma_func": fma_cost(m, n, n)}

@@ -1,0 +1,125 @@
+"""A tunable synthetic workload: between the paper's two extremes.
+
+§5.5.1 of the paper proposes, as future work, algorithms "between the two
+extreme cases considered here, namely fully and partially parallelizable",
+to "devise a method to decide when it is worth exploiting GPUs based on
+the ratio of parallel / serial code".  This workload makes that axis a
+parameter: ``parallel_ratio`` in [0, 1] splits a fixed per-element FLOP
+budget between the serial and parallel fractions, so sweeping it traces
+the full transition — Matmul-like at 1.0, K-means-like around 0.2-0.4,
+hopeless below the Amdahl break-even.
+
+The task function really computes (a polynomial map over the block), so
+the in-process backend can execute it, and the cost profile mirrors the
+split for the simulated backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import Blocking, DatasetSpec, GridSpec
+from repro.perfmodel import TaskCost
+from repro.runtime import DataRef, Runtime, task
+from repro.arrays import DistributedArray
+
+_ELEM = 8
+#: FLOPs of user code per block element (fixed budget split by the ratio).
+_FLOPS_PER_ELEMENT = 600.0
+
+
+@task(returns=1, name="synthetic_stage")
+def synthetic_stage(block: np.ndarray, passes: int = 4) -> np.ndarray:
+    """A compute kernel of tunable weight: repeated polynomial maps."""
+    result = block
+    for _ in range(passes):
+        result = 0.5 * result * result + 0.25 * result
+    return result
+
+
+def synthetic_cost(
+    m: int,
+    n: int,
+    parallel_ratio: float,
+    flops_per_element: float = _FLOPS_PER_ELEMENT,
+) -> TaskCost:
+    """Cost of one stage with the FLOP budget split by ``parallel_ratio``."""
+    if not 0.0 <= parallel_ratio <= 1.0:
+        raise ValueError("parallel_ratio must be in [0, 1]")
+    elements = m * n
+    total_flops = flops_per_element * elements
+    parallel_flops = total_flops * parallel_ratio
+    serial_flops = total_flops - parallel_flops
+    block_bytes = _ELEM * elements
+    # Elementwise map: arithmetic intensity set by the per-element budget.
+    intensity = flops_per_element * parallel_ratio / (2 * _ELEM) or 1e-6
+    return TaskCost(
+        serial_flops=serial_flops,
+        parallel_flops=parallel_flops,
+        parallel_items=float(elements) if parallel_flops else 0.0,
+        arithmetic_intensity=intensity,
+        input_bytes=block_bytes,
+        output_bytes=block_bytes,
+        host_device_bytes=2 * block_bytes if parallel_flops else 0,
+        gpu_memory_bytes=2 * block_bytes,
+        host_memory_bytes=2 * block_bytes,
+    )
+
+
+class SyntheticWorkflow:
+    """One level of independent tunable tasks over a row-chunked dataset."""
+
+    name = "synthetic"
+    parallel_task_types = frozenset({"synthetic_stage"})
+    primary_task_type = "synthetic_stage"
+
+    def __init__(
+        self,
+        dataset: DatasetSpec,
+        grid_rows: int,
+        parallel_ratio: float,
+        flops_per_element: float = _FLOPS_PER_ELEMENT,
+        levels: int = 1,
+    ) -> None:
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self.blocking = Blocking.from_grid(dataset, GridSpec(k=grid_rows, l=1))
+        self.parallel_ratio = parallel_ratio
+        self.flops_per_element = flops_per_element
+        self.levels = levels
+
+    @property
+    def block_mb(self) -> float:
+        """Block size label for reports."""
+        return self.blocking.block_mb
+
+    def build(
+        self, runtime: Runtime, materialize: bool = False
+    ) -> list[DataRef]:
+        """Submit ``levels`` rounds of one task per block."""
+        blocking = self.blocking
+        cost = synthetic_cost(
+            blocking.block.m,
+            blocking.block.n,
+            self.parallel_ratio,
+            self.flops_per_element,
+        )
+        data = DistributedArray.create(
+            runtime, blocking, name="S", materialize=materialize
+        )
+        refs = list(data.blocks())
+        with runtime:
+            for _ in range(self.levels):
+                refs = [synthetic_stage(ref, _cost=cost) for ref in refs]
+        return refs
+
+    def task_costs(self) -> dict[str, TaskCost]:
+        """Per-task-type costs for analytic experiments."""
+        return {
+            "synthetic_stage": synthetic_cost(
+                self.blocking.block.m,
+                self.blocking.block.n,
+                self.parallel_ratio,
+                self.flops_per_element,
+            )
+        }

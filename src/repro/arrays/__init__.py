@@ -1,0 +1,12 @@
+"""A dislib-like blocked distributed array.
+
+The paper's workloads come from dislib, whose ``ds_array`` splits a matrix
+into blocks organised in a grid (§3.5).  :class:`DistributedArray` plays
+the same role here: it owns one :class:`~repro.runtime.DataRef` per block,
+spread round-robin over the cluster nodes, and can optionally materialise
+real NumPy blocks for the in-process backend.
+"""
+
+from repro.arrays.dsarray import DistributedArray
+
+__all__ = ["DistributedArray"]

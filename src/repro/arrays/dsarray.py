@@ -1,0 +1,105 @@
+"""Blocked distributed arrays over the task runtime."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.data import Blocking
+from repro.runtime import DataRef, Runtime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import WorkflowResult
+
+
+class DistributedArray:
+    """A matrix split into a ``k x l`` grid of blocks (dislib's ds_array).
+
+    Each block is one :class:`DataRef` registered with the runtime.  Blocks
+    are placed round-robin over the cluster nodes, as a distributed
+    filesystem or a blocked ingest would spread them.
+    """
+
+    def __init__(self, blocking: Blocking, refs: list[list[DataRef]]) -> None:
+        grid = blocking.grid
+        if len(refs) != grid.k or any(len(row) != grid.l for row in refs):
+            raise ValueError(
+                f"ref grid shape {len(refs)}x{len(refs[0]) if refs else 0} "
+                f"does not match blocking grid {grid}"
+            )
+        self.blocking = blocking
+        self._refs = refs
+
+    @classmethod
+    def create(
+        cls,
+        runtime: Runtime,
+        blocking: Blocking,
+        name: str = "A",
+        materialize: bool = False,
+    ) -> "DistributedArray":
+        """Register a block grid with the runtime.
+
+        With ``materialize=True`` the full matrix is generated (uniform or
+        skewed per the dataset spec) and sliced into real NumPy blocks —
+        only sensible for the small datasets the in-process backend uses.
+        """
+        from repro.data.generator import generate_matrix
+
+        matrix = generate_matrix(blocking.dataset) if materialize else None
+        block = blocking.block
+        refs: list[list[DataRef]] = []
+        for i in range(blocking.grid.k):
+            row: list[DataRef] = []
+            for j in range(blocking.grid.l):
+                value = None
+                if matrix is not None:
+                    value = matrix[
+                        i * block.m : (i + 1) * block.m,
+                        j * block.n : (j + 1) * block.n,
+                    ].copy()
+                row.append(
+                    runtime.register_input(
+                        size_bytes=blocking.block_bytes,
+                        name=f"{name}[{i}][{j}]",
+                        value=value,
+                    )
+                )
+            refs.append(row)
+        return cls(blocking, refs)
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        """(k, l): blocks along each axis."""
+        return (self.blocking.grid.k, self.blocking.grid.l)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols) of the full matrix."""
+        return (self.blocking.dataset.rows, self.blocking.dataset.cols)
+
+    def block(self, i: int, j: int = 0) -> DataRef:
+        """The ref of block (i, j)."""
+        return self._refs[i][j]
+
+    def blocks(self) -> list[DataRef]:
+        """All block refs in row-major order."""
+        return [ref for row in self._refs for ref in row]
+
+    def gather(self, result: "WorkflowResult") -> np.ndarray:
+        """Assemble the full matrix from real block values (in-process)."""
+        rows = [
+            np.hstack([result.data[ref.ref_id] for ref in row]) for row in self._refs
+        ]
+        return np.vstack(rows)
+
+    @staticmethod
+    def assemble(
+        refs: list[list[DataRef]], result: "WorkflowResult"
+    ) -> np.ndarray:
+        """Assemble a matrix from an arbitrary grid of produced refs."""
+        rows = [
+            np.hstack([result.data[ref.ref_id] for ref in row]) for row in refs
+        ]
+        return np.vstack(rows)

@@ -1,0 +1,269 @@
+"""Task-based operations over distributed arrays.
+
+dislib exposes array operations (matmul, transpose, elementwise kernels,
+reductions) that all decompose into per-block tasks; this module provides
+the same vocabulary over :class:`~repro.arrays.DistributedArray`, each
+operation submitting tasks with both a real NumPy implementation (for the
+in-process backend) and a :class:`~repro.perfmodel.TaskCost` (for the
+simulated backend).  The composite data-science pipeline example builds
+on these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays.dsarray import DistributedArray
+from repro.perfmodel import TaskCost
+from repro.runtime import DataRef, Runtime, task
+
+_ELEM = 8
+
+
+def elementwise_cost(
+    m: int, n: int, flops_per_element: float = 1.0, n_inputs: int = 1
+) -> TaskCost:
+    """Cost of a fully parallel elementwise kernel over an ``m x n`` block.
+
+    Memory-bound by construction (like ``add_func``): the arithmetic
+    intensity is the per-element FLOP count over the streamed bytes.
+    """
+    elements = m * n
+    flops = flops_per_element * elements
+    in_bytes = n_inputs * _ELEM * elements
+    out_bytes = _ELEM * elements
+    return TaskCost(
+        serial_flops=0.0,
+        parallel_flops=flops,
+        parallel_items=float(elements),
+        arithmetic_intensity=flops / (in_bytes + out_bytes),
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=in_bytes + out_bytes,
+        gpu_memory_bytes=in_bytes + out_bytes,
+        host_memory_bytes=2 * (in_bytes + out_bytes),
+    )
+
+
+def reduction_cost(m: int, n: int, out_elements: int) -> TaskCost:
+    """Cost of a per-block reduction producing ``out_elements`` values."""
+    elements = m * n
+    flops = float(2 * elements)
+    in_bytes = _ELEM * elements
+    out_bytes = _ELEM * out_elements
+    return TaskCost(
+        serial_flops=0.0,
+        parallel_flops=flops,
+        parallel_items=float(elements),
+        arithmetic_intensity=flops / (in_bytes + out_bytes),
+        input_bytes=in_bytes,
+        output_bytes=out_bytes,
+        host_device_bytes=in_bytes + out_bytes,
+        gpu_memory_bytes=in_bytes + out_bytes,
+        host_memory_bytes=2 * in_bytes,
+    )
+
+
+@task(returns=1, name="block_scale")
+def block_scale(block: np.ndarray, factor: float) -> np.ndarray:
+    """Multiply a block by a scalar."""
+    return block * factor
+
+
+@task(returns=1, name="block_add")
+def block_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Add two blocks."""
+    return a + b
+
+
+@task(returns=1, name="block_transpose")
+def block_transpose(block: np.ndarray) -> np.ndarray:
+    """Transpose one block."""
+    return block.T
+
+
+@task(returns=1, name="block_colsum")
+def block_colsum(block: np.ndarray) -> np.ndarray:
+    """Per-block column sums plus a row count, shape ``(1, n + 1)``."""
+    sums = block.sum(axis=0)
+    return np.concatenate([sums, [block.shape[0]]])[None, :]
+
+
+@task(returns=1, name="merge_colsums")
+def merge_colsums(*partials: np.ndarray) -> np.ndarray:
+    """Combine per-block column sums (one column stripe) into means."""
+    total = np.sum(np.vstack(partials), axis=0)
+    return total[:-1] / max(total[-1], 1.0)
+
+
+@task(returns=1, name="concat_means")
+def concat_means(*stripe_means: np.ndarray) -> np.ndarray:
+    """Concatenate per-stripe means into the full feature-means vector."""
+    return np.concatenate(stripe_means)
+
+
+@task(returns=1, name="block_center")
+def block_center(block: np.ndarray, means: np.ndarray, col_offset: int = 0) -> np.ndarray:
+    """Subtract the block's slice of the global column means."""
+    stripe = means[col_offset : col_offset + block.shape[1]]
+    return block - stripe[None, :]
+
+
+def matmul_grids(
+    runtime: Runtime,
+    a_refs: list[list[DataRef]],
+    b_refs: list[list[DataRef]],
+    a_block: tuple[int, int],
+    b_block: tuple[int, int],
+) -> list[list[DataRef]]:
+    """General blocked matmul over two ref grids: ``C = A @ B``.
+
+    ``a_refs`` is a ``k x q`` grid of ``(m x p)`` blocks and ``b_refs`` a
+    ``q x l`` grid of ``(p x n)`` blocks; the result is a ``k x l`` grid.
+    Partial products reduce through a binary add tree, the dislib shape
+    of the paper's Figure 6b, generalised to rectangular grids.
+    """
+    from repro.algorithms.matmul import add_cost, add_func, matmul_cost, matmul_func
+
+    k = len(a_refs)
+    q = len(a_refs[0]) if a_refs else 0
+    if any(len(row) != q for row in a_refs):
+        raise ValueError("a_refs is not rectangular")
+    if len(b_refs) != q:
+        raise ValueError(
+            f"inner grid dimensions differ: A has {q} block columns, "
+            f"B has {len(b_refs)} block rows"
+        )
+    l = len(b_refs[0]) if b_refs else 0
+    if any(len(row) != l for row in b_refs):
+        raise ValueError("b_refs is not rectangular")
+    m, p = a_block
+    p2, n = b_block
+    if p != p2:
+        raise ValueError(f"inner block dimensions differ: {p} vs {p2}")
+    mm_cost = matmul_cost(m, p, n)
+    ad_cost = add_cost(m, n)
+    result: list[list[DataRef]] = []
+    with runtime:
+        for i in range(k):
+            row: list[DataRef] = []
+            for j in range(l):
+                partials = [
+                    matmul_func(a_refs[i][x], b_refs[x][j], _cost=mm_cost)
+                    for x in range(q)
+                ]
+                while len(partials) > 1:
+                    next_round = [
+                        add_func(left, right, _cost=ad_cost)
+                        for left, right in zip(partials[::2], partials[1::2])
+                    ]
+                    if len(partials) % 2:
+                        next_round.append(partials[-1])
+                    partials = next_round
+                row.append(partials[0])
+            result.append(row)
+    return result
+
+
+def scale(runtime: Runtime, array: DistributedArray, factor: float) -> list[list[DataRef]]:
+    """Elementwise scalar multiply; returns the output block grid."""
+    m, n = array.blocking.block.m, array.blocking.block.n
+    cost = elementwise_cost(m, n, flops_per_element=1.0)
+    k, l = array.grid_shape
+    with runtime:
+        return [
+            [block_scale(array.block(i, j), factor, _cost=cost) for j in range(l)]
+            for i in range(k)
+        ]
+
+
+def add(
+    runtime: Runtime, a: DistributedArray, b: DistributedArray
+) -> list[list[DataRef]]:
+    """Elementwise addition of two identically blocked arrays."""
+    if a.grid_shape != b.grid_shape or a.shape != b.shape:
+        raise ValueError("arrays must share shape and blocking")
+    m, n = a.blocking.block.m, a.blocking.block.n
+    cost = elementwise_cost(m, n, flops_per_element=1.0, n_inputs=2)
+    k, l = a.grid_shape
+    with runtime:
+        return [
+            [
+                block_add(a.block(i, j), b.block(i, j), _cost=cost)
+                for j in range(l)
+            ]
+            for i in range(k)
+        ]
+
+
+def transpose(runtime: Runtime, array: DistributedArray) -> list[list[DataRef]]:
+    """Blocked transpose: transpose each block and flip the grid."""
+    m, n = array.blocking.block.m, array.blocking.block.n
+    cost = elementwise_cost(m, n, flops_per_element=0.5)
+    k, l = array.grid_shape
+    with runtime:
+        transposed = [
+            [block_transpose(array.block(i, j), _cost=cost) for j in range(l)]
+            for i in range(k)
+        ]
+    return [[transposed[i][j] for i in range(k)] for j in range(l)]
+
+
+def column_means(runtime: Runtime, array: DistributedArray) -> DataRef:
+    """Global column means: per-block partial sums, merged per column
+    stripe, concatenated into the full feature vector."""
+    m, n = array.blocking.block.m, array.blocking.block.n
+    k, l = array.grid_shape
+    partial_cost = reduction_cost(m, n, out_elements=n + 1)
+    merge_cost = TaskCost(
+        serial_flops=float(k * (n + 1)) * 4.0,
+        parallel_flops=0.0,
+        parallel_items=0.0,
+        arithmetic_intensity=0.0,
+        input_bytes=_ELEM * k * (n + 1),
+        output_bytes=_ELEM * n,
+        host_device_bytes=0,
+        gpu_memory_bytes=0,
+    )
+    total_cols = array.blocking.dataset.cols
+    concat_cost = TaskCost(
+        serial_flops=float(total_cols),
+        parallel_flops=0.0,
+        parallel_items=0.0,
+        arithmetic_intensity=0.0,
+        input_bytes=_ELEM * total_cols,
+        output_bytes=_ELEM * total_cols,
+        host_device_bytes=0,
+        gpu_memory_bytes=0,
+    )
+    with runtime:
+        stripe_means = []
+        for j in range(l):
+            partials = [
+                block_colsum(array.block(i, j), _cost=partial_cost)
+                for i in range(k)
+            ]
+            stripe_means.append(merge_colsums(*partials, _cost=merge_cost))
+        if l == 1:
+            return stripe_means[0]
+        return concat_means(*stripe_means, _cost=concat_cost)
+
+
+def center(
+    runtime: Runtime, array: DistributedArray, means: DataRef
+) -> list[list[DataRef]]:
+    """Subtract column means from every block (feature centering)."""
+    m, n = array.blocking.block.m, array.blocking.block.n
+    cost = elementwise_cost(m, n, flops_per_element=1.0, n_inputs=1)
+    k, l = array.grid_shape
+    with runtime:
+        return [
+            [
+                block_center(
+                    array.block(i, j), means, j * array.blocking.block.n,
+                    _cost=cost,
+                )
+                for j in range(l)
+            ]
+            for i in range(k)
+        ]

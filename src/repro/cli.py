@@ -1,0 +1,327 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures`` — regenerate any paper figure/table as an ASCII table;
+* ``run`` — execute one workflow configuration and print its metrics
+  (optionally with an ASCII Gantt of the execution trace);
+* ``advise`` — search configurations for a workload and print a ranked
+  recommendation (the §5.4.3 automated-design method);
+* ``observations`` — re-verify the paper's observations O1-O6;
+* ``info`` — show the simulated cluster and calibration constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.algorithms import KMeansWorkflow, MatmulFmaWorkflow, MatmulWorkflow
+from repro.core.report import Table, format_seconds
+from repro.data import paper_datasets
+from repro.hardware import StorageKind, minotauro
+from repro.runtime import SchedulingPolicy
+
+_FIGURES = (
+    "fig1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table1",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Performance Analysis of Distributed "
+            "GPU-Accelerated Task-Based Workflows' (EDBT 2024)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures/tables")
+    figures.add_argument("which", choices=_FIGURES + ("all",))
+    figures.add_argument(
+        "--save",
+        metavar="DIR",
+        help="also write each result as JSON into this directory",
+    )
+
+    run = sub.add_parser("run", help="execute one workflow configuration")
+    run.add_argument("--algorithm", choices=("matmul", "matmul_fma", "kmeans"),
+                     default="kmeans")
+    run.add_argument("--dataset", default="kmeans_10gb",
+                     help="a key of repro.data.paper_datasets()")
+    run.add_argument("--grid", type=int, default=64,
+                     help="grid size (gxg for matmul, gx1 for kmeans)")
+    run.add_argument("--clusters", type=int, default=10)
+    run.add_argument("--iterations", type=int, default=3)
+    run.add_argument("--gpu", action="store_true")
+    run.add_argument("--storage", choices=("local", "shared"), default="shared")
+    run.add_argument(
+        "--policy",
+        choices=("generation_order", "data_locality", "lifo"),
+        default="generation_order",
+    )
+    run.add_argument("--gantt", action="store_true",
+                     help="print an ASCII Gantt of the trace")
+
+    advise = sub.add_parser("advise", help="recommend a configuration")
+    advise.add_argument("--algorithm", choices=("matmul", "kmeans"),
+                        default="kmeans")
+    advise.add_argument("--dataset", default="kmeans_10gb")
+    advise.add_argument("--grids", default="256,64,16,4",
+                        help="comma-separated grid sizes to search")
+    advise.add_argument("--clusters", type=int, default=10)
+
+    sub.add_parser("observations", help="re-verify observations O1-O6")
+    sub.add_parser("info", help="show cluster model and calibration")
+
+    decompose = sub.add_parser(
+        "decompose",
+        help="overhead decomposition of one workflow configuration",
+    )
+    decompose.add_argument("--algorithm", choices=("matmul", "matmul_fma", "kmeans"),
+                           default="kmeans")
+    decompose.add_argument("--dataset", default="kmeans_10gb")
+    decompose.add_argument("--grid", type=int, default=64)
+    decompose.add_argument("--clusters", type=int, default=10)
+    decompose.add_argument("--iterations", type=int, default=3)
+    decompose.add_argument("--gpu", action="store_true")
+    decompose.add_argument("--storage", choices=("local", "shared"),
+                           default="shared")
+    return parser
+
+
+def _make_workflow(args) -> object:
+    dataset = paper_datasets()[args.dataset]
+    if args.algorithm == "matmul":
+        return MatmulWorkflow(dataset, grid=args.grid)
+    if args.algorithm == "matmul_fma":
+        return MatmulFmaWorkflow(dataset, grid=args.grid)
+    return KMeansWorkflow(
+        dataset,
+        grid_rows=args.grid,
+        n_clusters=args.clusters,
+        iterations=args.iterations,
+    )
+
+
+def _cmd_figures(which: str, save_dir: str | None = None) -> int:
+    from repro.core import factors_table
+    from repro.core import experiments as exp
+
+    runners = {
+        "fig1": exp.run_fig1,
+        "fig6": exp.run_fig6,
+        "fig7": exp.run_fig7,
+        "fig8": exp.run_fig8,
+        "fig9a": exp.run_fig9a,
+        "fig9b": exp.run_fig9b,
+        "fig10": exp.run_fig10,
+        "fig11": exp.run_fig11,
+        "fig12": exp.run_fig12,
+        "table1": factors_table,
+    }
+    targets = _FIGURES if which == "all" else (which,)
+    for target in targets:
+        result = runners[target]()
+        if target == "fig10":
+            print("\n\n".join(panel.render() for panel in result))
+        else:
+            print(result.render())
+        print()
+        if save_dir and target != "table1":
+            from pathlib import Path
+
+            from repro.core.persistence import save_result
+
+            path = save_result(
+                result if target != "fig10" else list(result),
+                Path(save_dir) / f"{target}.json",
+                metadata={"figure": target},
+            )
+            print(f"[saved {path}]")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.experiments.runners import run_workflow
+    from repro.runtime import Runtime, RuntimeConfig
+    from repro.tracing import (
+        data_movement_metrics,
+        gantt,
+        parallel_task_metrics,
+        user_code_metrics,
+    )
+
+    workflow = _make_workflow(args)
+    storage = StorageKind.LOCAL if args.storage == "local" else StorageKind.SHARED
+    policy = SchedulingPolicy(args.policy)
+    config = RuntimeConfig(
+        storage=storage, scheduling=policy, use_gpu=args.gpu
+    )
+    runtime = Runtime(config)
+    workflow.build(runtime)
+    print(f"DAG: {runtime.graph.describe()}")
+    result = runtime.run()
+    print(f"makespan: {format_seconds(result.makespan)}")
+
+    table = Table(
+        title="Task user code metrics (per-task averages)",
+        headers=("task type", "tasks", "serial", "parallel", "comm", "user code"),
+    )
+    for task_type, metrics in user_code_metrics(result.trace).items():
+        table.add_row(
+            task_type,
+            metrics.num_tasks,
+            format_seconds(metrics.serial_fraction),
+            format_seconds(metrics.parallel_fraction),
+            format_seconds(metrics.cpu_gpu_comm),
+            format_seconds(metrics.user_code),
+        )
+    print(table.render())
+    movement = data_movement_metrics(result.trace)
+    parallel = parallel_task_metrics(result.trace, set(workflow.parallel_task_types))
+    print(
+        f"(de-)serialization per core: "
+        f"{format_seconds(movement.total_per_core)} over {movement.num_cores} cores"
+    )
+    print(
+        f"parallel-task time (mean over levels): "
+        f"{format_seconds(parallel.average_parallel_time)}"
+    )
+    if args.gantt:
+        print()
+        print(gantt(result.trace))
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.core.advisor import WorkflowAdvisor
+
+    datasets = paper_datasets()
+    dataset = datasets[args.dataset]
+    if args.algorithm == "matmul":
+        def family(grid: int):
+            return MatmulWorkflow(dataset, grid=grid)
+    else:
+        def family(grid: int):
+            return KMeansWorkflow(
+                dataset, grid_rows=grid, n_clusters=args.clusters, iterations=3
+            )
+    grids = tuple(int(g) for g in args.grids.split(","))
+    advisor = WorkflowAdvisor()
+    recommendation = advisor.recommend(family, grids=grids)
+    print(recommendation.render())
+    best = recommendation.best
+    print(f"\nrecommended: {best.label} "
+          f"({format_seconds(best.parallel_task_time)})")
+    return 0
+
+
+def _cmd_observations() -> int:
+    from repro.core import experiments as exp
+    from repro.core import observations as obs
+
+    print("running the figure subsets behind O1-O6 (takes a few minutes)...")
+    kmeans7 = exp.run_fig7_for("kmeans", "kmeans_10gb", (256, 128, 64, 16, 4))
+    fig8 = exp.run_fig8(grids=(16, 8, 4, 2))
+    fig9a = exp.run_fig9a(clusters=(10, 100, 1000), grids=(256, 64, 16))
+    matmul10 = exp.run_fig10_for("matmul", "matmul_8gb", (16, 8, 4, 2, 1))
+    kmeans10 = exp.run_fig10_for(
+        "kmeans", "kmeans_10gb", (256, 128, 64, 32, 16, 8, 4, 2, 1)
+    )
+    checks = [
+        obs.check_o1(kmeans7),
+        obs.check_o2(kmeans7),
+        obs.check_o3(fig8),
+        obs.check_o4(fig9a),
+        obs.check_o5(matmul10),
+        obs.check_o5(kmeans10),
+        obs.check_o6(kmeans10, matmul10),
+    ]
+    failed = 0
+    for check in checks:
+        print(check)
+        failed += 0 if check.passed else 1
+    return 1 if failed else 0
+
+
+def _cmd_info() -> int:
+    from repro.perfmodel.calibration import CALIBRATION_NOTES
+
+    spec = minotauro()
+    print(f"cluster: {spec.name}")
+    print(f"  nodes: {spec.num_nodes}")
+    print(f"  CPU: {spec.node.cpu.name}, {spec.node.cpu.cores_per_node} cores/node "
+          f"({spec.total_cpu_cores} total)")
+    print(f"  GPU: {spec.node.gpu.name}, {spec.node.gpu.devices_per_node}/node "
+          f"({spec.total_gpus} total), "
+          f"{spec.node.gpu.memory_bytes / 2**30:.0f} GiB each")
+    print(f"  interconnect: {spec.node.interconnect.name}")
+    print(f"  local disk: {spec.node.local_disk.name}")
+    print(f"  shared disk: {spec.shared_disk.name}")
+    print(f"  network: {spec.network.name}")
+    print("\ncalibration:")
+    for key, (value, why) in CALIBRATION_NOTES.items():
+        print(f"  {key} = {value:g} — {why}")
+    return 0
+
+
+def _cmd_decompose(args) -> int:
+    from repro.runtime import Runtime, RuntimeConfig
+    from repro.tracing import decompose_overheads
+
+    workflow = _make_workflow(args)
+    storage = StorageKind.LOCAL if args.storage == "local" else StorageKind.SHARED
+    runtime = Runtime(RuntimeConfig(storage=storage, use_gpu=args.gpu))
+    workflow.build(runtime)
+    result = runtime.run()
+    breakdown = decompose_overheads(result.trace)
+    print(breakdown.render())
+    table = Table(
+        title="Occupied core-seconds by category",
+        headers=("category", "share"),
+    )
+    for name, share in (
+        ("user-code compute", breakdown.compute_share),
+        ("data movement ((de-)serialization)", breakdown.movement_share),
+        ("CPU-GPU communication", breakdown.comm_share),
+        ("scheduling", breakdown.scheduling_share),
+        ("idle", breakdown.idle_share),
+    ):
+        table.add_row(name, f"{share:.1%}")
+    print()
+    print(table.render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _cmd_figures(args.which, args.save)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "advise":
+        return _cmd_advise(args)
+    if args.command == "observations":
+        return _cmd_observations()
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "decompose":
+        return _cmd_decompose(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

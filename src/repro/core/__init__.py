@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the systematic performance analysis.
+
+This package layers the analysis method of §4 over the substrates:
+
+* :mod:`repro.core.factors` — the factor/parameter framework of Table 1
+  (the evaluated metrics of §4.2 live in :mod:`repro.tracing`);
+* :mod:`repro.core.correlation` — Spearman rank correlation with one-hot
+  encoding of categorical factors (§5.4, Figure 11);
+* :mod:`repro.core.observations` — executable checkers for the paper's
+  observations O1-O6;
+* :mod:`repro.core.experiments` — one runner per figure of the evaluation
+  section, each returning structured series plus an ASCII rendering;
+* :mod:`repro.core.report` — table/series rendering shared by the
+  experiment runners and the benchmark harness.
+"""
+
+from repro.core.correlation import CorrelationMatrix, one_hot, spearman, spearman_matrix
+from repro.core.factors import (
+    Dimension,
+    Factor,
+    SystemFunction,
+    TABLE1_FACTORS,
+    factors_table,
+)
+from repro.core.observations import ObservationCheck
+from repro.core.report import Table, format_seconds, format_speedup
+
+__all__ = [
+    "CorrelationMatrix",
+    "Dimension",
+    "Factor",
+    "ObservationCheck",
+    "SystemFunction",
+    "TABLE1_FACTORS",
+    "Table",
+    "factors_table",
+    "format_seconds",
+    "format_speedup",
+    "one_hot",
+    "spearman",
+    "spearman_matrix",
+]

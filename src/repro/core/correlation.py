@@ -1,0 +1,132 @@
+"""Spearman rank correlation over mixed factor/metric samples (§5.4).
+
+The paper one-hot encodes the categorical factors (processor type, storage
+architecture, scheduling policy) and computes the Spearman rank
+correlation between every pair of features, chosen for its robustness to
+the non-linear relationships between the factors.  This module implements
+the statistic from scratch (mid-rank ties, Pearson over ranks) so the
+pipeline has no SciPy dependency, and the test suite cross-checks it
+against ``scipy.stats.spearmanr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.report import Table
+
+
+def rank_with_ties(values: Sequence[float]) -> np.ndarray:
+    """Mid-ranks of ``values`` (ties share the average of their ranks)."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError("rank_with_ties expects a 1-D sequence")
+    order = np.argsort(array, kind="stable")
+    ranks = np.empty(len(array), dtype=float)
+    i = 0
+    while i < len(array):
+        j = i
+        while j + 1 < len(array) and array[order[j + 1]] == array[order[i]]:
+            j += 1
+        # Ranks are 1-based; tied entries get the mid-rank.
+        mid = (i + j) / 2.0 + 1.0
+        for position in range(i, j + 1):
+            ranks[order[position]] = mid
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman's rho between two samples.
+
+    Returns ``nan`` when either sample is constant (rank variance zero),
+    matching the paper's blank cells for features that never vary.
+
+    >>> spearman([1, 2, 3], [10, 100, 1000])
+    1.0
+    >>> spearman([1, 2, 3], [3, 2, 1])
+    -1.0
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    if len(x) < 2:
+        raise ValueError("need at least two samples")
+    rx = rank_with_ties(x)
+    ry = rank_with_ties(y)
+    sx = rx.std()
+    sy = ry.std()
+    if sx == 0 or sy == 0:
+        return float("nan")
+    return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
+
+
+def one_hot(values: Sequence[str], categories: Sequence[str]) -> dict[str, list[int]]:
+    """One-hot encode a categorical column into 0/1 indicator columns."""
+    unknown = set(values) - set(categories)
+    if unknown:
+        raise ValueError(f"values outside declared categories: {sorted(unknown)}")
+    return {
+        category: [1 if v == category else 0 for v in values]
+        for category in categories
+    }
+
+
+@dataclass
+class CorrelationMatrix:
+    """A symmetric Spearman matrix over named features."""
+
+    features: tuple[str, ...]
+    matrix: np.ndarray
+
+    def value(self, a: str, b: str) -> float:
+        """rho between two named features."""
+        i = self.features.index(a)
+        j = self.features.index(b)
+        return float(self.matrix[i, j])
+
+    def column(self, feature: str) -> dict[str, float]:
+        """All correlations of one feature against the rest."""
+        i = self.features.index(feature)
+        return {
+            other: float(self.matrix[i, j])
+            for j, other in enumerate(self.features)
+            if j != i
+        }
+
+    def render(self, width: int = 24) -> str:
+        """The matrix as a table (feature names abbreviated to ``width``)."""
+        table = Table(
+            title="Spearman correlation matrix",
+            headers=("feature",) + tuple(f[:8] for f in self.features),
+        )
+        for i, name in enumerate(self.features):
+            cells = [
+                "-" if np.isnan(v) else f"{v:+.3f}" for v in self.matrix[i]
+            ]
+            table.add_row(name[:width], *cells)
+        return table.render()
+
+
+def spearman_matrix(columns: Mapping[str, Sequence[float]]) -> CorrelationMatrix:
+    """Pairwise Spearman over a dict of equal-length feature columns."""
+    features = tuple(columns)
+    if not features:
+        raise ValueError("no feature columns given")
+    lengths = {len(columns[f]) for f in features}
+    if len(lengths) != 1:
+        raise ValueError(f"feature columns differ in length: {lengths}")
+    n = len(features)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rho = spearman(columns[features[i]], columns[features[j]])
+            matrix[i, j] = rho
+            matrix[j, i] = rho
+    # Constant features correlate nan even with themselves by convention.
+    for i, feature in enumerate(features):
+        if np.std(rank_with_ties(columns[feature])) == 0:
+            matrix[i, i] = float("nan")
+    return CorrelationMatrix(features=features, matrix=matrix)

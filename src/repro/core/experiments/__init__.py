@@ -1,0 +1,56 @@
+"""One runner per figure/table of the paper's evaluation (§5).
+
+Each module exposes a ``run_*`` function returning a structured result
+object with the figure's series plus a ``render()`` ASCII view.  The
+benchmark harness (``benchmarks/``) regenerates every figure through these
+runners; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from repro.core.experiments.runners import RunMetrics, run_workflow
+from repro.core.experiments.fig1 import Fig1Result, run_fig1
+from repro.core.experiments.fig6 import Fig6Result, run_fig6
+from repro.core.experiments.fig7 import Fig7Result, run_fig7, run_fig7_for
+from repro.core.experiments.fig8 import Fig8Result, run_fig8
+from repro.core.experiments.fig9 import (
+    Fig9aResult,
+    Fig9bResult,
+    run_fig9a,
+    run_fig9b,
+)
+from repro.core.experiments.fig10 import Fig10Result, run_fig10, run_fig10_for
+from repro.core.experiments.fig11 import Fig11Result, run_fig11
+from repro.core.experiments.fig12 import Fig12Result, run_fig12
+from repro.core.experiments.ext_parallel_ratio import (
+    ParallelRatioResult,
+    run_parallel_ratio_sweep,
+)
+from repro.core.experiments.protocol import ProtocolResult, run_with_protocol
+
+__all__ = [
+    "ParallelRatioResult",
+    "ProtocolResult",
+    "run_with_protocol",
+    "Fig1Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9aResult",
+    "Fig9bResult",
+    "Fig10Result",
+    "Fig11Result",
+    "Fig12Result",
+    "RunMetrics",
+    "run_fig1",
+    "run_fig6",
+    "run_fig7",
+    "run_fig7_for",
+    "run_fig8",
+    "run_fig9a",
+    "run_fig9b",
+    "run_fig10",
+    "run_fig10_for",
+    "run_fig11",
+    "run_fig12",
+    "run_parallel_ratio_sweep",
+    "run_workflow",
+]

@@ -1,0 +1,186 @@
+"""Extension experiment — resource-parameter sensitivity (§4.3 future work).
+
+The paper explicitly defers "other resource parameters, such as #GPU
+devices, RAM and GPU memory size, CPU-GPU bus throughput, and disk
+throughput" to future work.  The simulator makes those sweeps free: this
+experiment varies each deferred parameter around the Minotauro baseline
+while holding the workload fixed, and reports how the GPU-accelerated
+parallel-task time responds — which knobs actually move the needle, and
+where the returns saturate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.algorithms import KMeansWorkflow, MatmulWorkflow
+from repro.core.experiments.runners import RunMetrics, run_workflow
+from repro.core.report import Table, format_seconds
+from repro.data import paper_datasets
+from repro.hardware import ClusterSpec, minotauro
+
+GIB = 1024**3
+
+
+def _with_gpus_per_node(base: ClusterSpec, devices: int) -> ClusterSpec:
+    node = dataclasses.replace(
+        base.node, gpu=dataclasses.replace(base.node.gpu, devices_per_node=devices)
+    )
+    return dataclasses.replace(base, node=node)
+
+
+def _with_gpu_memory(base: ClusterSpec, memory_bytes: int) -> ClusterSpec:
+    node = dataclasses.replace(
+        base.node, gpu=dataclasses.replace(base.node.gpu, memory_bytes=memory_bytes)
+    )
+    return dataclasses.replace(base, node=node)
+
+
+def _with_bus_bandwidth(base: ClusterSpec, per_transfer: float) -> ClusterSpec:
+    interconnect = dataclasses.replace(
+        base.node.interconnect,
+        bandwidth_per_transfer=per_transfer,
+        node_bandwidth=max(4 * per_transfer, base.node.interconnect.node_bandwidth),
+    )
+    node = dataclasses.replace(base.node, interconnect=interconnect)
+    return dataclasses.replace(base, node=node)
+
+
+def _with_disk_bandwidth(base: ClusterSpec, aggregate: float) -> ClusterSpec:
+    shared = dataclasses.replace(
+        base.shared_disk,
+        read_bandwidth=aggregate,
+        write_bandwidth=0.75 * aggregate,
+    )
+    return dataclasses.replace(base, shared_disk=shared)
+
+
+#: parameter name -> (values, cluster builder, value formatter)
+SWEEPS: dict[str, tuple[tuple, Callable, Callable]] = {
+    "gpus_per_node": (
+        (1, 2, 4, 8),
+        _with_gpus_per_node,
+        lambda v: str(v),
+    ),
+    "gpu_memory": (
+        (6 * GIB, 12 * GIB, 24 * GIB, 48 * GIB),
+        _with_gpu_memory,
+        lambda v: f"{v / GIB:.0f} GiB",
+    ),
+    "bus_bandwidth": (
+        (1.0e9, 2.0e9, 8.0e9, 20.0e9),
+        _with_bus_bandwidth,
+        lambda v: f"{v / 1e9:.0f} GB/s",
+    ),
+    "shared_disk_bandwidth": (
+        (1.0e9, 2.0e9, 8.0e9, 32.0e9),
+        _with_disk_bandwidth,
+        lambda v: f"{v / 1e9:.0f} GB/s",
+    ),
+}
+
+
+@dataclass
+class SensitivityPoint:
+    """One (parameter, value, workload) measurement."""
+
+    parameter: str
+    value_label: str
+    workload: str
+    metrics: RunMetrics
+
+    @property
+    def parallel_task_time(self) -> float | None:
+        """The response variable ('None' on OOM)."""
+        return self.metrics.parallel_task_time if self.metrics.ok else None
+
+
+@dataclass
+class ResourceSensitivityResult:
+    """All sweeps over all workloads."""
+
+    points: list[SensitivityPoint] = field(default_factory=list)
+
+    def series(self, parameter: str, workload: str) -> dict[str, float | None]:
+        """value label -> parallel-task time for one sweep/workload."""
+        return {
+            p.value_label: p.parallel_task_time
+            for p in self.points
+            if p.parameter == parameter and p.workload == workload
+        }
+
+    def sensitivity(self, parameter: str, workload: str) -> float:
+        """Best-over-worst improvement ratio across the sweep (1 = inert)."""
+        values = [
+            v for v in self.series(parameter, workload).values() if v is not None
+        ]
+        if len(values) < 2:
+            return 1.0
+        return max(values) / min(values)
+
+    def render(self) -> str:
+        """All sweeps as one table."""
+        table = Table(
+            title=(
+                "Resource-parameter sensitivity (GPU runs; the paper's "
+                "§4.3 deferred parameters)"
+            ),
+            headers=("parameter", "value", "matmul P.Task", "kmeans P.Task"),
+        )
+        for parameter, (values, _build, fmt) in SWEEPS.items():
+            matmul_series = self.series(parameter, "matmul")
+            kmeans_series = self.series(parameter, "kmeans")
+            for value in values:
+                label = fmt(value)
+                m = matmul_series.get(label)
+                k = kmeans_series.get(label)
+                table.add_row(
+                    parameter,
+                    label,
+                    format_seconds(m) if m is not None else "OOM",
+                    format_seconds(k) if k is not None else "OOM",
+                )
+        lines = [table.render(), ""]
+        for parameter in SWEEPS:
+            lines.append(
+                f"sensitivity {parameter}: matmul "
+                f"{self.sensitivity(parameter, 'matmul'):.2f}x, kmeans "
+                f"{self.sensitivity(parameter, 'kmeans'):.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def run_resource_sensitivity(
+    matmul_grid: int = 8,
+    kmeans_grid: int = 128,
+    parameters: tuple[str, ...] | None = None,
+) -> ResourceSensitivityResult:
+    """Sweep the deferred resource parameters on both workloads (GPU mode)."""
+    datasets = paper_datasets()
+    result = ResourceSensitivityResult()
+    base = minotauro()
+    selected = parameters or tuple(SWEEPS)
+    for parameter in selected:
+        values, build, fmt = SWEEPS[parameter]
+        for value in values:
+            cluster = build(base, value)
+            for workload, factory in (
+                ("matmul", lambda: MatmulWorkflow(datasets["matmul_8gb"],
+                                                  grid=matmul_grid)),
+                ("kmeans", lambda: KMeansWorkflow(datasets["kmeans_10gb"],
+                                                  grid_rows=kmeans_grid,
+                                                  n_clusters=100,
+                                                  iterations=3)),
+            ):
+                metrics = run_workflow(factory(), use_gpu=True, cluster=cluster)
+                result.points.append(
+                    SensitivityPoint(
+                        parameter=parameter,
+                        value_label=fmt(value),
+                        workload=workload,
+                        metrics=metrics,
+                    )
+                )
+    return result

@@ -1,0 +1,96 @@
+"""Figure 1 — the motivating experiment.
+
+Distributed K-means on the 10 GB dataset, 256 tasks, on a cluster with 128
+CPU cores and 32 GPU devices.  The paper's headline numbers: the GPU is
+~5.7x faster on the parallel fraction alone, only ~1.2x faster on the full
+task user code (serial fraction and CPU-GPU communication included), and
+*slower* than the CPU once tasks are distributed (-1.20x), because only 32
+GPU tasks run in parallel against 128 CPU tasks while data movement costs
+stay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms import KMeansWorkflow
+from repro.core.experiments.runners import RunMetrics, run_workflow, speedup
+from repro.core.report import Table, format_seconds, format_speedup
+from repro.data import paper_datasets
+
+
+@dataclass
+class Fig1Result:
+    """Stage-level GPU-over-CPU speedups at the Figure 1 operating point."""
+
+    cpu: RunMetrics
+    gpu: RunMetrics
+
+    @property
+    def parallel_fraction_speedup(self) -> float | None:
+        """Speedup on the parallel fraction of the task user code alone."""
+        return speedup(
+            self.cpu.user_code["partial_sum"].parallel_fraction,
+            self.gpu.user_code["partial_sum"].parallel_fraction,
+        )
+
+    @property
+    def user_code_speedup(self) -> float | None:
+        """Speedup on the total task user code (serial + comm included)."""
+        return speedup(
+            self.cpu.user_code["partial_sum"].user_code,
+            self.gpu.user_code["partial_sum"].user_code,
+        )
+
+    @property
+    def parallel_tasks_speedup(self) -> float | None:
+        """Speedup at the distributed (parallel tasks) level."""
+        return speedup(self.cpu.parallel_task_time, self.gpu.parallel_task_time)
+
+    def render(self) -> str:
+        """Figure 1 as a table."""
+        table = Table(
+            title=(
+                "Figure 1: Distributed K-means at different processing "
+                "stages (10 GB, 256 tasks, 128 cores / 32 GPUs)"
+            ),
+            headers=("processing stage", "CPU time", "GPU time", "GPU speedup"),
+        )
+        cpu_uc = self.cpu.user_code["partial_sum"]
+        gpu_uc = self.gpu.user_code["partial_sum"]
+        table.add_row(
+            "parallel fraction (single task)",
+            format_seconds(cpu_uc.parallel_fraction),
+            format_seconds(gpu_uc.parallel_fraction),
+            format_speedup(self.parallel_fraction_speedup),
+        )
+        table.add_row(
+            "task user code (single task)",
+            format_seconds(cpu_uc.user_code),
+            format_seconds(gpu_uc.user_code),
+            format_speedup(self.user_code_speedup),
+        )
+        table.add_row(
+            "parallel tasks (distributed)",
+            format_seconds(self.cpu.parallel_task_time),
+            format_seconds(self.gpu.parallel_task_time),
+            format_speedup(self.parallel_tasks_speedup),
+        )
+        return table.render()
+
+
+def run_fig1(grid_rows: int = 256, n_clusters: int = 10) -> Fig1Result:
+    """Run the motivating experiment at the paper's operating point."""
+    datasets = paper_datasets()
+
+    def workflow() -> KMeansWorkflow:
+        return KMeansWorkflow(
+            datasets["kmeans_10gb"],
+            grid_rows=grid_rows,
+            n_clusters=n_clusters,
+            iterations=3,
+        )
+
+    cpu = run_workflow(workflow(), use_gpu=False)
+    gpu = run_workflow(workflow(), use_gpu=True)
+    return Fig1Result(cpu=cpu, gpu=gpu)

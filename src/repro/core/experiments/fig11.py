@@ -1,0 +1,229 @@
+"""Figure 11 — Spearman correlation of all factors and parameters (§5.4).
+
+A full-factorial sample set (the paper uses 192 samples spanning both
+algorithms, three dataset sizes each — including the small 128 MB / 100 MB
+datasets added for this analysis — every grid dimension, both processor
+types, both storage architectures, and both scheduling policies) is
+executed on the simulated cluster; each sample contributes one row of
+features (factors, parameters, and the measured parallel-task execution
+time).  Categorical features are one-hot encoded and the Spearman rank
+correlation is computed between every pair.
+
+The paper's key cells, used as shape targets by the benchmark:
+
+===============================  ======
+pair                              rho
+===============================  ======
+exec time ~ block size            +0.40
+exec time ~ parallel fraction     +0.38
+exec time ~ computational compl.  +0.50
+exec time ~ DAG max width         -0.005
+exec time ~ dataset size          -0.009
+exec time ~ shared disk           +0.19
+exec time ~ CPU                   +0.07
+GPU ~ parallel fraction           -0.46
+block size ~ grid dimension       -0.78
+===============================  ======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.algorithms import KMeansWorkflow, MatmulWorkflow
+from repro.core.correlation import CorrelationMatrix, spearman_matrix
+from repro.core.experiments.runners import run_workflow
+from repro.core.report import Table
+from repro.data import paper_datasets
+from repro.hardware import StorageKind
+from repro.runtime import SchedulingPolicy
+
+#: Feature names in the order of the paper's Figure 11 matrix.
+FEATURES = (
+    "parallel_task_exec_time",
+    "block_size",
+    "grid_dimension",
+    "parallel_fraction",
+    "algorithm_specific_param",
+    "computational_complexity",
+    "dag_max_width",
+    "dag_max_height",
+    "dataset_size",
+    "cpu",
+    "gpu",
+    "shared_disk_storage",
+    "local_disk_storage",
+    "task_gen_order_scheduling",
+    "data_locality_scheduling",
+)
+
+#: Paper values for the cells the benchmark compares against.
+PAPER_REFERENCE = {
+    ("parallel_task_exec_time", "block_size"): 0.398,
+    ("parallel_task_exec_time", "parallel_fraction"): 0.377,
+    ("parallel_task_exec_time", "computational_complexity"): 0.499,
+    ("parallel_task_exec_time", "dag_max_width"): -0.005,
+    ("parallel_task_exec_time", "dataset_size"): -0.009,
+    ("parallel_task_exec_time", "shared_disk_storage"): 0.194,
+    ("parallel_task_exec_time", "cpu"): 0.066,
+    ("gpu", "parallel_fraction"): -0.460,
+    ("block_size", "grid_dimension"): -0.778,
+}
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """One planned execution in the factorial design."""
+
+    algorithm: str
+    dataset_key: str
+    grid: int
+    n_clusters: int
+    use_gpu: bool
+    storage: StorageKind
+    scheduling: SchedulingPolicy
+
+
+def default_design() -> list[SamplePlan]:
+    """The 192-sample factorial design mirroring §5.4.
+
+    Base sweeps on shared disk + generation order (both algorithms, three
+    dataset sizes each), the Figure 10 storage/scheduler extras, and the
+    Figure 9a cluster-count extras.
+    """
+    plans: list[SamplePlan] = []
+    matmul_grids = (16, 8, 4, 2, 1)
+    kmeans_grids = (256, 128, 64, 32, 16, 8, 4, 2, 1)
+    shared = StorageKind.SHARED
+    local = StorageKind.LOCAL
+    gen = SchedulingPolicy.GENERATION_ORDER
+    loc = SchedulingPolicy.DATA_LOCALITY
+
+    def add(algorithm, dataset_key, grid, clusters, gpu, storage, sched) -> None:
+        plans.append(
+            SamplePlan(algorithm, dataset_key, grid, clusters, gpu, storage, sched)
+        )
+
+    # Base sweeps: shared disk, generation order.
+    for dataset_key in ("matmul_128mb", "matmul_8gb", "matmul_32gb"):
+        for grid in matmul_grids:
+            for gpu in (False, True):
+                add("matmul", dataset_key, grid, 0, gpu, shared, gen)
+    for dataset_key in ("kmeans_100mb", "kmeans_10gb", "kmeans_100gb"):
+        for grid in kmeans_grids:
+            for gpu in (False, True):
+                add("kmeans", dataset_key, grid, 10, gpu, shared, gen)
+
+    # Storage x scheduler extras (Figure 10 design).
+    for storage, sched in ((local, gen), (local, loc), (shared, loc)):
+        for grid in matmul_grids:
+            for gpu in (False, True):
+                add("matmul", "matmul_8gb", grid, 0, gpu, storage, sched)
+        for grid in kmeans_grids:
+            for gpu in (False, True):
+                add("kmeans", "kmeans_10gb", grid, 10, gpu, storage, sched)
+
+    # Cluster-count extras (Figure 9a design).
+    for clusters in (100, 1000):
+        for grid in (256, 128, 64, 32, 16, 8):
+            for gpu in (False, True):
+                add("kmeans", "kmeans_10gb", grid, clusters, gpu, shared, gen)
+    return plans
+
+
+@dataclass
+class Fig11Result:
+    """The correlation analysis output."""
+
+    matrix: CorrelationMatrix
+    n_samples: int
+    n_planned: int
+    n_oom: int
+    columns: dict[str, list[float]] = field(default_factory=dict)
+
+    def value(self, a: str, b: str) -> float:
+        """rho between two named features."""
+        return self.matrix.value(a, b)
+
+    def render(self) -> str:
+        """The matrix plus the paper-reference comparison."""
+        parts = [
+            self.matrix.render(),
+            "",
+            f"samples: {self.n_samples} valid of {self.n_planned} planned "
+            f"({self.n_oom} OOM)",
+            "",
+        ]
+        table = Table(
+            title="Key cells vs the paper",
+            headers=("feature pair", "paper rho", "measured rho"),
+        )
+        for (a, b), paper_value in PAPER_REFERENCE.items():
+            table.add_row(f"{a} ~ {b}", f"{paper_value:+.3f}", f"{self.value(a, b):+.3f}")
+        parts.append(table.render())
+        return "\n".join(parts)
+
+
+def _make_workflow(plan: SamplePlan, datasets) -> object:
+    dataset = datasets[plan.dataset_key]
+    if plan.algorithm == "matmul":
+        return MatmulWorkflow(dataset, grid=plan.grid)
+    return KMeansWorkflow(
+        dataset, grid_rows=plan.grid, n_clusters=plan.n_clusters, iterations=3
+    )
+
+
+def run_fig11(plans: Sequence[SamplePlan] | None = None) -> Fig11Result:
+    """Execute the factorial design and build the Spearman matrix."""
+    datasets = paper_datasets()
+    plans = list(plans) if plans is not None else default_design()
+    columns: dict[str, list[float]] = {feature: [] for feature in FEATURES}
+    n_oom = 0
+    for plan in plans:
+        workflow = _make_workflow(plan, datasets)
+        metrics = run_workflow(
+            _make_workflow(plan, datasets),
+            use_gpu=plan.use_gpu,
+            storage=plan.storage,
+            scheduling=plan.scheduling,
+        )
+        if not metrics.ok:
+            n_oom += 1
+            continue
+        blocking = workflow.blocking
+        primary = workflow.primary_task_type
+        cost = workflow.task_costs()[primary]
+        columns["parallel_task_exec_time"].append(metrics.parallel_task_time)
+        columns["block_size"].append(float(blocking.block_bytes))
+        columns["grid_dimension"].append(float(blocking.grid.num_blocks))
+        columns["parallel_fraction"].append(
+            metrics.user_code[primary].parallel_fraction
+        )
+        columns["algorithm_specific_param"].append(float(plan.n_clusters))
+        columns["computational_complexity"].append(cost.parallel_flops)
+        columns["dag_max_width"].append(float(metrics.dag_width))
+        columns["dag_max_height"].append(float(metrics.dag_height))
+        columns["dataset_size"].append(float(blocking.dataset.size_bytes))
+        columns["cpu"].append(0.0 if plan.use_gpu else 1.0)
+        columns["gpu"].append(1.0 if plan.use_gpu else 0.0)
+        columns["shared_disk_storage"].append(
+            1.0 if plan.storage is StorageKind.SHARED else 0.0
+        )
+        columns["local_disk_storage"].append(
+            1.0 if plan.storage is StorageKind.LOCAL else 0.0
+        )
+        columns["task_gen_order_scheduling"].append(
+            1.0 if plan.scheduling is SchedulingPolicy.GENERATION_ORDER else 0.0
+        )
+        columns["data_locality_scheduling"].append(
+            1.0 if plan.scheduling is SchedulingPolicy.DATA_LOCALITY else 0.0
+        )
+    matrix = spearman_matrix(columns)
+    return Fig11Result(
+        matrix=matrix,
+        n_samples=len(columns["parallel_task_exec_time"]),
+        n_planned=len(plans),
+        n_oom=n_oom,
+        columns=columns,
+    )

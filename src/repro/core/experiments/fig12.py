@@ -1,0 +1,107 @@
+"""Figure 12 — generalizability: Matmul FMA (§5.5.1).
+
+The Fused Multiply-Add implementation of matrix multiplication is run with
+the same parameters as the Figure 8 experiment.  Because the per-task cost
+profile matches ``matmul_func`` (O(N^3) compute, three resident blocks),
+the user-code speedup, parallel fraction, and CPU-GPU communication trends
+repeat — the paper's evidence that the analysis transfers across
+implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms import MatmulFmaWorkflow
+from repro.core.experiments.runners import RunMetrics, run_workflow, speedup
+from repro.core.report import Table, format_seconds, format_speedup
+from repro.data import paper_datasets
+
+FIG12_GRIDS = (16, 8, 4, 2, 1)
+
+
+@dataclass
+class Fig12Point:
+    """fma_func stage times at one block size."""
+
+    block_mb: float
+    grid: int
+    cpu: RunMetrics
+    gpu: RunMetrics
+
+    @property
+    def status(self) -> str:
+        """'ok' unless either processor run hit an OOM condition."""
+        for metrics in (self.cpu, self.gpu):
+            if not metrics.ok:
+                return metrics.status
+        return "ok"
+
+    @property
+    def user_code_speedup(self) -> float | None:
+        """GPU-over-CPU user-code speedup of fma_func."""
+        if not (self.cpu.ok and self.gpu.ok):
+            return None
+        return speedup(
+            self.cpu.user_code["fma_func"].user_code,
+            self.gpu.user_code["fma_func"].user_code,
+        )
+
+    def stage(self, use_gpu: bool, attr: str) -> float | None:
+        """An averaged fma_func stage duration."""
+        metrics = self.gpu if use_gpu else self.cpu
+        if not metrics.ok:
+            return None
+        return getattr(metrics.user_code["fma_func"], attr)
+
+
+@dataclass
+class Fig12Result:
+    """The Matmul FMA sweep."""
+
+    dataset: str
+    points: list[Fig12Point] = field(default_factory=list)
+
+    def speedups(self) -> dict[float, float | None]:
+        """block MB -> user-code speedup."""
+        return {p.block_mb: p.user_code_speedup for p in self.points}
+
+    def render(self) -> str:
+        """Figure 12 as a table."""
+        table = Table(
+            title=f"Figure 12: Matmul FMA task user code ({self.dataset})",
+            headers=(
+                "block MB",
+                "Usr.Code speedup",
+                "P.Frac CPU",
+                "P.Frac GPU",
+                "CPU-GPU comm",
+                "status",
+            ),
+        )
+        for p in self.points:
+            table.add_row(
+                f"{p.block_mb:.0f}",
+                format_speedup(p.user_code_speedup),
+                format_seconds(p.stage(False, "parallel_fraction")),
+                format_seconds(p.stage(True, "parallel_fraction")),
+                format_seconds(p.stage(True, "cpu_gpu_comm")),
+                p.status,
+            )
+        return table.render()
+
+
+def run_fig12(
+    dataset_key: str = "matmul_8gb", grids: tuple[int, ...] = FIG12_GRIDS
+) -> Fig12Result:
+    """Sweep Matmul FMA block sizes with the Figure 8 parameters."""
+    dataset = paper_datasets()[dataset_key]
+    result = Fig12Result(dataset=dataset_key)
+    for grid in grids:
+        workflow = MatmulFmaWorkflow(dataset, grid=grid)
+        cpu = run_workflow(MatmulFmaWorkflow(dataset, grid=grid), use_gpu=False)
+        gpu = run_workflow(MatmulFmaWorkflow(dataset, grid=grid), use_gpu=True)
+        result.points.append(
+            Fig12Point(block_mb=workflow.block_mb, grid=grid, cpu=cpu, gpu=gpu)
+        )
+    return result

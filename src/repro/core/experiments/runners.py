@@ -1,0 +1,120 @@
+"""Shared machinery for the per-figure experiment runners.
+
+:func:`run_workflow` executes one workflow under one configuration on the
+simulated backend and extracts the §4.2 metrics, turning the two
+out-of-memory conditions into statuses instead of exceptions — the
+figures' "GPU OOM" / "CPU GPU OOM" regions are data points, not crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.hardware import (
+    ClusterSpec,
+    GpuOutOfMemoryError,
+    HostOutOfMemoryError,
+    StorageKind,
+    minotauro,
+)
+from repro.runtime import Runtime, RuntimeConfig, SchedulingPolicy
+from repro.tracing import (
+    DataMovementMetrics,
+    UserCodeMetrics,
+    data_movement_metrics,
+    parallel_task_metrics,
+    user_code_metrics,
+)
+
+#: Status strings used across all experiment outputs.
+STATUS_OK = "ok"
+STATUS_GPU_OOM = "gpu_oom"
+STATUS_CPU_OOM = "cpu_oom"
+
+
+class Workflow(Protocol):
+    """What a workload must provide to be runnable by the harness."""
+
+    name: str
+    parallel_task_types: frozenset[str]
+
+    def build(self, runtime: Runtime, materialize: bool = False) -> object:
+        """Submit all tasks to the runtime."""
+
+
+@dataclass
+class RunMetrics:
+    """Metrics of one (workflow, configuration) execution."""
+
+    status: str
+    use_gpu: bool
+    storage: StorageKind
+    scheduling: SchedulingPolicy
+    makespan: float = 0.0
+    #: §4.2 task-user-code metrics per task type.
+    user_code: dict[str, UserCodeMetrics] = field(default_factory=dict)
+    #: §4.2 data-movement metrics, per CPU core.
+    movement: DataMovementMetrics | None = None
+    #: §4.2 parallel-task execution time (mean over parallel levels).
+    parallel_task_time: float = 0.0
+    dag_width: int = 0
+    dag_height: int = 0
+    num_tasks: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed (no OOM)."""
+        return self.status == STATUS_OK
+
+
+def run_workflow(
+    workflow: Workflow,
+    use_gpu: bool,
+    storage: StorageKind = StorageKind.SHARED,
+    scheduling: SchedulingPolicy = SchedulingPolicy.GENERATION_ORDER,
+    cluster: ClusterSpec | None = None,
+) -> RunMetrics:
+    """Execute one workflow on the simulated backend and collect metrics."""
+    config = RuntimeConfig(
+        cluster=cluster or minotauro(),
+        storage=storage,
+        scheduling=scheduling,
+        use_gpu=use_gpu,
+    )
+    runtime = Runtime(config)
+    workflow.build(runtime)
+    metrics = RunMetrics(
+        status=STATUS_OK,
+        use_gpu=use_gpu,
+        storage=storage,
+        scheduling=scheduling,
+        dag_width=runtime.graph.width,
+        dag_height=runtime.graph.height,
+        num_tasks=runtime.graph.num_tasks,
+    )
+    try:
+        result = runtime.run()
+    except GpuOutOfMemoryError as error:
+        metrics.status = STATUS_GPU_OOM
+        metrics.error = str(error)
+        return metrics
+    except HostOutOfMemoryError as error:
+        metrics.status = STATUS_CPU_OOM
+        metrics.error = str(error)
+        return metrics
+    metrics.makespan = result.makespan
+    metrics.user_code = user_code_metrics(result.trace)
+    metrics.movement = data_movement_metrics(result.trace)
+    metrics.parallel_task_time = parallel_task_metrics(
+        result.trace, set(workflow.parallel_task_types)
+    ).average_parallel_time
+    return metrics
+
+
+def speedup(cpu_value: float, gpu_value: float) -> float | None:
+    """GPU-over-CPU speedup, ``None`` when undefined."""
+    if gpu_value <= 0 or cpu_value <= 0:
+        return None
+    return cpu_value / gpu_value

@@ -1,0 +1,172 @@
+"""The factor/parameter framework of Table 1.
+
+Following Jain's method (§4), every variable that affects measured
+performance and has several alternatives is a *factor*.  The paper
+classifies its factors into four dimensions — task algorithm, dataset,
+resources, and system — and notes which system functions each factor
+stresses (device speedup, storage I/O, network I/O, CPU-GPU data transfer,
+task scheduling).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.report import Table
+
+
+class Dimension(str, enum.Enum):
+    """The four factor dimensions of Table 1."""
+
+    TASK_ALGORITHM = "task_algorithm"
+    DATASET = "dataset"
+    RESOURCES = "resources"
+    SYSTEM = "system"
+
+    @property
+    def label(self) -> str:
+        """Human-readable dimension name."""
+        return {
+            Dimension.TASK_ALGORITHM: "Task algorithm",
+            Dimension.DATASET: "Dataset",
+            Dimension.RESOURCES: "Resources",
+            Dimension.SYSTEM: "System",
+        }[self]
+
+
+class SystemFunction(str, enum.Enum):
+    """System functions a factor can affect (footnote of Table 1)."""
+
+    DEVICE_SPEEDUP = "device_speedup"
+    STORAGE_IO = "storage_io"
+    NETWORK_IO = "network_io"
+    CPU_GPU_TRANSFER = "cpu_gpu_data_transfer"
+    TASK_SCHEDULING = "task_scheduling"
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One factor with the parameters it determines."""
+
+    name: str
+    dimension: Dimension
+    parameters: tuple[str, ...]
+    affects: frozenset[SystemFunction]
+    description: str = ""
+
+
+#: Table 1 verbatim: the paper's eight factors.
+TABLE1_FACTORS: tuple[Factor, ...] = (
+    Factor(
+        name="block dimension",
+        dimension=Dimension.TASK_ALGORITHM,
+        parameters=("block size", "grid dimension", "DAG shape"),
+        affects=frozenset(
+            {
+                SystemFunction.DEVICE_SPEEDUP,
+                SystemFunction.STORAGE_IO,
+                SystemFunction.NETWORK_IO,
+                SystemFunction.CPU_GPU_TRANSFER,
+                SystemFunction.TASK_SCHEDULING,
+            }
+        ),
+        description="Elements per block; the task- vs thread-parallelism knob.",
+    ),
+    Factor(
+        name="computational complexity",
+        dimension=Dimension.TASK_ALGORITHM,
+        parameters=(),
+        affects=frozenset({SystemFunction.DEVICE_SPEEDUP}),
+        description="Per-task work growth (e.g. O(N^3) matmul_func vs O(N) add_func).",
+    ),
+    Factor(
+        name="parallel fraction",
+        dimension=Dimension.TASK_ALGORITHM,
+        parameters=(),
+        affects=frozenset({SystemFunction.DEVICE_SPEEDUP}),
+        description="Share of the task user code that is thread-parallelisable.",
+    ),
+    Factor(
+        name="algorithm-specific parameter",
+        dimension=Dimension.TASK_ALGORITHM,
+        parameters=(),
+        affects=frozenset({SystemFunction.DEVICE_SPEEDUP}),
+        description="E.g. the number of clusters in K-means.",
+    ),
+    Factor(
+        name="dataset dimension",
+        dimension=Dimension.DATASET,
+        parameters=("dataset size",),
+        affects=frozenset(
+            {
+                SystemFunction.DEVICE_SPEEDUP,
+                SystemFunction.STORAGE_IO,
+                SystemFunction.NETWORK_IO,
+                SystemFunction.CPU_GPU_TRANSFER,
+                SystemFunction.TASK_SCHEDULING,
+            }
+        ),
+        description="Rows x columns of the input matrix.",
+    ),
+    Factor(
+        name="processor type",
+        dimension=Dimension.RESOURCES,
+        parameters=("maximum #CPU cores available depending on the processor type",),
+        affects=frozenset({SystemFunction.DEVICE_SPEEDUP}),
+        description="CPU-based vs GPU-accelerated task execution.",
+    ),
+    Factor(
+        name="storage architecture",
+        dimension=Dimension.RESOURCES,
+        parameters=(),
+        affects=frozenset({SystemFunction.STORAGE_IO}),
+        description="Node-local disks vs shared (GPFS) file system.",
+    ),
+    Factor(
+        name="scheduling policy",
+        dimension=Dimension.SYSTEM,
+        parameters=(),
+        affects=frozenset(
+            {SystemFunction.NETWORK_IO, SystemFunction.TASK_SCHEDULING}
+        ),
+        description="Task generation order vs data locality.",
+    ),
+)
+
+_AFFECT_MARKS = {
+    SystemFunction.DEVICE_SPEEDUP: "speedup",
+    SystemFunction.STORAGE_IO: "storage",
+    SystemFunction.NETWORK_IO: "network",
+    SystemFunction.CPU_GPU_TRANSFER: "transfer",
+    SystemFunction.TASK_SCHEDULING: "sched",
+}
+
+
+def factors_table() -> Table:
+    """Table 1 as a renderable table."""
+    table = Table(
+        title="Table 1: Factors and parameters",
+        headers=("Dimension", "Factor", "Parameters", "Affects"),
+    )
+    for factor in TABLE1_FACTORS:
+        marks = ",".join(
+            _AFFECT_MARKS[fn] for fn in _AFFECT_MARKS if fn in factor.affects
+        )
+        table.add_row(
+            factor.dimension.label,
+            factor.name,
+            "; ".join(factor.parameters) or "-",
+            marks,
+        )
+    return table
+
+
+def factors_of_dimension(dimension: Dimension) -> list[Factor]:
+    """The Table-1 factors belonging to one dimension."""
+    return [f for f in TABLE1_FACTORS if f.dimension is dimension]
+
+
+def factors_affecting(function: SystemFunction) -> list[Factor]:
+    """The Table-1 factors stressing one system function."""
+    return [f for f in TABLE1_FACTORS if function in f.affects]

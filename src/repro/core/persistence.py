@@ -1,0 +1,96 @@
+"""JSON persistence for experiment results.
+
+Experiment result objects are plain dataclasses; this module serialises
+them (dataclasses, enums, tuples, NumPy scalars and arrays) to JSON so a
+benchmark run can leave a machine-readable record next to the rendered
+tables — the raw material for EXPERIMENTS.md-style paper-vs-measured
+comparisons and for regression-diffing two calibrations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a result object into JSON-compatible data."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # JSON has no NaN/Infinity; encode them as strings.
+        if value != value:
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                field.name: to_jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, np.ndarray):
+        return to_jsonable(value.tolist())
+    if isinstance(value, np.generic):
+        return to_jsonable(value.item())
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    raise TypeError(f"cannot serialise {type(value).__name__} to JSON")
+
+
+def save_result(result: Any, path: str | Path, metadata: dict | None = None) -> Path:
+    """Write one experiment result (plus optional metadata) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "metadata": to_jsonable(metadata or {}),
+        "result": to_jsonable(result),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: str | Path) -> dict:
+    """Read a JSON record written by :func:`save_result`."""
+    return json.loads(Path(path).read_text())
+
+
+def diff_scalars(old: Any, new: Any, path: str = "") -> list[str]:
+    """Human-readable differences between two JSON records.
+
+    Compares leaf scalars recursively; returns one line per differing
+    leaf.  Useful for spotting how a calibration change moved the figures.
+    """
+    differences: list[str] = []
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in sorted(set(old) | set(new)):
+            child = f"{path}.{key}" if path else str(key)
+            if key not in old:
+                differences.append(f"{child}: added")
+            elif key not in new:
+                differences.append(f"{child}: removed")
+            else:
+                differences.extend(diff_scalars(old[key], new[key], child))
+        return differences
+    if isinstance(old, list) and isinstance(new, list):
+        if len(old) != len(new):
+            differences.append(f"{path}: length {len(old)} -> {len(new)}")
+            return differences
+        for index, (a, b) in enumerate(zip(old, new)):
+            differences.extend(diff_scalars(a, b, f"{path}[{index}]"))
+        return differences
+    if old != new:
+        differences.append(f"{path}: {old!r} -> {new!r}")
+    return differences

@@ -1,0 +1,166 @@
+"""A learned performance model (§5.4.3: "put learning models into play").
+
+The paper closes by suggesting that learning models could "identify and
+predict non-linear trends, as for example, the ideal block size to
+maximize the efficiency of each processor".  This module is a minimal,
+dependency-free instance: ridge-regularised linear regression on
+log-transformed factor features, trained on executed samples (the same
+rows the Figure 11 correlation analysis consumes) and able to rank
+configurations by predicted parallel-task time.
+
+It is intentionally simple — the point is the pipeline (factors in,
+prediction out, validated against held-out simulations), not model
+sophistication.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Numeric features used by the model, in design-matrix order.  All are
+#: log-transformed (the factor-performance relationships the paper shows
+#: are multiplicative), the one-hots enter untransformed.
+LOG_FEATURES = (
+    "block_size",
+    "grid_dimension",
+    "parallel_fraction",
+    "computational_complexity",
+    "dag_max_width",
+    "dag_max_height",
+    "dataset_size",
+)
+BINARY_FEATURES = (
+    "gpu",
+    "shared_disk_storage",
+    "data_locality_scheduling",
+)
+TARGET = "parallel_task_exec_time"
+
+
+def _design_row(sample: Mapping[str, float]) -> list[float]:
+    row = [1.0]
+    for name in LOG_FEATURES:
+        value = float(sample[name])
+        row.append(math.log(max(value, 1e-12)))
+    for name in BINARY_FEATURES:
+        row.append(float(sample[name]))
+    return row
+
+
+@dataclass
+class EvaluationReport:
+    """Hold-out quality of a fitted predictor."""
+
+    n_train: int
+    n_test: int
+    mape: float
+    median_ape: float
+    r2_log: float
+
+    def render(self) -> str:
+        """One-line textual summary."""
+        return (
+            f"trained on {self.n_train}, tested on {self.n_test}: "
+            f"MAPE {self.mape:.1%}, median APE {self.median_ape:.1%}, "
+            f"R^2(log) {self.r2_log:.3f}"
+        )
+
+
+@dataclass
+class PerformancePredictor:
+    """Log-linear ridge model over the Table-1 factor features."""
+
+    ridge: float = 1e-3
+    _weights: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._weights is not None
+
+    def fit(self, samples: Sequence[Mapping[str, float]]) -> "PerformancePredictor":
+        """Fit on executed samples (each a feature->value mapping)."""
+        if len(samples) < len(LOG_FEATURES) + len(BINARY_FEATURES) + 2:
+            raise ValueError(
+                f"need more samples than features, got {len(samples)}"
+            )
+        design = np.array([_design_row(s) for s in samples])
+        target = np.log(
+            np.maximum([float(s[TARGET]) for s in samples], 1e-12)
+        )
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self._weights = np.linalg.solve(gram, design.T @ target)
+        return self
+
+    def predict(self, sample: Mapping[str, float]) -> float:
+        """Predicted parallel-task time (seconds) for one configuration."""
+        if self._weights is None:
+            raise RuntimeError("predictor is not fitted")
+        return float(math.exp(np.dot(_design_row(sample), self._weights)))
+
+    def evaluate(
+        self, samples: Sequence[Mapping[str, float]]
+    ) -> EvaluationReport:
+        """Absolute-percentage-error statistics on held-out samples."""
+        if self._weights is None:
+            raise RuntimeError("predictor is not fitted")
+        truths = np.array([float(s[TARGET]) for s in samples])
+        predictions = np.array([self.predict(s) for s in samples])
+        ape = np.abs(predictions - truths) / np.maximum(truths, 1e-12)
+        log_truth = np.log(np.maximum(truths, 1e-12))
+        log_pred = np.log(np.maximum(predictions, 1e-12))
+        ss_res = float(np.sum((log_truth - log_pred) ** 2))
+        ss_tot = float(np.sum((log_truth - log_truth.mean()) ** 2)) or 1e-12
+        return EvaluationReport(
+            n_train=0,
+            n_test=len(samples),
+            mape=float(ape.mean()),
+            median_ape=float(np.median(ape)),
+            r2_log=1.0 - ss_res / ss_tot,
+        )
+
+
+def samples_from_columns(
+    columns: Mapping[str, Sequence[float]],
+) -> list[dict[str, float]]:
+    """Convert Figure-11-style feature columns into per-sample dicts."""
+    names = list(columns)
+    length = len(columns[names[0]])
+    return [
+        {name: float(columns[name][index]) for name in names}
+        for index in range(length)
+    ]
+
+
+def train_test_split(
+    samples: Sequence[Mapping[str, float]],
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> tuple[list, list]:
+    """Deterministic shuffled split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    order = np.random.default_rng(seed).permutation(len(samples))
+    cut = max(1, int(len(samples) * test_fraction))
+    test_idx = set(order[:cut].tolist())
+    train = [s for i, s in enumerate(samples) if i not in test_idx]
+    test = [s for i, s in enumerate(samples) if i in test_idx]
+    return train, test
+
+
+def fit_and_evaluate(
+    columns: Mapping[str, Sequence[float]],
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> tuple[PerformancePredictor, EvaluationReport]:
+    """End-to-end: split Figure-11 columns, fit, evaluate on the holdout."""
+    samples = samples_from_columns(columns)
+    train, test = train_test_split(samples, test_fraction, seed)
+    predictor = PerformancePredictor().fit(train)
+    report = predictor.evaluate(test)
+    report.n_train = len(train)
+    return predictor, report

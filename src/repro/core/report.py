@@ -1,0 +1,108 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper reports its results as figures; the benchmark harness reproduces
+each one as an ASCII table (rows/series with the same axes), so the shapes
+can be compared without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_seconds(value: float | None) -> str:
+    """Render a duration with sensible precision ('-' for missing)."""
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1:
+        return f"{value * 1e3:.1f}ms"
+    if value < 100:
+        return f"{value:.2f}s"
+    return f"{value:.0f}s"
+
+
+def format_speedup(value: float | None) -> str:
+    """Render a GPU-over-CPU speedup the way the paper quotes them.
+
+    Slowdowns appear as the paper's negative convention: a ratio of 0.83
+    prints as ``-1.20x`` ("GPUs 1.2x slower"), matching Figure 1.
+    """
+    if value is None:
+        return "-"
+    if value <= 0:
+        return "-"
+    if value < 1:
+        return f"-{1 / value:.2f}x"
+    return f"{value:.2f}x"
+
+
+def format_bytes_mb(nbytes: float, binary: bool = False) -> str:
+    """Render a size in MB (decimal) or MiB (binary), as figure labels."""
+    unit = 2**20 if binary else 1e6
+    value = nbytes / unit
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.1f}"
+
+
+@dataclass
+class Table:
+    """A minimal ASCII table with a title and column alignment."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row (cells are stringified on render)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """The table as a string, column-aligned, title first."""
+        cells = [[str(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(h)), *(len(row[i]) for row in cells)) if cells else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title, ""]
+        header = "  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """The table as GitHub-flavoured markdown."""
+        header = "| " + " | ".join(str(h) for h in self.headers) + " |"
+        rule = "|" + "|".join("---" for _ in self.headers) + "|"
+        lines = [f"**{self.title}**", "", header, rule]
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        return "\n".join(lines)
+
+    def render_csv(self) -> str:
+        """The table as CSV (header row first), for spreadsheet import."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow([str(cell) for cell in row])
+        return buffer.getvalue()
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,160 @@
+"""The paper's Figure 2: a taxonomy of CPU-GPU processing research.
+
+Figure 2 classifies the related work along five axes — GPU usage, GPU
+integration, application, level of analysis, and (for data-intensive
+applications) infrastructure with its limitation areas — and highlights
+the scope of the paper's own study.  This module encodes the taxonomy as
+a data structure so the scope query ("which categories does this study
+cover?") is executable, and renders the tree for the Figure 2 artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TaxonomyNode:
+    """One category of the Figure 2 classification."""
+
+    name: str
+    #: Reference numbers cited by the paper under this category.
+    citations: tuple[int, ...] = ()
+    #: Whether the paper's own study covers this category (red in Fig 2).
+    in_scope: bool = False
+    children: tuple["TaxonomyNode", ...] = field(default_factory=tuple)
+
+    def walk(self):
+        """Yield this node and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "TaxonomyNode":
+        """Locate a category by exact name."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        raise KeyError(f"no taxonomy category named {name!r}")
+
+    def scope(self) -> list[str]:
+        """Names of all in-scope categories under this node."""
+        return [node.name for node in self.walk() if node.in_scope]
+
+    def render(self, indent: int = 0) -> str:
+        """The subtree as an indented outline ('*' marks the scope)."""
+        marker = " *" if self.in_scope else ""
+        refs = f" [{', '.join(map(str, self.citations))}]" if self.citations else ""
+        lines = [f"{'  ' * indent}{self.name}{marker}{refs}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def figure2_taxonomy() -> TaxonomyNode:
+    """The Figure 2 tree, with the paper's scope highlighted."""
+    return TaxonomyNode(
+        name="CPU-GPU Processing",
+        children=(
+            TaxonomyNode(
+                name="GPU Usage",
+                children=(
+                    TaxonomyNode("Primary Processor", (27, 62)),
+                    TaxonomyNode("Accelerator", (73, 78)),
+                    TaxonomyNode(
+                        "Heterogeneous CPU-GPU", (32, 59, 69, 71), in_scope=True
+                    ),
+                ),
+            ),
+            TaxonomyNode(
+                name="GPU Integration",
+                children=(
+                    TaxonomyNode("Integrated", (33, 35, 75)),
+                    TaxonomyNode("Dedicated", in_scope=True),
+                ),
+            ),
+            TaxonomyNode(
+                name="Application",
+                children=(
+                    TaxonomyNode("Database", (10, 32, 62, 71)),
+                    TaxonomyNode(
+                        name="Analytics (data-intensive applications)",
+                        in_scope=True,
+                        children=(
+                            TaxonomyNode(
+                                "Task-based Workflows",
+                                (2, 3, 9, 29, 42, 78),
+                                in_scope=True,
+                            ),
+                            TaxonomyNode("Dataflows", (15, 57)),
+                            TaxonomyNode("Graph Processing", (39, 76)),
+                        ),
+                    ),
+                ),
+            ),
+            TaxonomyNode(
+                name="Level of Analysis",
+                children=(
+                    TaxonomyNode("Instruction", (10, 64, 69)),
+                    TaxonomyNode("Task", (32, 62, 71), in_scope=True),
+                    TaxonomyNode("DAG", (27, 39), in_scope=True),
+                ),
+            ),
+            TaxonomyNode(
+                name="Infrastructure",
+                in_scope=True,
+                children=(
+                    TaxonomyNode(
+                        name="Single Machine",
+                        in_scope=True,
+                        children=(
+                            TaxonomyNode(
+                                "CPU-GPU Data Transfer",
+                                (11, 32, 33, 36, 59, 60, 71),
+                                in_scope=True,
+                            ),
+                            TaxonomyNode("Device Speedup", (9, 16), in_scope=True),
+                        ),
+                    ),
+                    TaxonomyNode(
+                        name="Cluster",
+                        in_scope=True,
+                        children=(
+                            TaxonomyNode(
+                                "Storage I/O", (27, 38, 69, 70), in_scope=True
+                            ),
+                            TaxonomyNode(
+                                "Network I/O", (6, 26, 34, 78), in_scope=True
+                            ),
+                            TaxonomyNode("Task Scheduling", (2, 25), in_scope=True),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def scope_matches_table1() -> bool:
+    """Cross-check: Figure 2's cluster limitation areas are exactly the
+    system functions Table 1's factors stress."""
+    from repro.core.factors import SystemFunction, TABLE1_FACTORS
+
+    cluster = figure2_taxonomy().find("Cluster")
+    single = figure2_taxonomy().find("Single Machine")
+    figure2_areas = {
+        "CPU-GPU Data Transfer": SystemFunction.CPU_GPU_TRANSFER,
+        "Device Speedup": SystemFunction.DEVICE_SPEEDUP,
+        "Storage I/O": SystemFunction.STORAGE_IO,
+        "Network I/O": SystemFunction.NETWORK_IO,
+        "Task Scheduling": SystemFunction.TASK_SCHEDULING,
+    }
+    names = {child.name for child in cluster.children} | {
+        child.name for child in single.children
+    }
+    if names != set(figure2_areas):
+        return False
+    stressed = set()
+    for factor in TABLE1_FACTORS:
+        stressed |= factor.affects
+    return stressed == set(figure2_areas.values())

@@ -1,0 +1,32 @@
+"""Dataset substrate: specs, grid/block partitioning, and generators.
+
+The paper's programming model (§3.5) treats the input as a matrix that the
+processing system splits into blocks organised in a grid.  This package
+implements that formalism — Eq. (1)/(2) relating dataset, block, and grid
+dimensions — plus the synthetic dataset specs of §4.4.5 and NumPy
+generators (uniform and skewed, fixed seed) used by the real-execution
+backend and the skew experiment (Figure 9b).
+"""
+
+from repro.data.blocking import (
+    BlockSpec,
+    Blocking,
+    ChunkingPolicy,
+    GridSpec,
+    InvalidBlockingError,
+)
+from repro.data.dataset import DatasetSpec, paper_datasets
+from repro.data.generator import generate_matrix, skewed_matrix, uniform_matrix
+
+__all__ = [
+    "BlockSpec",
+    "Blocking",
+    "ChunkingPolicy",
+    "DatasetSpec",
+    "GridSpec",
+    "InvalidBlockingError",
+    "generate_matrix",
+    "paper_datasets",
+    "skewed_matrix",
+    "uniform_matrix",
+]

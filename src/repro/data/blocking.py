@@ -1,0 +1,230 @@
+"""Grid/block partitioning: the paper's Eq. (1) and Eq. (2).
+
+Notation (§3.5): the input dataset ``D`` has ``i x j`` elements, a block
+``B`` has ``m x n`` elements, and the grid ``G`` has ``k x l`` blocks with
+
+    i = k * m,    j = l * n            (Eq. 1)
+    k = i / m,    l = j / n            (Eq. 2)
+
+``k``/``l`` are inversely proportional to ``m``/``n`` — the block-size knob
+that trades task-level against thread-level parallelism.  Two constraints
+apply (§3.5): a block must fit in processor memory, and the block dimension
+cannot exceed the dataset dimension.
+
+Following §4.4.4 the task granularity is one block per task, so the number
+of spawned tasks is exactly the grid size ``k * l``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.data.dataset import DatasetSpec
+
+
+class InvalidBlockingError(ValueError):
+    """Raised when block and dataset dimensions violate Eq. (1)."""
+
+
+class ChunkingPolicy(str, enum.Enum):
+    """How blocks of a grid are organised and assigned to tasks (Figure 5).
+
+    Matmul chunks the dataset into rows *and* columns (hybrid); K-means
+    chunks into rows only (§4.4.4).
+    """
+
+    ROW_WISE = "row_wise"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Grid dimension ``k x l``: blocks per row-axis and per column-axis."""
+
+    k: int
+    l: int  # noqa: E741 - matches the paper's notation
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.l <= 0:
+            raise ValueError("grid dimensions must be positive")
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks (= number of tasks at one block/task)."""
+        return self.k * self.l
+
+    def __str__(self) -> str:
+        return f"{self.k} x {self.l}"
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Block dimension ``m x n``: elements per block along each axis."""
+
+    m: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise ValueError("block dimensions must be positive")
+
+    @property
+    def elements(self) -> int:
+        """Elements per block (m x n)."""
+        return self.m * self.n
+
+
+@dataclass(frozen=True)
+class Blocking:
+    """A validated (dataset, block, grid) triple satisfying Eq. (1).
+
+    ``block`` holds the *nominal* block dimension.  When the dataset does
+    not divide evenly (e.g. 12.5M K-means samples over a 256 x 1 grid),
+    the last block along an axis is smaller — the same ragged-edge rule
+    dislib's ``ds_array`` applies.  Eq. (1) then holds in ceiling form:
+    ``(k-1) * m < i <= k * m``.
+    """
+
+    dataset: DatasetSpec
+    block: BlockSpec
+    grid: GridSpec
+
+    @classmethod
+    def from_block(cls, dataset: DatasetSpec, block: BlockSpec) -> "Blocking":
+        """Derive the grid from the block dimension via Eq. (2)."""
+        if block.m > dataset.rows or block.n > dataset.cols:
+            raise InvalidBlockingError(
+                f"block {block.m}x{block.n} exceeds dataset "
+                f"{dataset.rows}x{dataset.cols}"
+            )
+        grid = GridSpec(
+            k=-(-dataset.rows // block.m),
+            l=-(-dataset.cols // block.n),
+        )
+        return cls(dataset=dataset, block=block, grid=grid)
+
+    @classmethod
+    def from_grid(cls, dataset: DatasetSpec, grid: GridSpec) -> "Blocking":
+        """Derive the block dimension from the grid via Eq. (1)."""
+        if grid.k > dataset.rows or grid.l > dataset.cols:
+            raise InvalidBlockingError(
+                f"grid {grid} exceeds dataset {dataset.rows}x{dataset.cols}"
+            )
+        block = BlockSpec(
+            m=-(-dataset.rows // grid.k),
+            n=-(-dataset.cols // grid.l),
+        )
+        # A grid is realizable only if ceil-sized blocks actually need all
+        # k x l slots (e.g. 4 rows cannot form 3 uniform row blocks: sizes
+        # would be 2, 2, 0).
+        if -(-dataset.rows // block.m) != grid.k or -(-dataset.cols // block.n) != grid.l:
+            raise InvalidBlockingError(
+                f"grid {grid} is not realizable for dataset "
+                f"{dataset.rows}x{dataset.cols}: the last block would be empty"
+            )
+        return cls(dataset=dataset, block=block, grid=grid)
+
+    def __post_init__(self) -> None:
+        if not (self.grid.k - 1) * self.block.m < self.dataset.rows <= self.grid.k * self.block.m:
+            raise InvalidBlockingError(
+                f"Eq. (1) violated on rows: grid k={self.grid.k}, block "
+                f"m={self.block.m}, dataset rows={self.dataset.rows}"
+            )
+        if not (self.grid.l - 1) * self.block.n < self.dataset.cols <= self.grid.l * self.block.n:
+            raise InvalidBlockingError(
+                f"Eq. (1) violated on cols: grid l={self.grid.l}, block "
+                f"n={self.block.n}, dataset cols={self.dataset.cols}"
+            )
+
+    @property
+    def block_bytes(self) -> int:
+        """Bytes of one block."""
+        return self.block.elements * self.dataset.dtype_bytes
+
+    @property
+    def block_mb(self) -> float:
+        """Block size in (decimal) megabytes, as the figures label it."""
+        return self.block_bytes / 1e6
+
+    @property
+    def num_tasks(self) -> int:
+        """Tasks spawned at the paper's one-block-per-task granularity."""
+        return self.grid.num_blocks
+
+    def block_rows(self, block_row: int) -> int:
+        """Actual row count of the given block-row (last may be smaller)."""
+        if not 0 <= block_row < self.grid.k:
+            raise IndexError(f"block row {block_row} out of range")
+        if block_row < self.grid.k - 1:
+            return self.block.m
+        return self.dataset.rows - (self.grid.k - 1) * self.block.m
+
+    def block_cols(self, block_col: int) -> int:
+        """Actual column count of the given block-column."""
+        if not 0 <= block_col < self.grid.l:
+            raise IndexError(f"block col {block_col} out of range")
+        if block_col < self.grid.l - 1:
+            return self.block.n
+        return self.dataset.cols - (self.grid.l - 1) * self.block.n
+
+    def describe(self) -> str:
+        """One-line summary used in experiment reports."""
+        return (
+            f"{self.dataset.name}: grid {self.grid}, block "
+            f"{self.block.m}x{self.block.n} ({self.block_mb:.0f} MB), "
+            f"{self.num_tasks} tasks"
+        )
+
+
+def render_partitioning(
+    blocking: Blocking,
+    chunking: ChunkingPolicy = ChunkingPolicy.HYBRID,
+) -> str:
+    """Render a partitioning as ASCII (the paper's Figure 5 illustration).
+
+    Each cell of the dataset matrix is labelled with the task that
+    processes its block: ``ROW_WISE`` assigns one task per block-row (the
+    K-means policy), ``HYBRID`` one task per block (the Matmul policy, at
+    the one-block-per-task granularity of §4.4.4).
+
+    Only sensible for small grids; refuses datasets over 64x64 elements.
+    """
+    dataset = blocking.dataset
+    if dataset.rows > 64 or dataset.cols > 64:
+        raise ValueError("render_partitioning is an illustration for tiny grids")
+    grid = blocking.grid
+    lines = [
+        f"dataset {dataset.rows}x{dataset.cols} "
+        f"({dataset.elements} elements), block "
+        f"{blocking.block.m}x{blocking.block.n}, grid {grid} "
+        f"({chunking.value} chunking)"
+    ]
+    for row in range(dataset.rows):
+        block_row = min(row // blocking.block.m, grid.k - 1)
+        cells = []
+        for col in range(dataset.cols):
+            block_col = min(col // blocking.block.n, grid.l - 1)
+            if chunking is ChunkingPolicy.ROW_WISE:
+                task_id = block_row
+            else:
+                task_id = block_row * grid.l + block_col
+            cells.append(f"T{task_id + 1}")
+        lines.append(" ".join(f"{cell:>3s}" for cell in cells))
+    return "\n".join(lines)
+
+
+def row_wise_blockings(dataset: DatasetSpec, grid_rows: list[int]) -> list[Blocking]:
+    """Row-wise chunkings (grid ``k x 1``) for a list of ``k`` values.
+
+    This is K-means' chunking strategy; §4.4.4 enforces one grid column.
+    """
+    return [Blocking.from_grid(dataset, GridSpec(k=k, l=1)) for k in grid_rows]
+
+
+def square_blockings(dataset: DatasetSpec, grid_sizes: list[int]) -> list[Blocking]:
+    """Square chunkings (grid ``g x g``) for a list of ``g`` values.
+
+    This is Matmul's hybrid row/column chunking strategy.
+    """
+    return [Blocking.from_grid(dataset, GridSpec(k=g, l=g)) for g in grid_sizes]

@@ -1,0 +1,93 @@
+"""Dataset specifications.
+
+A :class:`DatasetSpec` describes a dense matrix dataset by shape, element
+width, and distribution, without materialising it — the simulated backend
+only needs sizes, while the real-execution backend materialises small specs
+through :mod:`repro.data.generator`.
+
+:func:`paper_datasets` returns the exact sizing scenarios of §4.4.5 plus
+the smaller datasets added for the correlation analysis (§5.4) and the
+skewed datasets of §5.2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_FLOAT64_BYTES = 8
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dense ``rows x cols`` matrix of fixed-width elements."""
+
+    name: str
+    rows: int
+    cols: int
+    dtype_bytes: int = _FLOAT64_BYTES
+    #: Fraction of elements relocated into dense regions (0.0 = uniform).
+    skew: float = 0.0
+    #: Seed for reproducible generation (§4.4.5 fixes the random state).
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("dataset dimensions must be positive")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        if not 0.0 <= self.skew < 1.0:
+            raise ValueError("skew must be in [0, 1)")
+
+    @property
+    def elements(self) -> int:
+        """Total number of elements (i x j in the paper's notation)."""
+        return self.rows * self.cols
+
+    @property
+    def size_bytes(self) -> int:
+        """Total dataset size in bytes."""
+        return self.elements * self.dtype_bytes
+
+    @property
+    def size_mb(self) -> float:
+        """Dataset size in (decimal) megabytes, as the paper reports sizes."""
+        return self.size_bytes / 1e6
+
+    def scaled_to(self, rows: int, cols: int, name: str | None = None) -> "DatasetSpec":
+        """A same-distribution spec with different dimensions."""
+        return DatasetSpec(
+            name=name or f"{self.name}-{rows}x{cols}",
+            rows=rows,
+            cols=cols,
+            dtype_bytes=self.dtype_bytes,
+            skew=self.skew,
+            seed=self.seed,
+        )
+
+
+def paper_datasets() -> dict[str, DatasetSpec]:
+    """The sizing scenarios of §4.4.5, §5.2.3, and §5.4.
+
+    Matmul datasets are square; K-means datasets have 100 feature columns.
+    Sizes follow the paper's labels (8 GB = 32K x 32K float64, etc.).
+    """
+    return {
+        # Matmul (§4.4.5): 8 GB and 32 GB square matrices.
+        "matmul_8gb": DatasetSpec("matmul_8gb", rows=32_768, cols=32_768),
+        "matmul_32gb": DatasetSpec("matmul_32gb", rows=65_536, cols=65_536),
+        # K-means (§4.4.5): 10 GB and 100 GB, 100 features.
+        "kmeans_10gb": DatasetSpec("kmeans_10gb", rows=12_500_000, cols=100),
+        "kmeans_100gb": DatasetSpec("kmeans_100gb", rows=125_000_000, cols=100),
+        # Correlation-analysis extras (§5.4): 128 MB and 100 MB.
+        "matmul_128mb": DatasetSpec("matmul_128mb", rows=4_000, cols=4_000),
+        "kmeans_100mb": DatasetSpec("kmeans_100mb", rows=125_000, cols=100),
+        # Skew experiment (§5.2.3): 2 GB Matmul and 1 GB K-means, 50% skew.
+        "matmul_2gb_skew": DatasetSpec(
+            "matmul_2gb_skew", rows=16_384, cols=16_384, skew=0.5
+        ),
+        "kmeans_1gb_skew": DatasetSpec(
+            "kmeans_1gb_skew", rows=1_250_000, cols=100, skew=0.5
+        ),
+        "matmul_2gb": DatasetSpec("matmul_2gb", rows=16_384, cols=16_384),
+        "kmeans_1gb": DatasetSpec("kmeans_1gb", rows=1_250_000, cols=100),
+    }

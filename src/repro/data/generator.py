@@ -1,0 +1,79 @@
+"""Synthetic matrix generators (§4.4.5 and §5.2.3).
+
+The paper generates NumPy float64 matrices with a fixed random state for
+reproducibility.  For the skew experiment (§5.2.3) it adapts the uniform
+distribution by moving 50% of the elements into certain regions of the
+distribution, forcing groups of similar values; :func:`skewed_matrix`
+implements the same idea by concentrating a fraction of the elements into a
+small number of narrow value bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import DatasetSpec
+
+
+def uniform_matrix(
+    rows: int,
+    cols: int,
+    seed: int = 42,
+    dtype: type = np.float64,
+) -> np.ndarray:
+    """A ``rows x cols`` matrix of uniform [0, 1) values with a fixed seed."""
+    rng = np.random.default_rng(seed)
+    return rng.random((rows, cols), dtype=dtype)
+
+
+def skewed_matrix(
+    rows: int,
+    cols: int,
+    skew: float = 0.5,
+    bands: int = 4,
+    band_width: float = 0.02,
+    seed: int = 42,
+    dtype: type = np.float64,
+) -> np.ndarray:
+    """A matrix where ``skew`` of the elements are forced into value bands.
+
+    The remaining ``1 - skew`` of the elements stay uniform on [0, 1); the
+    skewed fraction is relocated into ``bands`` narrow intervals, creating
+    the grouped-value distribution of §5.2.3.
+    """
+    if not 0.0 <= skew < 1.0:
+        raise ValueError("skew must be in [0, 1)")
+    if bands <= 0:
+        raise ValueError("bands must be positive")
+    if not 0.0 < band_width <= 1.0 / bands:
+        raise ValueError("band_width must be in (0, 1/bands]")
+    rng = np.random.default_rng(seed)
+    data = rng.random((rows, cols), dtype=dtype)
+    if skew == 0.0:
+        return data
+    flat = data.reshape(-1)
+    n_skewed = int(flat.size * skew)
+    picked = rng.choice(flat.size, size=n_skewed, replace=False)
+    band_centres = (np.arange(bands) + 0.5) / bands
+    assigned = rng.integers(0, bands, size=n_skewed)
+    offsets = (rng.random(n_skewed) - 0.5) * band_width
+    flat[picked] = band_centres[assigned] + offsets
+    return flat.reshape(rows, cols)
+
+
+def generate_matrix(spec: DatasetSpec, max_bytes: int = 256 * 2**20) -> np.ndarray:
+    """Materialise a :class:`DatasetSpec` as a real NumPy array.
+
+    Refuses specs larger than ``max_bytes`` — full paper-scale datasets
+    (up to 100 GB) exist only as specs for the simulated backend; real
+    arrays are for the correctness-checking execute backend.
+    """
+    if spec.size_bytes > max_bytes:
+        raise MemoryError(
+            f"dataset {spec.name} is {spec.size_bytes / 2**20:.0f} MiB; "
+            f"materialisation is capped at {max_bytes / 2**20:.0f} MiB "
+            "(use the simulated backend for paper-scale runs)"
+        )
+    if spec.skew > 0:
+        return skewed_matrix(spec.rows, spec.cols, skew=spec.skew, seed=spec.seed)
+    return uniform_matrix(spec.rows, spec.cols, seed=spec.seed)

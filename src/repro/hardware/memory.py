@@ -1,0 +1,23 @@
+"""Host-memory accounting.
+
+Each node has a fixed amount of RAM (128 GB on Minotauro).  A task whose
+host-side working set exceeds it cannot run on CPUs either — this is the
+"CPU GPU OOM" annotation of the paper's Figure 9a (K-means with 1000
+clusters and the maximum block size materialises a distance matrix larger
+than node memory).
+"""
+
+from __future__ import annotations
+
+
+class HostOutOfMemoryError(MemoryError):
+    """Raised when a task's host working set exceeds node RAM."""
+
+    def __init__(self, requested: int, capacity: int, node: str = "") -> None:
+        self.requested = requested
+        self.capacity = capacity
+        self.node = node
+        super().__init__(
+            f"host OOM on {node or 'node'}: requested "
+            f"{requested / 2**30:.1f} GiB, capacity {capacity / 2**30:.1f} GiB"
+        )

@@ -1,0 +1,62 @@
+"""Additional cluster presets beyond the paper's testbed.
+
+:func:`minotauro` (in :mod:`repro.hardware.specs`) is the measured
+configuration; these presets support what-if studies (§5.5.2 argues the
+findings transfer across GPU generations — these are the clusters to
+check that claim against).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.specs import ClusterSpec, minotauro
+
+GIB = 1024**3
+
+
+def modern(num_nodes: int = 8) -> ClusterSpec:
+    """An A100-class cluster on NVLink-class interconnect.
+
+    Same topology as Minotauro (so comparisons isolate the device
+    generation): 16 cores + 4 devices per node, but each device has 40 GiB
+    of memory, ~9.5 TFLOP/s effective compute, 1.5 TB/s device memory
+    bandwidth, and a 20 GB/s per-transfer host link.
+    """
+    base = minotauro(num_nodes)
+    gpu = dataclasses.replace(
+        base.node.gpu,
+        name="A100-class device",
+        memory_bytes=40 * GIB,
+        flops=9_500.0e9,
+        mem_bandwidth=1_500.0e9,
+        saturation_items=4.0e7,
+    )
+    interconnect = dataclasses.replace(
+        base.node.interconnect,
+        name="NVLink-class interconnect",
+        bandwidth_per_transfer=20.0e9,
+        node_bandwidth=80.0e9,
+    )
+    node = dataclasses.replace(base.node, gpu=gpu, interconnect=interconnect)
+    return dataclasses.replace(base, name=f"modern-{num_nodes}", node=node)
+
+
+def fat_storage(num_nodes: int = 8) -> ClusterSpec:
+    """Minotauro with an NVMe-backed parallel file system.
+
+    For storage what-ifs: 32 GB/s aggregate shared reads with 4 GB/s
+    per stream — the §4.3 disk-throughput deferred parameter, turned up.
+    """
+    base = minotauro(num_nodes)
+    shared = dataclasses.replace(
+        base.shared_disk,
+        name="NVMe parallel FS",
+        read_bandwidth=32.0e9,
+        write_bandwidth=24.0e9,
+        per_stream_cap=4.0e9,
+        latency=1.0e-4,
+    )
+    return dataclasses.replace(
+        base, name=f"fat-storage-{num_nodes}", shared_disk=shared
+    )

@@ -1,0 +1,272 @@
+"""Hardware specifications.
+
+All specs are frozen dataclasses so cluster configurations can be shared,
+hashed, and used as experiment factors.  Units are SI throughout: bytes,
+seconds, FLOP/s, bytes/s.
+
+The :func:`minotauro` preset mirrors the paper's testbed (§4.4.1): 8 nodes,
+each with 16 Intel Xeon E5-2630 cores, 128 GB of RAM, and 4 NVIDIA K80
+devices (12 GB each) behind PCIe 3.0, with node-local disks and a GPFS
+shared file system.  Throughput values are *effective* rates calibrated
+against the paper's observed speedups rather than vendor peaks; the
+calibration is documented in ``repro.perfmodel.calibration``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GIB = 1024**3
+MIB = 1024**2
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One CPU socket-group of a node, described per core.
+
+    The paper's runtime pins one task per core (§3.3), so per-core effective
+    rates are the natural unit.
+    """
+
+    name: str
+    cores_per_node: int
+    #: Effective FLOP/s of one core on compute-bound kernels (BLAS-like).
+    flops_per_core: float
+    #: Effective bytes/s one core can stream on memory-bound kernels.
+    mem_bandwidth_per_core: float
+    #: Bytes/s one core achieves (de-)serialising Python/NumPy payloads.
+    serialization_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        for attr in ("flops_per_core", "mem_bandwidth_per_core", "serialization_bandwidth"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A dedicated GPU device (one schedulable device, i.e. half a K80 card)."""
+
+    name: str
+    devices_per_node: int
+    memory_bytes: int
+    #: Effective FLOP/s at full occupancy on compute-bound kernels.
+    flops: float
+    #: Effective device-memory bytes/s on memory-bound kernels.
+    mem_bandwidth: float
+    #: Fixed per-kernel dispatch overhead (driver + CuPy) in seconds.
+    launch_overhead: float
+    #: Work-item count at which the device reaches half occupancy.  Kernels
+    #: over fewer items under-utilise the device; this is what makes GPU
+    #: speedup scale with block size in the paper's Figures 7-9.
+    saturation_items: float
+
+    def __post_init__(self) -> None:
+        if self.devices_per_node <= 0:
+            raise ValueError("devices_per_node must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        for attr in ("flops", "mem_bandwidth", "launch_overhead", "saturation_items"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+
+    def utilisation(self, work_items: float) -> float:
+        """Fraction of peak throughput achieved for a kernel of this size."""
+        if work_items <= 0:
+            return 0.0
+        return work_items / (work_items + self.saturation_items)
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """The CPU-GPU bus (PCIe in the paper's testbed)."""
+
+    name: str
+    #: Effective bytes/s available to a single host<->device transfer.
+    bandwidth_per_transfer: float
+    #: Aggregate bytes/s of the bus shared by all devices of a node.
+    node_bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_per_transfer <= 0 or self.node_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.bandwidth_per_transfer > self.node_bandwidth:
+            raise ValueError("per-transfer bandwidth cannot exceed node bandwidth")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A disk (node-local spindle/SSD or the GPFS backend).
+
+    ``per_stream_cap`` models parallel file systems such as GPFS where a
+    single stream is much slower than the aggregate: many fine-grained
+    readers can saturate the aggregate bandwidth while one coarse-grained
+    reader is stuck at the stream rate.  This is the mechanism behind the
+    paper's observation that coarse tasks "increase the cost of
+    (de-)serialization that cannot be parallelized" (§5.1.2).
+    """
+
+    name: str
+    read_bandwidth: float
+    write_bandwidth: float
+    latency: float
+    per_stream_cap: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.per_stream_cap is not None and self.per_stream_cap <= 0:
+            raise ValueError("per_stream_cap must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The inter-node network fabric."""
+
+    name: str
+    #: Bytes/s of one node's link.
+    link_bandwidth: float
+    #: Aggregate bytes/s of the fabric (bisection-style cap).
+    fabric_bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0 or self.fabric_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: CPU cores, GPU devices, bus, local disk, and RAM."""
+
+    cpu: CpuSpec
+    gpu: GpuSpec
+    interconnect: InterconnectSpec
+    local_disk: DiskSpec
+    ram_bytes: int = 128 * GIB
+
+    def __post_init__(self) -> None:
+        if self.ram_bytes <= 0:
+            raise ValueError("ram_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of :class:`NodeSpec` nodes."""
+
+    name: str
+    num_nodes: int
+    node: NodeSpec
+    network: NetworkSpec
+    shared_disk: DiskSpec
+    #: Per-task dispatch latency of the runtime scheduler, by policy name.
+    scheduling_latency: dict[str, float] = field(
+        default_factory=lambda: {
+            "generation_order": 1.0e-3,
+            "data_locality": 4.0e-3,
+            "lifo": 1.0e-3,
+        }
+    )
+    #: Extra per-candidate scan cost of the data-locality policy: its
+    #: dispatch latency grows with the ready-queue length (capped), because
+    #: the scheduler examines candidates to score locality.  This is what
+    #: makes the policy choice visible for cheap fine-grained tasks on
+    #: shared storage (the paper's O6) while staying negligible for
+    #: compute-heavy tasks.
+    locality_scan_seconds_per_task: float = 5.0e-5
+    locality_scan_cap: int = 128
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+
+    @property
+    def total_cpu_cores(self) -> int:
+        """CPU cores across the whole cluster."""
+        return self.num_nodes * self.node.cpu.cores_per_node
+
+    @property
+    def total_gpus(self) -> int:
+        """GPU devices across the whole cluster."""
+        return self.num_nodes * self.gpu_per_node
+
+    @property
+    def gpu_per_node(self) -> int:
+        """GPU devices on each node."""
+        return self.node.gpu.devices_per_node
+
+
+def minotauro(num_nodes: int = 8) -> ClusterSpec:
+    """The paper's testbed: 8 Minotauro nodes (§4.4.1).
+
+    16 Xeon E5-2630 cores and 4 NVIDIA K80 devices (12 GB) per node, PCIe
+    3.0 CPU-GPU interconnect, node-local disks, and a GPFS shared file
+    system; at most 128 CPU tasks and 32 GPU tasks run in parallel.
+    """
+    cpu = CpuSpec(
+        name="Intel Xeon E5-2630",
+        cores_per_node=16,
+        flops_per_core=16.0e9,
+        mem_bandwidth_per_core=12.0e9,
+        serialization_bandwidth=1.2e9,
+    )
+    gpu = GpuSpec(
+        name="NVIDIA K80 (one GK210 device)",
+        devices_per_node=4,
+        memory_bytes=12 * GIB,
+        flops=420.0e9,
+        mem_bandwidth=240.0e9,
+        launch_overhead=5.0e-5,
+        saturation_items=1.0e7,
+    )
+    interconnect = InterconnectSpec(
+        name="PCIe 3.0 (shared by 4 devices)",
+        bandwidth_per_transfer=2.0e9,
+        node_bandwidth=8.0e9,
+        latency=1.0e-5,
+    )
+    local_disk = DiskSpec(
+        name="node-local disk",
+        read_bandwidth=500.0e6,
+        write_bandwidth=400.0e6,
+        latency=1.0e-3,
+    )
+    # InfiniBand-class fabric: fast enough that a remote local-disk read
+    # costs barely more than a local one (the paper's O5 — scheduling
+    # policy hardly matters on local disks).
+    network = NetworkSpec(
+        name="cluster fabric (InfiniBand-class)",
+        link_bandwidth=3.0e9,
+        fabric_bandwidth=12.0e9,
+        latency=5.0e-5,
+    )
+    shared_disk = DiskSpec(
+        name="GPFS shared disk",
+        read_bandwidth=2.0e9,
+        write_bandwidth=1.5e9,
+        latency=5.0e-3,
+        per_stream_cap=250.0e6,
+    )
+    node = NodeSpec(
+        cpu=cpu,
+        gpu=gpu,
+        interconnect=interconnect,
+        local_disk=local_disk,
+        ram_bytes=128 * GIB,
+    )
+    return ClusterSpec(
+        name=f"minotauro-{num_nodes}",
+        num_nodes=num_nodes,
+        node=node,
+        network=network,
+        shared_disk=shared_disk,
+    )

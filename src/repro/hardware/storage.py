@@ -1,0 +1,30 @@
+"""Storage architectures (§3.4 of the paper).
+
+HPC deployments typically decouple processing from storage through a shared
+file system (GPFS on Minotauro), but node-local disks are also available.
+The choice changes where (de-)serialization traffic lands:
+
+* ``LOCAL`` — blocks live on the disks of their owner nodes; a task reading a
+  block it does not own first pulls it over the network from the owner.
+* ``SHARED`` — every read/write crosses the network to the shared file
+  system, which is a single contended resource for the whole cluster.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class StorageKind(str, enum.Enum):
+    """Which storage architecture the workflow runs against."""
+
+    LOCAL = "local_disk"
+    SHARED = "shared_disk"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def label(self) -> str:
+        """Human-readable name as used in the paper's figures."""
+        return "Local disk" if self is StorageKind.LOCAL else "Shared disk"

@@ -1,0 +1,18 @@
+"""Analytic per-stage cost model for task execution.
+
+Given a :class:`~repro.perfmodel.costmodel.TaskCost` (FLOPs, bytes, work
+items of one task) and the hardware specs, :class:`CostModel` produces the
+durations of the paper's task-processing stages (Figure 4): deserialization,
+serial fraction, parallel fraction (CPU or GPU), CPU-GPU communication, and
+serialization.  The simulated executor stretches the bandwidth-bound stages
+through contended resources; the compute-bound stages use these durations
+directly.
+
+``calibration`` documents why each effective-throughput constant has the
+value it does.
+"""
+
+from repro.perfmodel.costmodel import CostModel, StageTimes, TaskCost
+from repro.perfmodel.calibration import CALIBRATION_NOTES
+
+__all__ = ["CALIBRATION_NOTES", "CostModel", "StageTimes", "TaskCost"]

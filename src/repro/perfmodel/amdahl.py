@@ -1,0 +1,126 @@
+"""Analytic speedup models (Amdahl-style, with transfer overhead).
+
+The paper cites Rafiev et al.'s theoretical treatment of the parallel
+fraction and notes that "a theoretical analysis of the parallel fraction
+is done in [53], but there is no empirical study about it".  This module
+provides the closed-form counterpart to the simulator: given a task's
+cost profile, it predicts the user-code GPU speedup from Amdahl's law
+extended with the CPU-GPU transfer overhead, and derives the break-even
+device speedup below which GPUs cannot win.
+
+The test suite cross-checks these formulas against
+:class:`~repro.perfmodel.CostModel`, and the advisor uses them as a fast
+screening pass before running the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.costmodel import CostModel, TaskCost
+
+
+def amdahl_speedup(parallel_share: float, device_speedup: float) -> float:
+    """Classic Amdahl: overall speedup when only ``parallel_share`` of the
+    work accelerates by ``device_speedup``.
+
+    >>> amdahl_speedup(1.0, 20.0)
+    20.0
+    >>> round(amdahl_speedup(0.5, 2.0), 4)
+    1.3333
+    """
+    if not 0.0 <= parallel_share <= 1.0:
+        raise ValueError("parallel_share must be in [0, 1]")
+    if device_speedup <= 0:
+        raise ValueError("device_speedup must be positive")
+    return 1.0 / ((1.0 - parallel_share) + parallel_share / device_speedup)
+
+
+def amdahl_with_overhead(
+    parallel_share: float, device_speedup: float, overhead_share: float
+) -> float:
+    """Amdahl extended with a fixed overhead (CPU-GPU transfer).
+
+    ``overhead_share`` is the transfer time expressed as a fraction of the
+    total CPU-side user-code time; it is paid only on the accelerated
+    execution.
+    """
+    if overhead_share < 0:
+        raise ValueError("overhead_share must be non-negative")
+    accelerated = (
+        (1.0 - parallel_share) + parallel_share / device_speedup + overhead_share
+    )
+    return 1.0 / accelerated
+
+
+@dataclass(frozen=True)
+class SpeedupPrediction:
+    """Closed-form speedup decomposition for one task profile."""
+
+    parallel_share: float
+    device_speedup: float
+    overhead_share: float
+    parallel_fraction_speedup: float
+    user_code_speedup: float
+
+    @property
+    def amdahl_ceiling(self) -> float:
+        """Best possible user-code speedup at infinite device speed
+        (transfer overhead still paid)."""
+        return 1.0 / ((1.0 - self.parallel_share) + self.overhead_share)
+
+
+def predict(cost: TaskCost, model: CostModel) -> SpeedupPrediction:
+    """Predict stage and user-code speedups for one task analytically."""
+    serial = model.serial_fraction_time(cost)
+    parallel_cpu = model.parallel_fraction_time_cpu(cost)
+    parallel_gpu = model.parallel_fraction_time_gpu(cost)
+    comm = model.cpu_gpu_comm_time(cost)
+    total_cpu = serial + parallel_cpu
+    if total_cpu <= 0:
+        raise ValueError("task has no user-code work")
+    parallel_share = parallel_cpu / total_cpu
+    device_speedup = parallel_cpu / parallel_gpu if parallel_gpu > 0 else 1.0
+    overhead_share = comm / total_cpu
+    return SpeedupPrediction(
+        parallel_share=parallel_share,
+        device_speedup=device_speedup,
+        overhead_share=overhead_share,
+        parallel_fraction_speedup=device_speedup,
+        user_code_speedup=amdahl_with_overhead(
+            parallel_share, device_speedup, overhead_share
+        ),
+    )
+
+
+def breakeven_device_speedup(cost: TaskCost, model: CostModel) -> float | None:
+    """The minimum parallel-fraction device speedup for a GPU win.
+
+    Solves ``amdahl_with_overhead(...) = 1`` for the device speedup.
+    Returns ``None`` when no finite device speedup can compensate the
+    transfer overhead — the paper's add_func regime, where it is never
+    worth using the GPU.
+    """
+    serial = model.serial_fraction_time(cost)
+    parallel_cpu = model.parallel_fraction_time_cpu(cost)
+    comm = model.cpu_gpu_comm_time(cost)
+    total_cpu = serial + parallel_cpu
+    if total_cpu <= 0 or parallel_cpu <= 0:
+        return None
+    parallel_share = parallel_cpu / total_cpu
+    overhead_share = comm / total_cpu
+    # Need parallel_share / s <= parallel_share - overhead_share.
+    headroom = parallel_share - overhead_share
+    if headroom <= 0:
+        return None
+    return parallel_share / headroom
+
+
+def worth_gpu(cost: TaskCost, model: CostModel) -> bool:
+    """The paper's §2 criterion, analytically: the GPU is worth using when
+    the parallel-fraction gain overcomes both transfer and serial time."""
+    try:
+        prediction = predict(cost, model)
+    except ValueError:
+        return False
+    return prediction.user_code_speedup > 1.0

@@ -1,0 +1,124 @@
+"""Calibration rationale for the effective hardware constants.
+
+The paper measured a real cluster; we simulate one.  Absolute seconds are
+therefore not comparable, but every constant in
+:func:`repro.hardware.specs.minotauro` was chosen so the *relationships* the
+paper reports hold.  This module records the reasoning so future changes are
+deliberate, and exposes the numbers programmatically for the ablation
+benchmarks.
+
+Calibration targets (all from the paper):
+
+* Figure 1 — distributed K-means, 10 GB, 256 tasks: parallel-fraction GPU
+  speedup ~5.7x, user-code speedup ~1.2x, *negative* speedup (~-1.2x) once
+  tasks are distributed (only 32 GPUs vs 128 cores, plus data movement).
+* Figure 8 — matmul_func user-code speedup scales with block size up to
+  ~21x; add_func (O(N) work, O(N) bytes) is *slower* on GPU at every block
+  size because PCIe transfer dominates its tiny parallel fraction.
+* Figure 9a — K-means user-code speedup grows with #clusters (quadratic
+  FLOPs vs sub-quadratic serial fraction) and stays below the
+  parallel-fraction speedup ceiling.
+* Figures 7/10 — (de-)serialization dominates once tasks are distributed;
+  local disk beats shared disk; the scheduling policy matters mostly on
+  shared disk and for cheap tasks (K-means).
+
+Derived constants:
+
+* ``CpuSpec.flops_per_core = 16 GFLOP/s`` — effective dgemm rate of one
+  Xeon E5-2630 core (AVX, ~2.4 GHz).
+* ``GpuSpec.flops = 420 GFLOP/s`` — effective double-precision rate of one
+  K80 GK210 through dislib's CuPy path.  The ratio 420/16 = 26.25x is the
+  asymptotic compute-bound device speedup; with the occupancy curve it gives
+  ~21x at the 2048 MB Matmul block, matching Figure 8.
+* ``GpuSpec.saturation_items = 1e7`` — half-occupancy kernel size.  A
+  2048 MB block (2.7e8 elements) reaches ~96% occupancy; a 32 MB block
+  (4e6 elements) only ~29%, reproducing the fine-grained speedup collapse.
+* ``InterconnectSpec.bandwidth_per_transfer = 2 GB/s`` — effective PCIe
+  bandwidth per concurrent transfer with four K80 devices sharing the host
+  bridge.  At this rate add_func's transfer time exceeds its CPU compute
+  time at every block size (the Figure 8 inversion), while matmul_func's
+  O(N^3) compute amortises it.
+* ``CpuSpec.serialization_bandwidth = 1.2 GB/s`` — pickle+NumPy decode rate;
+  together with the disk models it makes (de-)serialization the dominant
+  distributed-mode overhead, as in §5.1.2.
+* ``DiskSpec(shared) = 2 GB/s read / 1.5 GB/s write`` shared by the whole
+  cluster vs ``500/400 MB/s`` per node locally: 8 local disks out-run GPFS,
+  so local storage wins end-to-end (§5.3) even though a single stream is
+  faster on GPFS.
+* ``ClusterSpec.scheduling_latency`` — per-task dispatch cost of the two
+  PyCOMPSs policies (task generation order ~1 ms, data locality ~4 ms); the
+  locality policy pays more per decision but avoids remote reads on local
+  storage, reproducing O5/O6.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.specs import minotauro
+
+#: Mapping of constant name -> (value, justification) for programmatic
+#: access from ablation benchmarks and documentation builds.
+CALIBRATION_NOTES: dict[str, tuple[float, str]] = {
+    "cpu.flops_per_core": (
+        16.0e9,
+        "effective dgemm FLOP/s of one Xeon E5-2630 core",
+    ),
+    "gpu.flops": (
+        420.0e9,
+        "effective FLOP/s of one K80 GK210 via CuPy; 26.25x over one core",
+    ),
+    "gpu.saturation_items": (
+        1.0e7,
+        "half-occupancy kernel size; makes device speedup scale with block size",
+    ),
+    "pcie.bandwidth_per_transfer": (
+        2.0e9,
+        "effective per-transfer PCIe rate with 4 devices per host bridge",
+    ),
+    "cpu.serialization_bandwidth": (
+        1.2e9,
+        "NumPy/pickle (de-)serialization rate of one core",
+    ),
+    "shared_disk.read_bandwidth": (
+        2.0e9,
+        "aggregate GPFS read rate, shared by all nodes",
+    ),
+    "local_disk.read_bandwidth": (
+        500.0e6,
+        "per-node local disk read rate (8 nodes aggregate to 4 GB/s)",
+    ),
+    "scheduling_latency.generation_order": (
+        1.0e-3,
+        "per-task dispatch latency of the FIFO policy",
+    ),
+    "scheduling_latency.data_locality": (
+        4.0e-3,
+        "per-task dispatch latency of the locality-aware policy",
+    ),
+}
+
+
+def verify_calibration_consistency() -> list[str]:
+    """Cross-check that the notes match the Minotauro preset.
+
+    Returns a list of human-readable mismatches (empty when consistent);
+    used by the test suite to keep documentation and code in sync.
+    """
+    spec = minotauro()
+    actual = {
+        "cpu.flops_per_core": spec.node.cpu.flops_per_core,
+        "gpu.flops": spec.node.gpu.flops,
+        "gpu.saturation_items": spec.node.gpu.saturation_items,
+        "pcie.bandwidth_per_transfer": spec.node.interconnect.bandwidth_per_transfer,
+        "cpu.serialization_bandwidth": spec.node.cpu.serialization_bandwidth,
+        "shared_disk.read_bandwidth": spec.shared_disk.read_bandwidth,
+        "local_disk.read_bandwidth": spec.node.local_disk.read_bandwidth,
+        "scheduling_latency.generation_order": spec.scheduling_latency["generation_order"],
+        "scheduling_latency.data_locality": spec.scheduling_latency["data_locality"],
+    }
+    mismatches = []
+    for key, (documented, _why) in CALIBRATION_NOTES.items():
+        if actual.get(key) != documented:
+            mismatches.append(
+                f"{key}: documented {documented!r} but spec has {actual.get(key)!r}"
+            )
+    return mismatches

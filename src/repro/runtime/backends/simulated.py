@@ -1,0 +1,507 @@
+"""Discrete-event execution of a workflow on the simulated cluster.
+
+This backend reproduces the paper's execution pipeline end to end:
+
+* a **dispatcher** process applies the scheduling policy to the ready
+  queue, reserves a CPU core (plus a GPU device for GPU-eligible tasks in
+  GPU mode), pays the per-task dispatch latency, and launches a task
+  process — serialising scheduling decisions exactly like the PyCOMPSs
+  master;
+* each **task process** walks the Figure-4 stages: deserialization
+  (storage read through the contended disk/network channels plus CPU-side
+  decode), serial fraction, parallel fraction (CPU core or GPU device),
+  CPU-GPU communication over the node's PCIe channel, and serialization
+  back to storage;
+* every stage emits trace records, from which the §4.2 metrics are
+  aggregated.
+
+When the DAG's width is 1 the workflow is not distributed at all — the
+single task chain runs on the master with in-memory data, so storage and
+(de-)serialization stages are skipped.  This mirrors the paper's
+observation that the maximum block size incurs "neither task distribution
+nor any overhead caused by it" (§5.3).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.hardware import SimulatedCluster, StorageKind
+from repro.perfmodel import CostModel, TaskCost
+from repro.runtime.dag import TaskGraph
+from repro.runtime.scheduler import Scheduler, SchedulingPolicy, make_scheduler
+from repro.runtime.task import Task
+from repro.sim import (
+    Process,
+    SimEvent,
+    Simulator,
+    Timeout,
+    Transfer,
+    WaitEvent,
+)
+from repro.tracing import Stage, StageRecord, TaskRecord, Trace
+
+@dataclass(frozen=True)
+class ResourceStats:
+    """Aggregate utilisation of the contended cluster resources."""
+
+    peak_cores_in_use: int
+    peak_gpus_in_use: int
+    network_bytes: float
+    shared_disk_read_bytes: float
+    shared_disk_write_bytes: float
+    local_disk_read_bytes: float
+    local_disk_write_bytes: float
+    pcie_bytes: float
+    peak_concurrent_shared_reads: int
+
+
+_ZERO_COST = TaskCost(
+    serial_flops=0.0,
+    parallel_flops=0.0,
+    parallel_items=0.0,
+    arithmetic_intensity=0.0,
+    input_bytes=0,
+    output_bytes=0,
+    host_device_bytes=0,
+    gpu_memory_bytes=0,
+)
+
+
+class _ReadyView:
+    """Lazy, ordered view of the ready queue as Task objects.
+
+    The generation-order policy only inspects the head of the queue, so
+    materialising the whole list on every dispatch would make dispatching
+    O(n^2); this view resolves tasks on demand.
+    """
+
+    def __init__(self, executor: "SimulatedExecutor") -> None:
+        self._executor = executor
+
+    def __len__(self) -> int:
+        return len(self._executor._ready)
+
+    def __getitem__(self, index):
+        ready = self._executor._ready
+        graph = self._executor._graph
+        if isinstance(index, slice):
+            return [graph.task(task_id) for task_id in ready[index]]
+        return graph.task(ready[index])
+
+    def __iter__(self):
+        graph = self._executor._graph
+        for task_id in list(self._executor._ready):
+            yield graph.task(task_id)
+
+
+class _ClusterView:
+    """Read-only cluster view handed to scheduling policies."""
+
+    def __init__(self, cluster: SimulatedCluster, cpu_cores_per_task: int = 1) -> None:
+        self._cluster = cluster
+        self._cpu_cores_per_task = cpu_cores_per_task
+
+    def num_nodes(self) -> int:
+        return len(self._cluster.nodes)
+
+    def has_free_slot(self, node: int, needs_gpu: bool, ram_bytes: int = 0) -> bool:
+        n = self._cluster.nodes[node]
+        cores_needed = 1 if needs_gpu else self._cpu_cores_per_task
+        if n.cores.available < cores_needed:
+            return False
+        if needs_gpu and n.gpus.available < 1:
+            return False
+        if ram_bytes > n.ram_free:
+            return False
+        return True
+
+
+class SimulatedExecutor:
+    """Executes one workflow on a fresh simulated cluster."""
+
+    #: Chunks of the staged host-to-device pipeline when overlap is on.
+    PIPELINE_STAGES = 8
+
+    def __init__(
+        self,
+        cluster_spec,
+        storage: StorageKind,
+        scheduling: SchedulingPolicy,
+        use_gpu: bool,
+        comm_overlap: bool = False,
+        cpu_threads: int = 1,
+        gpu_task_types: frozenset[str] | None = None,
+        jitter_sigma: float = 0.0,
+        jitter_seed: int = 0,
+        warmup_overhead: float = 0.0,
+        gpu_overflow: bool = False,
+    ) -> None:
+        if cpu_threads < 1:
+            raise ValueError("cpu_threads must be >= 1")
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        if warmup_overhead < 0:
+            raise ValueError("warmup_overhead must be non-negative")
+        if cpu_threads > cluster_spec.node.cpu.cores_per_node:
+            raise ValueError(
+                "cpu_threads cannot exceed the cores of one node"
+            )
+        self.cluster_spec = cluster_spec
+        self.storage = storage
+        self.scheduling = scheduling
+        self.use_gpu = use_gpu
+        self.comm_overlap = comm_overlap
+        self.cpu_threads = cpu_threads
+        #: Hybrid mode: when set, only these task types use GPU devices
+        #: (the rest run on CPU cores even in GPU mode).
+        self.gpu_task_types = gpu_task_types
+        self.jitter_sigma = jitter_sigma
+        self.jitter_seed = jitter_seed
+        self.warmup_overhead = warmup_overhead
+        #: Heterogeneous execution (a mitigation the paper's §2 survey
+        #: lists): when all GPU devices are busy, a GPU-eligible task may
+        #: overflow to a free CPU core if that is expected to finish
+        #: sooner than queueing for a device.
+        self.gpu_overflow = gpu_overflow
+        self.cost_model = CostModel(cluster_spec)
+
+    def _jitter(self, duration: float) -> float:
+        """Scale a compute-stage duration by the run's log-normal noise."""
+        if self.jitter_sigma == 0.0 or duration == 0.0:
+            return duration
+        return duration * float(self._rng.lognormal(0.0, self.jitter_sigma))
+
+    def _gpu_intended(self, task: Task) -> bool:
+        """Static device intent (processor-type factor + hybrid per-type
+        placement), before any overflow decision."""
+        if not self.use_gpu or not task.gpu_eligible:
+            return False
+        if self.gpu_task_types is not None and task.name not in self.gpu_task_types:
+            return False
+        return True
+
+    def _task_on_gpu(self, task: Task) -> bool:
+        """Device decision for one task at dispatch time.
+
+        With ``gpu_overflow`` on, a GPU-intended task falls back to a CPU
+        core when (a) its working set cannot fit the device at all, or
+        (b) every device is busy and running on a core is expected to
+        finish sooner than queueing: the expected device wait is
+        approximated as (GPU-intended ready tasks / total devices) x the
+        task's own device time.
+        """
+        if not self._gpu_intended(task):
+            return False
+        if not self.gpu_overflow:
+            return True
+        cost = task.cost or _ZERO_COST
+        if cost.gpu_memory_bytes > self.cluster_spec.node.gpu.memory_bytes:
+            return False
+        if not hasattr(self, "cluster"):
+            return True  # pre-simulation (memory precheck) path
+        if any(node.gpus.available > 0 for node in self.cluster.nodes):
+            return True
+        gpu_time = self.cost_model.user_code_time(cost, use_gpu=True)
+        cpu_time = self.cost_model.user_code_time(cost, use_gpu=False)
+        ready_gpu = sum(
+            1
+            for task_id in self._ready
+            if self._gpu_intended(self._graph.task(task_id))
+        )
+        expected_wait = (ready_gpu / max(self.cluster_spec.total_gpus, 1)) * gpu_time
+        return gpu_time + expected_wait <= cpu_time
+
+    # ------------------------------------------------------------- driving
+    def execute(self, graph: TaskGraph) -> Trace:
+        """Run the workflow to completion; returns the trace.
+
+        Raises :class:`~repro.hardware.GpuOutOfMemoryError` or
+        :class:`~repro.hardware.HostOutOfMemoryError` up front when any
+        task's working set cannot fit, matching the paper's "GPU OOM"
+        regions (the run never starts).
+        """
+        self._precheck_memory(graph)
+        import numpy as _np
+
+        self._rng = _np.random.default_rng(self.jitter_seed)
+        self._warmed_cores: set[tuple[int, int]] = set()
+        self.sim = Simulator()
+        self.cluster = SimulatedCluster(self.sim, self.cluster_spec)
+        self.trace = Trace()
+        self.scheduler: Scheduler = make_scheduler(self.scheduling)
+        self._view = _ClusterView(self.cluster, self.cpu_threads)
+        self._levels = graph.levels()
+        self._no_distribution = graph.width == 1
+        self._graph = graph
+        self._indegree = {
+            t.task_id: len(graph.predecessors(t.task_id)) for t in graph.tasks()
+        }
+        self._ready: list[int] = sorted(
+            t.task_id for t in graph.tasks() if self._indegree[t.task_id] == 0
+        )
+        self._completed = 0
+        self._total = graph.num_tasks
+        self._wake: SimEvent | None = None
+        self._free_cores = {
+            node.index: list(range(node.cores.capacity))
+            for node in self.cluster.nodes
+        }
+        self._dispatch_latency = self.cluster_spec.scheduling_latency[
+            self.scheduling.value
+        ]
+        Process(self.sim, self._dispatcher(), name="dispatcher")
+        self.sim.run()
+        if self._completed != self._total:
+            raise RuntimeError(
+                f"simulation deadlocked: {self._completed}/{self._total} "
+                "tasks completed"
+            )
+        return self.trace
+
+    def resource_stats(self) -> ResourceStats:
+        """Utilisation counters collected during :meth:`execute`."""
+        nodes = self.cluster.nodes
+        return ResourceStats(
+            peak_cores_in_use=sum(n.cores.peak_in_use for n in nodes),
+            peak_gpus_in_use=sum(n.gpus.peak_in_use for n in nodes),
+            network_bytes=self.cluster.network.bytes_transferred,
+            shared_disk_read_bytes=self.cluster.shared_disk_read.bytes_transferred,
+            shared_disk_write_bytes=self.cluster.shared_disk_write.bytes_transferred,
+            local_disk_read_bytes=sum(
+                n.disk_read.bytes_transferred for n in nodes
+            ),
+            local_disk_write_bytes=sum(
+                n.disk_write.bytes_transferred for n in nodes
+            ),
+            pcie_bytes=sum(n.pcie.bytes_transferred for n in nodes),
+            peak_concurrent_shared_reads=self.cluster.shared_disk_read.peak_jobs,
+        )
+
+    def _precheck_memory(self, graph: TaskGraph) -> None:
+        for task in graph.tasks():
+            cost = task.cost or _ZERO_COST
+            self.cost_model.check_host_memory(cost)
+            if self._gpu_intended(task) and not self.gpu_overflow:
+                self.cost_model.check_gpu_memory(cost)
+
+    # ----------------------------------------------------------- dispatcher
+    def _dispatcher(self) -> Generator:
+        ready_view = _ReadyView(self)
+        while self._completed < self._total:
+            while True:
+                assignment = self.scheduler.select(
+                    ready_view, self._view, self._task_on_gpu
+                )
+                if assignment is None:
+                    break
+                task = assignment.task
+                node = self.cluster.nodes[assignment.node]
+                task_on_gpu = self._task_on_gpu(task)
+                cores_needed = 1 if task_on_gpu else self.cpu_threads
+                if not node.cores.try_request(cores_needed):
+                    raise RuntimeError("scheduler chose a node without free cores")
+                if task_on_gpu and not node.gpus.try_request(1):
+                    node.cores.release(cores_needed)
+                    raise RuntimeError("scheduler chose a node without free GPUs")
+                task_ram = task.cost.host_memory_bytes if task.cost else 0
+                node.reserve_ram(task_ram)
+                core_slot = self._free_cores[node.index].pop()
+                del self._ready[bisect.bisect_left(self._ready, task.task_id)]
+                yield Timeout(self._dispatch_latency + self._scan_latency())
+                Process(
+                    self.sim,
+                    self._run_task(task, node.index, core_slot, task_on_gpu),
+                    name=f"task{task.task_id}",
+                )
+            if self._completed < self._total:
+                self._wake = SimEvent(name="dispatcher.wake")
+                yield WaitEvent(self._wake)
+
+    def _scan_latency(self) -> float:
+        """Queue-length-dependent decision cost of the locality policy."""
+        if self.scheduling is not SchedulingPolicy.DATA_LOCALITY:
+            return 0.0
+        scanned = min(len(self._ready), self.cluster_spec.locality_scan_cap)
+        return scanned * self.cluster_spec.locality_scan_seconds_per_task
+
+    def _on_task_done(self, task: Task) -> None:
+        self._completed += 1
+        for successor in self._graph.successors(task.task_id):
+            self._indegree[successor.task_id] -= 1
+            if self._indegree[successor.task_id] == 0:
+                bisect.insort(self._ready, successor.task_id)
+        if self._wake is not None and not self._wake.fired:
+            self._wake.succeed()
+
+    # -------------------------------------------------------- task process
+    def _run_task(
+        self,
+        task: Task,
+        node_index: int,
+        core_slot: int,
+        task_on_gpu: bool,
+    ) -> Generator:
+        node = self.cluster.nodes[node_index]
+        cost = task.cost or _ZERO_COST
+        level = self._levels[task.task_id]
+        task_start = self.sim.now
+
+        def record(stage: Stage, start: float) -> None:
+            self.trace.add_stage(
+                StageRecord(
+                    task_id=task.task_id,
+                    task_type=task.name,
+                    stage=stage,
+                    start=start,
+                    end=self.sim.now,
+                    node=node_index,
+                    core=core_slot,
+                    level=level,
+                    used_gpu=task_on_gpu,
+                )
+            )
+
+        # --- warm-up: first task on a core loads modules / compiles -----
+        if self.warmup_overhead > 0 and (node_index, core_slot) not in self._warmed_cores:
+            self._warmed_cores.add((node_index, core_slot))
+            start = self.sim.now
+            yield Timeout(self.warmup_overhead)
+            record(Stage.SCHEDULING, start)
+
+        # --- deserialization: storage read + CPU-side decode ------------
+        if not self._no_distribution:
+            start = self.sim.now
+            for ref in task.inputs:
+                yield from self._read_input(node_index, ref.home_node, ref.size_bytes)
+            decode = self._jitter(self.cost_model.deserialization_cpu_time(cost))
+            if decode > 0:
+                yield Timeout(decode)
+            record(Stage.DESERIALIZATION, start)
+
+        # --- serial fraction --------------------------------------------
+        serial = self._jitter(self.cost_model.serial_fraction_time(cost))
+        if serial > 0:
+            start = self.sim.now
+            yield Timeout(serial)
+            record(Stage.SERIAL_FRACTION, start)
+
+        # --- parallel fraction (+ CPU-GPU communication on GPU) ---------
+        if task_on_gpu:
+            device = node.claim_gpu()
+            device.allocate(cost.gpu_memory_bytes)
+            try:
+                d2h = min(cost.output_bytes, cost.host_device_bytes)
+                h2d = cost.host_device_bytes - d2h
+                pf = self._jitter(self.cost_model.parallel_fraction_time_gpu(cost))
+                if self.comm_overlap and h2d > 0 and pf > 0:
+                    yield from self._overlapped_gpu_phase(node, h2d, pf, record)
+                else:
+                    if h2d > 0:
+                        start = self.sim.now
+                        yield Transfer(node.pcie, h2d)
+                        record(Stage.CPU_GPU_COMM, start)
+                    if pf > 0:
+                        start = self.sim.now
+                        yield Timeout(pf)
+                        record(Stage.PARALLEL_FRACTION, start)
+                if d2h > 0:
+                    start = self.sim.now
+                    yield Transfer(node.pcie, d2h)
+                    record(Stage.CPU_GPU_COMM, start)
+            finally:
+                device.release(cost.gpu_memory_bytes)
+        else:
+            pf = self._jitter(
+                self.cost_model.parallel_fraction_time_cpu(cost, self.cpu_threads)
+            )
+            if pf > 0:
+                start = self.sim.now
+                yield Timeout(pf)
+                record(Stage.PARALLEL_FRACTION, start)
+
+        # --- serialization: CPU-side encode + storage write --------------
+        if not self._no_distribution:
+            start = self.sim.now
+            encode = self._jitter(self.cost_model.serialization_cpu_time(cost))
+            if encode > 0:
+                yield Timeout(encode)
+            if cost.output_bytes > 0:
+                yield from self._write_output(node_index, cost.output_bytes)
+            record(Stage.SERIALIZATION, start)
+        for ref in task.outputs:
+            ref.home_node = node_index
+
+        # --- bookkeeping --------------------------------------------------
+        self.trace.add_task(
+            TaskRecord(
+                task_id=task.task_id,
+                task_type=task.name,
+                start=task_start,
+                end=self.sim.now,
+                node=node_index,
+                core=core_slot,
+                level=level,
+                used_gpu=task_on_gpu,
+            )
+        )
+        self._free_cores[node_index].append(core_slot)
+        node.cores.release(1 if task_on_gpu else self.cpu_threads)
+        node.release_ram(cost.host_memory_bytes if task.cost else 0)
+        if task_on_gpu:
+            node.gpus.release(1)
+        self._on_task_done(task)
+
+    def _overlapped_gpu_phase(self, node, h2d: int, pf: float, record) -> Generator:
+        """Staged-pipeline host-to-device transfer overlapping the kernel.
+
+        The transfer streams in :attr:`PIPELINE_STAGES` chunks; the kernel
+        starts once the first chunk has landed and the two proceed
+        concurrently.  Only the *exposed* communication (pipeline fill and
+        any post-kernel drain) is recorded as CPU-GPU communication, which
+        is what Python-side timers would observe.
+        """
+        pcie = self.cluster_spec.node.interconnect
+        fill_start = self.sim.now
+        transfer = Process(
+            self.sim,
+            self._stream_h2d(node, h2d),
+            name="h2d-pipeline",
+        )
+        fill = pcie.latency + (h2d / self.PIPELINE_STAGES) / pcie.bandwidth_per_transfer
+        yield Timeout(fill)
+        record(Stage.CPU_GPU_COMM, fill_start)
+        kernel_start = self.sim.now
+        yield Timeout(pf)
+        record(Stage.PARALLEL_FRACTION, kernel_start)
+        drain_start = self.sim.now
+        yield WaitEvent(transfer.done)
+        if self.sim.now > drain_start:
+            record(Stage.CPU_GPU_COMM, drain_start)
+
+    def _stream_h2d(self, node, nbytes: int) -> Generator:
+        yield Transfer(node.pcie, nbytes)
+
+    # ------------------------------------------------------------- storage
+    def _read_input(self, node_index: int, home_node: int, nbytes: int) -> Generator:
+        if nbytes <= 0:
+            return
+        if self.storage is StorageKind.SHARED:
+            yield Transfer(self.cluster.network, nbytes)
+            yield Transfer(self.cluster.shared_disk_read, nbytes)
+        else:
+            owner = self.cluster.nodes[home_node]
+            yield Transfer(owner.disk_read, nbytes)
+            if home_node != node_index:
+                yield Transfer(self.cluster.network, nbytes)
+
+    def _write_output(self, node_index: int, nbytes: int) -> Generator:
+        if nbytes <= 0:
+            return
+        if self.storage is StorageKind.SHARED:
+            yield Transfer(self.cluster.network, nbytes)
+            yield Transfer(self.cluster.shared_disk_write, nbytes)
+        else:
+            yield Transfer(self.cluster.nodes[node_index].disk_write, nbytes)

@@ -1,0 +1,167 @@
+"""Workflow DAG construction and shape analysis (§3.1).
+
+Vertices are tasks; edges are data dependencies, detected automatically
+from producer/consumer :class:`DataRef` relationships.  The DAG's shape
+reveals the workflow's parallelism profile: its *width* (the largest
+number of tasks on one level) is the degree of task parallelism and its
+*height* (number of levels on the longest path) is the degree of task
+dependency — compare the wide-shallow Matmul DAG to the narrow-deep
+K-means DAG in the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.runtime.task import Task
+
+
+class CycleError(ValueError):
+    """Raised when task dependencies form a cycle (cannot happen through
+    the submit API, but guards hand-built graphs)."""
+
+
+class TaskGraph:
+    """A directed acyclic graph of tasks keyed by data dependencies."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[int, Task] = {}
+        self._successors: dict[int, list[int]] = {}
+        self._predecessors: dict[int, list[int]] = {}
+        self._producer_of_ref: dict[int, int] = {}
+        self._levels: dict[int, int] | None = None
+
+    # ------------------------------------------------------------ building
+    def add_task(self, task: Task) -> None:
+        """Insert a task; dependency edges follow from its input refs."""
+        if task.task_id in self._tasks:
+            raise ValueError(f"duplicate task id {task.task_id}")
+        self._tasks[task.task_id] = task
+        self._successors[task.task_id] = []
+        self._predecessors[task.task_id] = []
+        for ref in task.inputs:
+            producer = self._producer_of_ref.get(ref.ref_id)
+            if producer is not None and producer != task.task_id:
+                self._successors[producer].append(task.task_id)
+                self._predecessors[task.task_id].append(producer)
+        for ref in task.outputs:
+            self._producer_of_ref[ref.ref_id] = task.task_id
+        self._levels = None
+
+    # ----------------------------------------------------------- accessors
+    @property
+    def num_tasks(self) -> int:
+        """Number of vertices."""
+        return len(self._tasks)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of dependency edges."""
+        return sum(len(s) for s in self._successors.values())
+
+    def tasks(self) -> list[Task]:
+        """All tasks in insertion (generation) order."""
+        return list(self._tasks.values())
+
+    def task(self, task_id: int) -> Task:
+        """Look up a task by id."""
+        return self._tasks[task_id]
+
+    def successors(self, task_id: int) -> list[Task]:
+        """Tasks depending on the given task."""
+        return [self._tasks[t] for t in self._successors[task_id]]
+
+    def predecessors(self, task_id: int) -> list[Task]:
+        """Tasks the given task depends on."""
+        return [self._tasks[t] for t in self._predecessors[task_id]]
+
+    def roots(self) -> list[Task]:
+        """Tasks with no dependencies (immediately schedulable)."""
+        return [t for t in self._tasks.values() if not self._predecessors[t.task_id]]
+
+    # ------------------------------------------------------------- shape
+    def topological_order(self) -> list[Task]:
+        """Kahn topological order; raises :class:`CycleError` on cycles."""
+        indegree = {t: len(p) for t, p in self._predecessors.items()}
+        queue = deque(sorted(t for t, d in indegree.items() if d == 0))
+        order: list[Task] = []
+        while queue:
+            task_id = queue.popleft()
+            order.append(self._tasks[task_id])
+            for succ in self._successors[task_id]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(self._tasks):
+            raise CycleError("task dependencies contain a cycle")
+        return order
+
+    def levels(self) -> dict[int, int]:
+        """Longest-path level of every task (roots are level 0)."""
+        if self._levels is None:
+            levels: dict[int, int] = {}
+            for task in self.topological_order():
+                preds = self._predecessors[task.task_id]
+                levels[task.task_id] = (
+                    max(levels[p] for p in preds) + 1 if preds else 0
+                )
+            self._levels = levels
+        return dict(self._levels)
+
+    def tasks_by_level(self) -> dict[int, list[Task]]:
+        """Tasks grouped by level, ascending."""
+        grouped: dict[int, list[Task]] = {}
+        for task_id, level in self.levels().items():
+            grouped.setdefault(level, []).append(self._tasks[task_id])
+        return {level: grouped[level] for level in sorted(grouped)}
+
+    @property
+    def width(self) -> int:
+        """Maximum tasks on one level: the degree of task parallelism."""
+        by_level = self.tasks_by_level()
+        return max((len(tasks) for tasks in by_level.values()), default=0)
+
+    @property
+    def height(self) -> int:
+        """Number of levels on the longest path: the degree of dependency."""
+        levels = self.levels()
+        return max(levels.values()) + 1 if levels else 0
+
+    def describe(self) -> str:
+        """One-line shape summary (used by the Figure 6 experiment)."""
+        return (
+            f"{self.num_tasks} tasks, {self.num_edges} edges, "
+            f"width {self.width}, height {self.height}"
+        )
+
+    def to_dot(self, name: str = "workflow", max_tasks: int = 1000) -> str:
+        """Graphviz DOT text of the DAG (the paper's Figure 6 style).
+
+        Vertices are tasks labelled by type and coloured per type; edges
+        are data dependencies.  Raises for graphs beyond ``max_tasks`` —
+        DOT renderings of huge DAGs are unreadable anyway.
+        """
+        if self.num_tasks > max_tasks:
+            raise ValueError(
+                f"graph has {self.num_tasks} tasks; raise max_tasks to "
+                "export anyway"
+            )
+        palette = (
+            "lightblue", "white", "lightyellow", "lightpink", "lightgreen",
+            "lightgrey", "orange",
+        )
+        colour_of: dict[str, str] = {}
+        lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [style=filled];"]
+        for task in self._tasks.values():
+            colour = colour_of.setdefault(
+                task.name, palette[len(colour_of) % len(palette)]
+            )
+            lines.append(
+                f'  t{task.task_id} [label="{task.name}\\n#{task.task_id}" '
+                f'fillcolor={colour}];'
+            )
+        for task_id, successors in self._successors.items():
+            for successor in successors:
+                lines.append(f"  t{task_id} -> t{successor};")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""The runtime facade: submit tasks, build the DAG, execute, collect traces.
+
+Mirrors the user-visible surface of PyCOMPSs: applications register input
+data, call task functions (directly via :meth:`Runtime.submit` or through
+the :func:`~repro.runtime.task.task` decorator while the runtime is active
+as a context manager), and finally :meth:`Runtime.run` the workflow on the
+configured backend.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.hardware import ClusterSpec, StorageKind, minotauro
+from repro.perfmodel import TaskCost
+from repro.runtime.backends.inprocess import InProcessExecutor
+from repro.runtime.backends.simulated import SimulatedExecutor
+from repro.runtime.dag import TaskGraph
+from repro.runtime.data import DataRef
+from repro.runtime.scheduler import SchedulingPolicy
+from repro.runtime.task import Task
+from repro.tracing import Trace
+
+_active_runtimes: list["Runtime"] = []
+
+
+def current_runtime() -> "Runtime | None":
+    """The innermost active runtime, if any (used by the task decorator)."""
+    return _active_runtimes[-1] if _active_runtimes else None
+
+
+class Backend(str, enum.Enum):
+    """Which executor runs the workflow."""
+
+    SIMULATED = "simulated"
+    IN_PROCESS = "in_process"
+    THREADED = "threaded"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything that defines an execution environment (Table 1 factors
+    of the *resources* and *system* dimensions)."""
+
+    cluster: ClusterSpec = field(default_factory=minotauro)
+    storage: StorageKind = StorageKind.SHARED
+    scheduling: SchedulingPolicy = SchedulingPolicy.GENERATION_ORDER
+    #: Run GPU-eligible tasks on GPU devices (processor-type factor).
+    use_gpu: bool = False
+    backend: Backend = Backend.SIMULATED
+    #: Staged-pipeline mitigation: overlap host-to-device transfer with
+    #: kernel execution (§1's "staged pipeline" technique).  Off by
+    #: default, matching the paper's measured configuration.
+    comm_overlap: bool = False
+    #: CPU cores per CPU-based task.  The paper's runtime pins one task
+    #: per core (§3.3); values > 1 model OpenMP-style multi-threaded tasks
+    #: for the over-subscription micro-benchmark.
+    cpu_threads_per_task: int = 1
+    #: Hybrid heterogeneous execution: when set (and ``use_gpu`` is on),
+    #: only these task types run on GPU devices; everything else stays on
+    #: CPU cores.  ``WorkflowAdvisor.plan_hybrid`` derives a good set
+    #: analytically.
+    gpu_task_types: frozenset[str] | None = None
+    #: Run-to-run variability: compute-stage durations are multiplied by
+    #: log-normal noise with this sigma (0 = fully deterministic).  Lets
+    #: experiments follow the paper's protocol of repeated runs (§5).
+    jitter_sigma: float = 0.0
+    #: Seed for the jitter stream; vary per repetition.
+    jitter_seed: int = 0
+    #: Extra seconds added to the first task on each core/worker — module
+    #: loading and GPU kernel compilation, the warm-up effects the paper
+    #: discards its first run over (§5).
+    warmup_overhead: float = 0.0
+    #: Heterogeneous execution: let GPU-eligible tasks overflow to free
+    #: CPU cores when queueing for a device is expected to be slower (a
+    #: mitigation technique from the paper's §2 survey).
+    gpu_overflow_to_cpu: bool = False
+    #: Worker threads of the THREADED backend.
+    thread_workers: int = 4
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of one workflow execution."""
+
+    trace: Trace
+    graph: TaskGraph
+    config: RuntimeConfig
+    #: Ref-id -> value bindings (in-process backend only).
+    data: dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Wall time of the whole workflow."""
+        return self.trace.makespan
+
+    def value_of(self, ref: DataRef) -> Any:
+        """The real value bound to a ref (in-process backend only)."""
+        if ref.ref_id not in self.data:
+            raise KeyError(f"no value bound for {ref!r}")
+        return self.data[ref.ref_id]
+
+
+class Runtime:
+    """Task submission front-end bound to one configuration.
+
+    Use as a context manager so decorated task functions route through it::
+
+        rt = Runtime(RuntimeConfig(use_gpu=True))
+        with rt:
+            c = matmul_func(a, b, _cost=cost)   # records a task
+        result = rt.run()
+    """
+
+    def __init__(self, config: RuntimeConfig | None = None) -> None:
+        self.config = config or RuntimeConfig()
+        self.graph = TaskGraph()
+        self._task_ids = itertools.count()
+        self._data: dict[int, Any] = {}
+        self._input_node_rr = itertools.count()
+
+    # --------------------------------------------------------- context mgmt
+    def __enter__(self) -> "Runtime":
+        _active_runtimes.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        popped = _active_runtimes.pop()
+        if popped is not self:  # pragma: no cover - defensive
+            raise RuntimeError("runtime context stack corrupted")
+
+    # ------------------------------------------------------------- data API
+    def register_input(
+        self,
+        size_bytes: int,
+        name: str = "",
+        home_node: int | None = None,
+        value: Any = None,
+    ) -> DataRef:
+        """Register a workflow input block.
+
+        ``home_node`` defaults to round-robin placement over the cluster
+        nodes, the way a distributed array's blocks are spread.  ``value``
+        binds a real array for the in-process backend.
+        """
+        if home_node is None:
+            home_node = next(self._input_node_rr) % self.config.cluster.num_nodes
+        ref = DataRef(size_bytes=size_bytes, name=name, home_node=home_node)
+        if value is not None:
+            self._data[ref.ref_id] = value
+        return ref
+
+    # ------------------------------------------------------------- task API
+    def submit(
+        self,
+        name: str,
+        inputs: Sequence[DataRef],
+        cost: TaskCost | None = None,
+        fn: Any = None,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+        n_outputs: int = 1,
+        output_bytes: Sequence[int] | None = None,
+    ) -> list[DataRef]:
+        """Record one task; returns refs for its future outputs.
+
+        ``output_bytes`` gives the size of each produced object; when
+        omitted it defaults to an even split of ``cost.output_bytes``.
+        """
+        if output_bytes is None:
+            total = cost.output_bytes if cost is not None else 0
+            output_bytes = [total // n_outputs] * n_outputs if n_outputs else []
+        if len(output_bytes) != n_outputs:
+            raise ValueError(
+                f"task {name}: {n_outputs} outputs but "
+                f"{len(output_bytes)} output sizes"
+            )
+        task_id = next(self._task_ids)
+        outputs = tuple(
+            DataRef(size_bytes=size, name=f"{name}#{task_id}.out{i}")
+            for i, size in enumerate(output_bytes)
+        )
+        if not args:
+            args = tuple(inputs)
+        record = Task(
+            task_id=task_id,
+            name=name,
+            inputs=tuple(inputs),
+            outputs=outputs,
+            cost=cost,
+            fn=fn,
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+        )
+        self.graph.add_task(record)
+        return list(outputs)
+
+    # ------------------------------------------------------------ execution
+    def run(self) -> WorkflowResult:
+        """Execute the recorded workflow on the configured backend."""
+        if self.config.backend is Backend.IN_PROCESS:
+            trace = InProcessExecutor().execute(self.graph, self._data)
+            return WorkflowResult(
+                trace=trace, graph=self.graph, config=self.config, data=self._data
+            )
+        if self.config.backend is Backend.THREADED:
+            from repro.runtime.backends.threaded import ThreadedExecutor
+
+            trace = ThreadedExecutor(self.config.thread_workers).execute(
+                self.graph, self._data
+            )
+            return WorkflowResult(
+                trace=trace, graph=self.graph, config=self.config, data=self._data
+            )
+        executor = SimulatedExecutor(
+            cluster_spec=self.config.cluster,
+            storage=self.config.storage,
+            scheduling=self.config.scheduling,
+            use_gpu=self.config.use_gpu,
+            comm_overlap=self.config.comm_overlap,
+            cpu_threads=self.config.cpu_threads_per_task,
+            gpu_task_types=self.config.gpu_task_types,
+            jitter_sigma=self.config.jitter_sigma,
+            jitter_seed=self.config.jitter_seed,
+            warmup_overhead=self.config.warmup_overhead,
+            gpu_overflow=self.config.gpu_overflow_to_cpu,
+        )
+        trace = executor.execute(self.graph)
+        return WorkflowResult(trace=trace, graph=self.graph, config=self.config)

@@ -1,0 +1,189 @@
+"""Task scheduling policies (§3.2).
+
+PyCOMPSs offers several schedulers; the paper evaluates two:
+
+* **Task generation order** (FIFO) — dispatch ready tasks in the order the
+  application generated them, to the first node with free resources.
+  Cheap decisions (low per-task latency).
+* **Data locality** — prefer the node holding the largest share of a
+  task's input bytes.  Better placement on local-disk storage at the price
+  of a costlier decision per task.
+
+The scheduler only *chooses* ``(task, node)``; resource reservation and
+dispatch latency are applied by the executor, so policies stay pure and
+easily testable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.runtime.task import Task
+
+#: Decides whether one task must be placed on a GPU device.
+GpuPredicate = Callable[[Task], bool]
+
+
+def task_ram_bytes(task: Task) -> int:
+    """Host working set a node must have free to run ``task``."""
+    return task.cost.host_memory_bytes if task.cost is not None else 0
+
+
+class SchedulingPolicy(str, enum.Enum):
+    """Which scheduling policy the runtime uses.
+
+    The paper evaluates ``GENERATION_ORDER`` and ``DATA_LOCALITY``
+    (§4.4.2); ``LIFO`` is the third policy PyCOMPSs ships and is provided
+    for completeness — it prioritises freshly generated tasks, which
+    keeps hot intermediate data in use.
+    """
+
+    GENERATION_ORDER = "generation_order"
+    DATA_LOCALITY = "data_locality"
+    LIFO = "lifo"
+
+    @property
+    def label(self) -> str:
+        """Name as used in the paper's figures."""
+        if self is SchedulingPolicy.GENERATION_ORDER:
+            return "task generation order"
+        if self is SchedulingPolicy.LIFO:
+            return "LIFO"
+        return "data locality"
+
+
+class ClusterView(Protocol):
+    """What a scheduler may observe about the cluster."""
+
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+
+    def has_free_slot(self, node: int, needs_gpu: bool, ram_bytes: int = 0) -> bool:
+        """Whether ``node`` can start one more task right now."""
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A scheduling decision: run ``task`` on ``node``."""
+
+    task: Task
+    node: int
+
+
+class Scheduler:
+    """Base class: pick the next assignment from the ready queue.
+
+    ``ready`` is ordered by task generation (ascending task id); policies
+    may reorder.  Returns ``None`` when no ready task fits any node.
+    """
+
+    policy: SchedulingPolicy
+
+    def select(
+        self,
+        ready: Sequence[Task],
+        cluster: ClusterView,
+        requires_gpu: GpuPredicate,
+    ) -> Assignment | None:
+        raise NotImplementedError
+
+
+class GenerationOrderScheduler(Scheduler):
+    """FIFO dispatch with round-robin node choice.
+
+    The round-robin start index spreads consecutive tasks over nodes the
+    way PyCOMPSs' ready scheduler spreads work over workers.
+    """
+
+    policy = SchedulingPolicy.GENERATION_ORDER
+
+    def __init__(self) -> None:
+        self._next_node = 0
+
+    def select(
+        self,
+        ready: Sequence[Task],
+        cluster: ClusterView,
+        requires_gpu: GpuPredicate,
+    ) -> Assignment | None:
+        if not ready:
+            return None
+        task = ready[0]
+        n = cluster.num_nodes()
+        for offset in range(n):
+            node = (self._next_node + offset) % n
+            if cluster.has_free_slot(node, requires_gpu(task), task_ram_bytes(task)):
+                self._next_node = (node + 1) % n
+                return Assignment(task=task, node=node)
+        return None
+
+
+class LifoScheduler(Scheduler):
+    """Dispatch the most recently generated ready task first."""
+
+    policy = SchedulingPolicy.LIFO
+
+    def __init__(self) -> None:
+        self._next_node = 0
+
+    def select(
+        self,
+        ready: Sequence[Task],
+        cluster: ClusterView,
+        requires_gpu: GpuPredicate,
+    ) -> Assignment | None:
+        if not ready:
+            return None
+        task = ready[len(ready) - 1]
+        n = cluster.num_nodes()
+        for offset in range(n):
+            node = (self._next_node + offset) % n
+            if cluster.has_free_slot(node, requires_gpu(task), task_ram_bytes(task)):
+                self._next_node = (node + 1) % n
+                return Assignment(task=task, node=node)
+        return None
+
+
+class DataLocalityScheduler(Scheduler):
+    """Prefer the node owning the most input bytes of the head task.
+
+    Falls back to the free node with the best locality score, so tasks
+    never starve when their preferred node is busy.
+    """
+
+    policy = SchedulingPolicy.DATA_LOCALITY
+
+    def select(
+        self,
+        ready: Sequence[Task],
+        cluster: ClusterView,
+        requires_gpu: GpuPredicate,
+    ) -> Assignment | None:
+        for task in ready:
+            best_node: int | None = None
+            best_bytes = -1
+            for node in range(cluster.num_nodes()):
+                if not cluster.has_free_slot(node, requires_gpu(task), task_ram_bytes(task)):
+                    continue
+                local_bytes = sum(
+                    ref.size_bytes for ref in task.inputs if ref.home_node == node
+                )
+                if local_bytes > best_bytes:
+                    best_bytes = local_bytes
+                    best_node = node
+            if best_node is not None:
+                return Assignment(task=task, node=best_node)
+        return None
+
+
+def make_scheduler(policy: SchedulingPolicy) -> Scheduler:
+    """Instantiate the scheduler for a policy."""
+    if policy is SchedulingPolicy.GENERATION_ORDER:
+        return GenerationOrderScheduler()
+    if policy is SchedulingPolicy.DATA_LOCALITY:
+        return DataLocalityScheduler()
+    if policy is SchedulingPolicy.LIFO:
+        return LifoScheduler()
+    raise ValueError(f"unknown scheduling policy: {policy!r}")

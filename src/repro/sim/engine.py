@@ -1,0 +1,148 @@
+"""Deterministic discrete-event simulation core.
+
+The :class:`Simulator` keeps a priority queue of scheduled callbacks keyed by
+``(time, sequence)``.  The sequence number makes execution order fully
+deterministic for events scheduled at the same simulated instant, which in
+turn makes every experiment in this repository reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven in an inconsistent way."""
+
+
+class ScheduledEvent:
+    """A callback scheduled at a simulated time.
+
+    Instances are returned by :meth:`Simulator.schedule` so callers can cancel
+    pending events (e.g. a processor-sharing resource rescheduling the next
+    completion when a new job arrives).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def cancel(self) -> None:
+        """Mark the event so the event loop skips it."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"ScheduledEvent(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.schedule(2.0, seen.append, "b")
+    >>> _ = sim.schedule(1.0, seen.append, "a")
+    >>> sim.run()
+    >>> seen
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (useful for diagnostics)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (cancelled events included)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = ScheduledEvent(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the queue drains or simulated time passes ``until``.
+
+        When ``until`` is given, events scheduled after it remain queued and
+        the clock is advanced exactly to ``until``.
+        """
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+        if until is not None and until > self._now:
+            self._now = until
+
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False

@@ -1,0 +1,83 @@
+"""One-shot synchronisation events for simulated processes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.engine import SimulationError
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    The event starts pending; :meth:`succeed` (or :meth:`fail`) fires it and
+    invokes every registered callback exactly once.  Callbacks added after the
+    event fired are invoked immediately, which lets late joiners (e.g. a
+    scheduler waiting for a task that already finished) behave uniformly.
+    """
+
+    __slots__ = ("_fired", "_value", "_error", "_callbacks", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._callbacks: list[Callable[["SimEvent"], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event has been triggered."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (no error)."""
+        return self._fired and self._error is None
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed`.
+
+        Raises the stored error if the event failed, and
+        :class:`SimulationError` if the event has not fired yet.
+        """
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def error(self) -> BaseException | None:
+        """The exception passed to :meth:`fail`, if any."""
+        return self._error
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the event successfully with an optional payload."""
+        self._fire(value, None)
+
+    def fail(self, error: BaseException) -> None:
+        """Fire the event with an error; waiters receive the exception."""
+        self._fire(None, error)
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Run ``callback(self)`` when the event fires (now, if already fired)."""
+        if self._fired:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self, value: Any, error: BaseException | None) -> None:
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else "pending"
+        return f"SimEvent({self.name!r}, {state})"

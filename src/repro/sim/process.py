@@ -1,0 +1,172 @@
+"""Cooperative processes on top of the event loop.
+
+A process is a Python generator that yields *commands*; the engine executes
+the command and resumes the generator when it completes.  This mirrors the
+SimPy programming style and keeps executor code (e.g. "acquire a CPU core,
+read the block, run the kernel, release") readable as straight-line prose.
+
+Supported commands:
+
+* :class:`Timeout` — sleep for simulated seconds.
+* :class:`Acquire` / :class:`Release` — slots on a :class:`CapacityResource`.
+* :class:`Transfer` — move bytes through a :class:`BandwidthResource`.
+* :class:`WaitEvent` — wait for a :class:`SimEvent` (receives its value).
+* :class:`AllOf` — wait for several events at once.
+
+A process finishing (or raising) fires its ``done`` event, so processes can
+wait on one another.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import SimEvent
+from repro.sim.resources import BandwidthResource, CapacityResource
+
+
+class Command:
+    """Base class for commands a process may yield."""
+
+    __slots__ = ()
+
+
+class Timeout(Command):
+    """Sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout must be non-negative, got {delay}")
+        self.delay = delay
+
+
+class Acquire(Command):
+    """Block until ``amount`` slots of ``resource`` are granted."""
+
+    __slots__ = ("resource", "amount")
+
+    def __init__(self, resource: CapacityResource, amount: int = 1) -> None:
+        self.resource = resource
+        self.amount = amount
+
+
+class Release(Command):
+    """Return ``amount`` slots to ``resource`` (never blocks)."""
+
+    __slots__ = ("resource", "amount")
+
+    def __init__(self, resource: CapacityResource, amount: int = 1) -> None:
+        self.resource = resource
+        self.amount = amount
+
+
+class Transfer(Command):
+    """Move ``nbytes`` through a processor-shared channel."""
+
+    __slots__ = ("resource", "nbytes")
+
+    def __init__(self, resource: BandwidthResource, nbytes: float) -> None:
+        self.resource = resource
+        self.nbytes = nbytes
+
+
+class WaitEvent(Command):
+    """Block until ``event`` fires; the process receives its value."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent) -> None:
+        self.event = event
+
+
+class AllOf(Command):
+    """Block until every event in ``events`` has fired."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[SimEvent]) -> None:
+        self.events = list(events)
+
+
+class Process:
+    """Drives a generator of :class:`Command` objects to completion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Command, Any, Any],
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self.done = SimEvent(name=f"{name}.done")
+        sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        try:
+            command = self._generator.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except Exception as error:  # noqa: BLE001 - propagated via the event
+            self.done.fail(error)
+            return
+        self._dispatch(command)
+
+    def _throw(self, error: BaseException) -> None:
+        try:
+            command = self._generator.throw(error)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except Exception as err:  # noqa: BLE001 - propagated via the event
+            self.done.fail(err)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Command) -> None:
+        if isinstance(command, Timeout):
+            self._sim.schedule(command.delay, self._resume, None)
+        elif isinstance(command, Acquire):
+            command.resource.request(command.amount, lambda: self._resume(None))
+        elif isinstance(command, Release):
+            command.resource.release(command.amount)
+            self._sim.schedule(0.0, self._resume, None)
+        elif isinstance(command, Transfer):
+            command.resource.submit(command.nbytes, lambda: self._resume(None))
+        elif isinstance(command, WaitEvent):
+            command.event.add_callback(self._on_event)
+        elif isinstance(command, AllOf):
+            self._wait_all(command.events)
+        else:
+            self._throw(SimulationError(f"unknown command: {command!r}"))
+
+    def _on_event(self, event: SimEvent) -> None:
+        if event.error is not None:
+            self._throw(event.error)
+        else:
+            self._resume(event.value)
+
+    def _wait_all(self, events: list[SimEvent]) -> None:
+        if not events:
+            self._sim.schedule(0.0, self._resume, [])
+            return
+        pending = {"count": len(events)}
+        first_error: list[BaseException] = []
+
+        def on_fire(event: SimEvent) -> None:
+            if event.error is not None and not first_error:
+                first_error.append(event.error)
+            pending["count"] -= 1
+            if pending["count"] == 0:
+                if first_error:
+                    self._throw(first_error[0])
+                else:
+                    self._resume([e.value for e in events])
+
+        for event in events:
+            event.add_callback(on_fire)

@@ -1,0 +1,260 @@
+"""Contended resources for the discrete-event simulator.
+
+Two resource flavours cover everything the cluster model needs:
+
+* :class:`CapacityResource` — a pool of identical slots acquired whole
+  (CPU cores, GPU devices).  Waiters are served FIFO, which mirrors how the
+  paper's runtime hands ready tasks to workers in generation order.
+* :class:`BandwidthResource` — an egalitarian processor-sharing channel
+  (disk, network link, PCIe bus).  ``n`` concurrent jobs each progress at
+  ``bandwidth / n`` (optionally capped per job), so contention effects such as
+  the (de-)serialization bottleneck of the paper's §5.1.2 emerge naturally.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import ScheduledEvent, SimulationError, Simulator
+
+# Completion times within this many seconds of each other are treated as
+# simultaneous by the processor-sharing resource, absorbing floating-point
+# round-off when several equal jobs finish together.
+_TIME_EPSILON = 1e-12
+# A job whose remaining volume is below this fraction of its total size is
+# complete for all simulation purposes; absorbs settle() round-off that
+# grows with the magnitude of the simulated clock.
+_RELATIVE_BYTE_EPSILON = 1e-9
+
+
+class CapacityResource:
+    """A pool of ``capacity`` identical slots with FIFO waiters.
+
+    Requests are granted immediately when slots are free; otherwise the
+    request callback is queued and invoked as soon as enough slots are
+    released.  A request may ask for several slots at once, but a request
+    larger than the total capacity can never be satisfied and is rejected.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[tuple[int, Callable[[], None]]] = deque()
+        self._peak_in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Slots currently free."""
+        return self.capacity - self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of pending requests."""
+        return len(self._waiters)
+
+    @property
+    def peak_in_use(self) -> int:
+        """High-water mark of concurrently held slots."""
+        return self._peak_in_use
+
+    def request(self, amount: int, callback: Callable[[], None]) -> None:
+        """Acquire ``amount`` slots, invoking ``callback`` once granted."""
+        if amount <= 0:
+            raise SimulationError(f"request amount must be positive, got {amount}")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"request for {amount} slots exceeds capacity "
+                f"{self.capacity} of resource {self.name!r}"
+            )
+        if not self._waiters and self._in_use + amount <= self.capacity:
+            self._grant(amount, callback)
+        else:
+            self._waiters.append((amount, callback))
+
+    def try_request(self, amount: int) -> bool:
+        """Acquire ``amount`` slots immediately if free; never queues."""
+        if amount <= 0:
+            raise SimulationError(f"request amount must be positive, got {amount}")
+        if self._waiters or self._in_use + amount > self.capacity:
+            return False
+        self._in_use += amount
+        self._peak_in_use = max(self._peak_in_use, self._in_use)
+        return True
+
+    def release(self, amount: int) -> None:
+        """Return ``amount`` slots to the pool and serve queued waiters."""
+        if amount <= 0:
+            raise SimulationError(f"release amount must be positive, got {amount}")
+        if amount > self._in_use:
+            raise SimulationError(
+                f"released {amount} slots but only {self._in_use} are held "
+                f"on resource {self.name!r}"
+            )
+        self._in_use -= amount
+        while self._waiters:
+            need, callback = self._waiters[0]
+            if self._in_use + need > self.capacity:
+                break
+            self._waiters.popleft()
+            self._grant(need, callback)
+
+    def _grant(self, amount: int, callback: Callable[[], None]) -> None:
+        self._in_use += amount
+        self._peak_in_use = max(self._peak_in_use, self._in_use)
+        callback()
+
+
+class _TransferJob:
+    """A job in flight on a :class:`BandwidthResource`."""
+
+    __slots__ = ("size", "remaining", "callback", "started_at")
+
+    def __init__(self, nbytes: float, callback: Callable[[], None], now: float) -> None:
+        self.size = float(nbytes)
+        self.remaining = float(nbytes)
+        self.callback = callback
+        self.started_at = now
+
+
+class BandwidthResource:
+    """An egalitarian processor-sharing channel.
+
+    All in-flight jobs advance simultaneously; each receives
+    ``min(per_job_cap, bandwidth / n)`` bytes per second where ``n`` is the
+    number of active jobs.  When a job joins or completes, every job's
+    remaining volume is settled at the old rate before the new rate applies,
+    which is the textbook PS-queue construction.
+
+    ``latency`` is a fixed per-job startup delay (seek/RTT) applied before the
+    job starts consuming bandwidth.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        name: str = "",
+        per_job_cap: float | None = None,
+        latency: float = 0.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
+        if per_job_cap is not None and per_job_cap <= 0:
+            raise SimulationError(f"per_job_cap must be positive, got {per_job_cap}")
+        if latency < 0:
+            raise SimulationError(f"latency must be non-negative, got {latency}")
+        self._sim = sim
+        self.bandwidth = float(bandwidth)
+        self.per_job_cap = per_job_cap
+        self.latency = latency
+        self.name = name
+        self._jobs: list[_TransferJob] = []
+        self._last_update = sim.now
+        self._completion_event: ScheduledEvent | None = None
+        self._bytes_done = 0.0
+        self._peak_jobs = 0
+
+    @property
+    def active_jobs(self) -> int:
+        """Number of transfers currently in flight."""
+        return len(self._jobs)
+
+    @property
+    def peak_jobs(self) -> int:
+        """High-water mark of concurrent transfers."""
+        return self._peak_jobs
+
+    @property
+    def bytes_transferred(self) -> float:
+        """Total bytes completed so far."""
+        return self._bytes_done
+
+    def current_rate(self) -> float:
+        """Per-job byte rate at this instant (0 when idle)."""
+        if not self._jobs:
+            return 0.0
+        share = self.bandwidth / len(self._jobs)
+        if self.per_job_cap is not None:
+            share = min(share, self.per_job_cap)
+        return share
+
+    def submit(self, nbytes: float, callback: Callable[[], None]) -> None:
+        """Transfer ``nbytes`` and invoke ``callback`` on completion."""
+        if nbytes < 0:
+            raise SimulationError(f"transfer size must be non-negative, got {nbytes}")
+        if self.latency > 0:
+            self._sim.schedule(self.latency, self._start_job, nbytes, callback)
+        else:
+            self._start_job(nbytes, callback)
+
+    def _start_job(self, nbytes: float, callback: Callable[[], None]) -> None:
+        if nbytes == 0:
+            # Zero-byte transfers complete immediately (after latency).
+            self._sim.schedule(0.0, callback)
+            return
+        self._settle()
+        self._jobs.append(_TransferJob(nbytes, callback, self._sim.now))
+        self._peak_jobs = max(self._peak_jobs, len(self._jobs))
+        self._reschedule()
+
+    def _settle(self) -> None:
+        """Advance all in-flight jobs to the current time at the old rate."""
+        elapsed = self._sim.now - self._last_update
+        if elapsed > 0 and self._jobs:
+            progressed = self.current_rate() * elapsed
+            for job in self._jobs:
+                job.remaining -= progressed
+        self._last_update = self._sim.now
+
+    def _reschedule(self) -> None:
+        """(Re)arm the completion event for the job finishing soonest."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._jobs:
+            return
+        rate = self.current_rate()
+        soonest = min(job.remaining for job in self._jobs)
+        delay = max(soonest / rate, 0.0)
+        self._completion_event = self._sim.schedule(delay, self._complete_due)
+
+    def _job_done(self, job: _TransferJob) -> bool:
+        tolerance = max(
+            _TIME_EPSILON * self.bandwidth, _RELATIVE_BYTE_EPSILON * job.size
+        )
+        return job.remaining <= tolerance
+
+    def _complete_due(self) -> None:
+        self._completion_event = None
+        self._settle()
+        finished = [j for j in self._jobs if self._job_done(j)]
+        if not finished:
+            # Numerical guard: settle() round-off can leave the leader with
+            # a residue whose drain time is below the clock's resolution at
+            # the current simulated time — the event would re-fire at the
+            # same instant forever.  Treat such jobs as complete.
+            rate = self.current_rate()
+            if rate > 0:
+                resolution = 4.0 * math.ulp(max(self._sim.now, 1.0))
+                finished = [
+                    j for j in self._jobs if j.remaining / rate <= resolution
+                ]
+            if not finished:
+                self._reschedule()
+                return
+        self._jobs = [j for j in self._jobs if j not in finished]
+        self._reschedule()
+        for job in finished:
+            self._bytes_done += job.size
+            job.callback()

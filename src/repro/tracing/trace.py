@@ -1,0 +1,110 @@
+"""Trace records for task-processing stages.
+
+Each task goes through the stages of the paper's Figure 4; the runtime
+emits one :class:`StageRecord` per stage plus a :class:`TaskRecord`
+summarising the whole task.  Times are simulated seconds for the simulated
+backend and wall-clock seconds for the in-process backend.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Stage(str, enum.Enum):
+    """Task-processing stages (Figure 4 of the paper)."""
+
+    SCHEDULING = "scheduling"
+    DESERIALIZATION = "deserialization"
+    SERIAL_FRACTION = "serial_fraction"
+    PARALLEL_FRACTION = "parallel_fraction"
+    CPU_GPU_COMM = "cpu_gpu_comm"
+    SERIALIZATION = "serialization"
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage of one task."""
+
+    task_id: int
+    task_type: str
+    stage: Stage
+    start: float
+    end: float
+    node: int
+    core: int
+    level: int
+    used_gpu: bool
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"stage {self.stage} of task {self.task_id} ends before it starts"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Stage duration in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Whole-task summary."""
+
+    task_id: int
+    task_type: str
+    start: float
+    end: float
+    node: int
+    core: int
+    level: int
+    used_gpu: bool
+
+    @property
+    def duration(self) -> float:
+        """Task duration in seconds, scheduling included."""
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """An append-only collection of stage and task records."""
+
+    stages: list[StageRecord] = field(default_factory=list)
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    def add_stage(self, record: StageRecord) -> None:
+        """Append a stage record."""
+        self.stages.append(record)
+
+    def add_task(self, record: TaskRecord) -> None:
+        """Append a whole-task record."""
+        self.tasks.append(record)
+
+    @property
+    def makespan(self) -> float:
+        """Wall time from the first task start to the last task end."""
+        if not self.tasks:
+            return 0.0
+        return max(t.end for t in self.tasks) - min(t.start for t in self.tasks)
+
+    def stages_of(self, stage: Stage) -> list[StageRecord]:
+        """All records of one stage kind."""
+        return [r for r in self.stages if r.stage is stage]
+
+    def stages_of_task_type(self, task_type: str) -> list[StageRecord]:
+        """All stage records belonging to one task type."""
+        return [r for r in self.stages if r.task_type == task_type]
+
+    def task_types(self) -> list[str]:
+        """Distinct task types in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.tasks:
+            seen.setdefault(record.task_type, None)
+        return list(seen)
+
+    def levels(self) -> list[int]:
+        """Distinct DAG levels present, ascending."""
+        return sorted({t.level for t in self.tasks})

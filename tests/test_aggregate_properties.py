@@ -1,0 +1,121 @@
+"""Property-based tests of the trace aggregations on random traces."""
+
+from hypothesis import given, strategies as st
+
+from repro.tracing import (
+    Stage,
+    StageRecord,
+    TaskRecord,
+    Trace,
+    data_movement_metrics,
+    decompose_overheads,
+    parallel_task_metrics,
+    user_code_metrics,
+)
+
+USER_CODE_STAGES = (
+    Stage.SERIAL_FRACTION,
+    Stage.PARALLEL_FRACTION,
+    Stage.CPU_GPU_COMM,
+)
+
+
+@st.composite
+def traces(draw):
+    """A random but internally consistent trace."""
+    n_tasks = draw(st.integers(min_value=1, max_value=12))
+    trace = Trace()
+    clock = 0.0
+    for task_id in range(n_tasks):
+        task_type = draw(st.sampled_from(["alpha", "beta"]))
+        node = draw(st.integers(min_value=0, max_value=2))
+        core = draw(st.integers(min_value=0, max_value=3))
+        level = draw(st.integers(min_value=0, max_value=2))
+        start = clock + draw(st.floats(min_value=0.0, max_value=1.0))
+        cursor = start
+        stages = draw(
+            st.lists(
+                st.sampled_from(list(Stage)), min_size=1, max_size=5
+            )
+        )
+        for stage in stages:
+            duration = draw(st.floats(min_value=0.001, max_value=2.0))
+            trace.add_stage(
+                StageRecord(
+                    task_id=task_id, task_type=task_type, stage=stage,
+                    start=cursor, end=cursor + duration, node=node,
+                    core=core, level=level, used_gpu=False,
+                )
+            )
+            cursor += duration
+        trace.add_task(
+            TaskRecord(
+                task_id=task_id, task_type=task_type, start=start,
+                end=cursor, node=node, core=core, level=level,
+                used_gpu=False,
+            )
+        )
+        clock = cursor
+    return trace
+
+
+class TestAggregationProperties:
+    @given(traces())
+    def test_user_code_is_sum_of_its_stages(self, trace):
+        metrics = user_code_metrics(trace)
+        for task_type, m in metrics.items():
+            assert m.user_code >= 0
+            assert abs(
+                m.user_code
+                - (m.serial_fraction + m.parallel_fraction + m.cpu_gpu_comm)
+            ) < 1e-9
+
+    @given(traces())
+    def test_per_task_averages_bounded_by_totals(self, trace):
+        metrics = user_code_metrics(trace)
+        for task_type, m in metrics.items():
+            total = sum(
+                r.duration
+                for r in trace.stages_of_task_type(task_type)
+                if r.stage in USER_CODE_STAGES
+            )
+            assert m.user_code <= total + 1e-9
+
+    @given(traces())
+    def test_movement_totals_conserved(self, trace):
+        metrics = data_movement_metrics(trace)
+        expected = sum(
+            r.duration
+            for r in trace.stages
+            if r.stage in (Stage.DESERIALIZATION, Stage.SERIALIZATION)
+        )
+        recovered = metrics.num_cores * metrics.total_per_core
+        assert abs(recovered - expected) < 1e-6
+
+    @given(traces())
+    def test_level_walls_cover_member_tasks(self, trace):
+        metrics = parallel_task_metrics(trace)
+        for task in trace.tasks:
+            assert metrics.level_wall_times[task.level] >= (
+                task.duration - 1e-9
+            )
+
+    @given(traces())
+    def test_decomposition_shares_form_a_partition(self, trace):
+        breakdown = decompose_overheads(trace)
+        total = (
+            breakdown.compute_share
+            + breakdown.movement_share
+            + breakdown.comm_share
+            + breakdown.scheduling_share
+            + breakdown.idle_share
+        )
+        # Busy time can exceed makespan x cores only if stages overlapped
+        # across tasks on one core, which this generator never produces.
+        assert 0.0 <= breakdown.idle_share <= 1.0
+        assert abs(total - 1.0) < 1e-6 or total >= 1.0 - 1e-6
+
+    @given(traces())
+    def test_makespan_spans_all_tasks(self, trace):
+        for task in trace.tasks:
+            assert task.duration <= trace.makespan + 1e-9

@@ -1,0 +1,158 @@
+"""Tests for the distributed K-means workflow."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import KMeansWorkflow, kmeans_reference
+from repro.algorithms.kmeans import merge_cost, partial_sum, partial_sum_cost
+from repro.data import DatasetSpec, paper_datasets
+from repro.data.generator import generate_matrix
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.runtime import Backend
+
+
+def _tiny(rows=600, cols=5):
+    return DatasetSpec("tinyk", rows=rows, cols=cols)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("grid_rows", [1, 2, 5])
+    def test_matches_single_machine_reference(self, grid_rows):
+        dataset = _tiny()
+        workflow = KMeansWorkflow(dataset, grid_rows=grid_rows, n_clusters=4,
+                                  iterations=3)
+        rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        _data, centroids_ref = workflow.build(rt, materialize=True)
+        result = rt.run()
+        expected = kmeans_reference(
+            generate_matrix(dataset), workflow.initial_centroids(), iterations=3
+        )
+        np.testing.assert_allclose(result.value_of(centroids_ref), expected)
+
+    def test_blocking_invariance(self):
+        # Different grids must give identical centroids.
+        dataset = _tiny()
+        outcomes = []
+        for grid_rows in (1, 3, 6):
+            workflow = KMeansWorkflow(dataset, grid_rows=grid_rows, n_clusters=3,
+                                      iterations=2)
+            rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+            _d, ref = workflow.build(rt, materialize=True)
+            outcomes.append(rt.run().value_of(ref))
+        np.testing.assert_allclose(outcomes[0], outcomes[1])
+        np.testing.assert_allclose(outcomes[0], outcomes[2])
+
+    def test_partial_sum_output_shape(self):
+        block = np.random.default_rng(0).random((50, 4))
+        centroids = np.random.default_rng(1).random((3, 4))
+        partials = partial_sum(block, centroids)
+        assert partials.shape == (3, 5)
+        assert partials[:, -1].sum() == 50  # all samples assigned
+
+    def test_skew_does_not_change_task_work(self):
+        # Figure 9b at real-execution scale: same shapes, skewed values.
+        uniform = _tiny()
+        skewed = DatasetSpec("tinyk_skew", rows=600, cols=5, skew=0.5)
+        costs = []
+        for dataset in (uniform, skewed):
+            workflow = KMeansWorkflow(dataset, grid_rows=4, n_clusters=3)
+            costs.append(workflow.task_costs()["partial_sum"])
+        assert costs[0] == costs[1]
+
+
+class TestDagShape:
+    def test_narrow_and_deep(self):
+        rt = Runtime(RuntimeConfig())
+        KMeansWorkflow(_tiny(), grid_rows=4, n_clusters=3, iterations=3).build(rt)
+        assert rt.graph.width == 4
+        assert rt.graph.height == 6  # partial_sum + merge per iteration
+
+    def test_task_counts(self):
+        rt = Runtime(RuntimeConfig())
+        KMeansWorkflow(_tiny(), grid_rows=4, n_clusters=3, iterations=3).build(rt)
+        names = [t.name for t in rt.graph.tasks()]
+        assert names.count("partial_sum") == 12
+        assert names.count("merge") == 3
+
+    def test_iterations_chain_through_centroids(self):
+        rt = Runtime(RuntimeConfig())
+        KMeansWorkflow(_tiny(), grid_rows=2, n_clusters=3, iterations=2).build(rt)
+        merges = [t for t in rt.graph.tasks() if t.name == "merge"]
+        second_iteration_partials = rt.graph.successors(merges[0].task_id)
+        assert len(second_iteration_partials) == 2
+        assert all(t.name == "partial_sum" for t in second_iteration_partials)
+
+
+class TestCosts:
+    def test_parallel_flops_quadratic_in_clusters(self):
+        base = partial_sum_cost(1000, 100, 10)
+        heavy = partial_sum_cost(1000, 100, 100)
+        assert heavy.parallel_flops == pytest.approx(100 * base.parallel_flops)
+
+    def test_serial_flops_subquadratic_in_clusters(self):
+        base = partial_sum_cost(1000, 100, 10)
+        heavy = partial_sum_cost(1000, 100, 100)
+        # Serial fraction grows with K but much slower than K^2.
+        ratio = heavy.serial_flops / base.serial_flops
+        assert 1.0 < ratio < 100.0
+
+    def test_partially_parallel(self):
+        cost = partial_sum_cost(1000, 100, 10)
+        assert cost.serial_flops > 0
+        assert cost.parallel_flops > 0
+
+    def test_gpu_memory_grows_with_clusters(self):
+        small = partial_sum_cost(10**6, 100, 10)
+        large = partial_sum_cost(10**6, 100, 1000)
+        assert large.gpu_memory_bytes > small.gpu_memory_bytes
+
+    def test_paper_oom_staircase(self):
+        # 10 GB dataset: K=10 never OOMs, K=100 only at the maximum block,
+        # K=1000 from mid-size blocks (paper Figure 9a annotations).
+        from repro.hardware import minotauro
+        from repro.perfmodel import CostModel
+
+        model = CostModel(minotauro())
+        dataset = paper_datasets()["kmeans_10gb"]
+
+        def ooms(grid_rows, clusters):
+            workflow = KMeansWorkflow(dataset, grid_rows=grid_rows,
+                                      n_clusters=clusters)
+            cost = workflow.task_costs()["partial_sum"]
+            return cost.gpu_memory_bytes > model.gpu.memory_bytes
+
+        assert not ooms(1, 10)
+        assert ooms(1, 100)
+        assert ooms(2, 100)
+        assert not ooms(4, 100)
+        assert ooms(8, 1000)
+        assert ooms(16, 1000)
+        assert not ooms(32, 1000)
+
+    def test_100gb_ooms_beyond_16x1(self):
+        # §5.1.3: the 100 GB dataset cannot run blocks larger than the
+        # 16x1 grid on the 12 GB device.
+        from repro.hardware import minotauro
+        from repro.perfmodel import CostModel
+
+        model = CostModel(minotauro())
+        dataset = paper_datasets()["kmeans_100gb"]
+        fits = {}
+        for grid_rows in (8, 16):
+            cost = KMeansWorkflow(dataset, grid_rows=grid_rows).task_costs()[
+                "partial_sum"
+            ]
+            fits[grid_rows] = cost.gpu_memory_bytes <= model.gpu.memory_bytes
+        assert fits == {8: False, 16: True}
+
+    def test_merge_cost_scales_with_partials(self):
+        small = merge_cost(4, 100, 10)
+        large = merge_cost(256, 100, 10)
+        assert large.serial_flops > small.serial_flops
+        assert large.parallel_flops == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KMeansWorkflow(_tiny(), grid_rows=2, n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeansWorkflow(_tiny(), grid_rows=2, n_clusters=3, iterations=0)

@@ -1,0 +1,136 @@
+"""Tests for the distributed linear-regression workflow."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LinearRegressionWorkflow
+from repro.algorithms.linreg import gram_cost, xty_cost
+from repro.data import DatasetSpec
+from repro.data.generator import generate_matrix
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.runtime import Backend
+
+
+def _tiny(rows=400, cols=6):
+    return DatasetSpec("lin", rows=rows, cols=cols)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("grid_rows", [1, 3, 8])
+    def test_matches_numpy_lstsq(self, grid_rows):
+        dataset = _tiny()
+        workflow = LinearRegressionWorkflow(dataset, grid_rows=grid_rows)
+        rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        _data, beta_ref = workflow.build(rt, materialize=True)
+        result = rt.run()
+        data = generate_matrix(dataset)
+        expected, *_ = np.linalg.lstsq(data, workflow.targets(), rcond=None)
+        np.testing.assert_allclose(result.value_of(beta_ref), expected, rtol=1e-8)
+
+    def test_blocking_invariance(self):
+        dataset = _tiny()
+        betas = []
+        for grid_rows in (1, 4):
+            workflow = LinearRegressionWorkflow(dataset, grid_rows=grid_rows)
+            rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+            _d, ref = workflow.build(rt, materialize=True)
+            betas.append(rt.run().value_of(ref))
+        np.testing.assert_allclose(betas[0], betas[1], rtol=1e-9)
+
+    def test_recovers_planted_model_approximately(self):
+        dataset = _tiny(rows=2000, cols=4)
+        workflow = LinearRegressionWorkflow(dataset, grid_rows=4)
+        rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        _d, ref = workflow.build(rt, materialize=True)
+        beta = rt.run().value_of(ref)
+        rng = np.random.default_rng(dataset.seed + 2)
+        true_beta = rng.random(dataset.cols)
+        # Noise scale is 0.01, so recovery should be close.
+        np.testing.assert_allclose(beta, true_beta, atol=0.05)
+
+
+class TestDagAndCosts:
+    def test_dag_shape(self):
+        rt = Runtime(RuntimeConfig())
+        LinearRegressionWorkflow(_tiny(), grid_rows=5).build(rt)
+        names = [t.name for t in rt.graph.tasks()]
+        assert names.count("gram_func") == 5
+        assert names.count("xty_func") == 5
+        assert names.count("reduce_sum") == 2
+        assert names.count("solve_normal") == 1
+        assert rt.graph.width == 10  # all partials independent
+
+    def test_gram_quadratic_in_features(self):
+        narrow = gram_cost(1000, 10)
+        wide = gram_cost(1000, 100)
+        assert wide.parallel_flops == pytest.approx(100 * narrow.parallel_flops)
+
+    def test_xty_memory_bound(self):
+        cost = xty_cost(10**6, 100)
+        assert cost.arithmetic_intensity < 1.0
+
+    def test_gram_more_intense_than_xty(self):
+        # The workflow mixes a compute-heavy and a memory-bound task type,
+        # sitting between the paper's Matmul extremes.
+        assert (
+            gram_cost(10**5, 100).arithmetic_intensity
+            > 10 * xty_cost(10**5, 100).arithmetic_intensity
+        )
+
+    def test_simulated_run_both_processors(self):
+        dataset = DatasetSpec("lin_big", rows=10_000_000, cols=100)
+        times = {}
+        for gpu in (False, True):
+            rt = Runtime(RuntimeConfig(use_gpu=gpu))
+            LinearRegressionWorkflow(dataset, grid_rows=64).build(rt)
+            times[gpu] = rt.run().makespan
+        assert times[True] > 0 and times[False] > 0
+
+    def test_hybrid_plan_includes_gram_only_for_narrow_features(self):
+        from repro.core.advisor import WorkflowAdvisor
+
+        advisor = WorkflowAdvisor()
+        workflow = LinearRegressionWorkflow(
+            DatasetSpec("lin_adv", rows=10_000_000, cols=100), grid_rows=64
+        )
+        plan = advisor.plan_hybrid(workflow)
+        assert "gram_func" in plan
+        assert "xty_func" not in plan
+
+
+class TestOpsMatmulGrids:
+    def test_rectangular_blocked_matmul(self):
+        from repro.arrays import DistributedArray
+        from repro.arrays.ops import matmul_grids
+        from repro.data import Blocking, GridSpec
+
+        rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        a_blocking = Blocking.from_grid(
+            DatasetSpec("A", rows=24, cols=12), GridSpec(k=2, l=3)
+        )
+        b_blocking = Blocking.from_grid(
+            DatasetSpec("B", rows=12, cols=8), GridSpec(k=3, l=2)
+        )
+        a = DistributedArray.create(rt, a_blocking, name="A", materialize=True)
+        b = DistributedArray.create(rt, b_blocking, name="B", materialize=True)
+        refs = matmul_grids(
+            rt,
+            [[a.block(i, j) for j in range(3)] for i in range(2)],
+            [[b.block(i, j) for j in range(2)] for i in range(3)],
+            a_block=(12, 4),
+            b_block=(4, 4),
+        )
+        result = rt.run()
+        got = DistributedArray.assemble(refs, result)
+        np.testing.assert_allclose(
+            got, a.gather(result) @ b.gather(result), rtol=1e-10
+        )
+
+    def test_inner_dimension_mismatch_rejected(self):
+        from repro.arrays.ops import matmul_grids
+
+        rt = Runtime(RuntimeConfig())
+        with pytest.raises(ValueError, match="inner grid dimensions"):
+            matmul_grids(rt, [[None]], [[None], [None]], (2, 2), (2, 2))
+        with pytest.raises(ValueError, match="inner block dimensions"):
+            matmul_grids(rt, [[None]], [[None]], (2, 3), (2, 2))

@@ -1,0 +1,129 @@
+"""Tests for the blocked Matmul workflows (dislib-style and FMA)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MatmulFmaWorkflow, MatmulWorkflow
+from repro.algorithms.matmul import add_cost, matmul_cost
+from repro.algorithms.matmul_fma import fma_cost
+from repro.arrays import DistributedArray
+from repro.data import DatasetSpec, paper_datasets
+from repro.data.generator import generate_matrix
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.runtime import Backend
+
+
+def _tiny(rows=48):
+    return DatasetSpec("tiny", rows=rows, cols=rows)
+
+
+class TestMatmulCorrectness:
+    @pytest.mark.parametrize("grid", [1, 2, 3, 4])
+    def test_matches_numpy(self, grid):
+        dataset = _tiny(48)
+        rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        a, b, c_refs = MatmulWorkflow(dataset, grid=grid).build(rt, materialize=True)
+        result = rt.run()
+        got = DistributedArray.assemble(c_refs, result)
+        full = generate_matrix(dataset)
+        np.testing.assert_allclose(got, full @ full, rtol=1e-10)
+
+    def test_rejects_rectangular_grid(self):
+        from repro.data import GridSpec
+
+        with pytest.raises(ValueError):
+            MatmulWorkflow(_tiny(), grid=GridSpec(k=2, l=4))
+
+
+class TestMatmulDag:
+    def test_task_counts_match_figure_6b(self):
+        # 4x4 grid: 64 matmul_func + 48 add_func = 112 tasks.
+        rt = Runtime(RuntimeConfig())
+        MatmulWorkflow(_tiny(64), grid=4).build(rt)
+        names = [t.name for t in rt.graph.tasks()]
+        assert names.count("matmul_func") == 64
+        assert names.count("add_func") == 48
+
+    def test_wide_and_shallow(self):
+        rt = Runtime(RuntimeConfig())
+        MatmulWorkflow(_tiny(64), grid=4).build(rt)
+        assert rt.graph.width > rt.graph.height
+
+    def test_single_block_grid_has_one_task(self):
+        rt = Runtime(RuntimeConfig())
+        MatmulWorkflow(_tiny(64), grid=1).build(rt)
+        assert rt.graph.num_tasks == 1
+        assert rt.graph.tasks()[0].name == "matmul_func"
+
+    def test_add_tree_height_is_logarithmic(self):
+        rt = Runtime(RuntimeConfig())
+        MatmulWorkflow(_tiny(64), grid=8).build(rt)
+        # 8 partials per C block -> 1 matmul level + 3 add levels.
+        assert rt.graph.height == 4
+
+
+class TestMatmulCosts:
+    def test_matmul_cost_cubic(self):
+        small = matmul_cost(100, 100, 100)
+        large = matmul_cost(200, 200, 200)
+        assert large.parallel_flops == pytest.approx(8 * small.parallel_flops)
+
+    def test_add_cost_linear(self):
+        small = add_cost(100, 100)
+        large = add_cost(200, 200)
+        assert large.parallel_flops == pytest.approx(4 * small.parallel_flops)
+
+    def test_complexity_gap_is_orders_of_magnitude(self):
+        n = 4096
+        assert matmul_cost(n, n, n).parallel_flops / add_cost(n, n).parallel_flops > 1e3
+
+    def test_gpu_memory_is_three_blocks(self):
+        # The paper: Matmul needs 3x the block size resident (§5.3).
+        n = 1024
+        cost = matmul_cost(n, n, n)
+        assert cost.gpu_memory_bytes == 3 * 8 * n * n
+
+    def test_matmul_fully_parallel(self):
+        assert matmul_cost(64, 64, 64).serial_flops == 0
+        assert add_cost(64, 64).serial_flops == 0
+
+    def test_paper_8gb_block_sizes(self):
+        dataset = paper_datasets()["matmul_8gb"]
+        sizes = {
+            grid: MatmulWorkflow(dataset, grid=grid).blocking.block_bytes / 2**20
+            for grid in (16, 8, 4, 2, 1)
+        }
+        assert sizes == {16: 32, 8: 128, 4: 512, 2: 2048, 1: 8192}
+
+
+class TestMatmulFma:
+    @pytest.mark.parametrize("grid", [1, 2, 4])
+    def test_matches_numpy(self, grid):
+        dataset = _tiny(32)
+        rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        a, b, c_refs = MatmulFmaWorkflow(dataset, grid=grid).build(rt, materialize=True)
+        result = rt.run()
+        got = DistributedArray.assemble(c_refs, result)
+        full = generate_matrix(dataset)
+        np.testing.assert_allclose(got, full @ full, rtol=1e-10)
+
+    def test_fma_and_matmul_agree(self):
+        dataset = _tiny(32)
+        results = []
+        for workflow_cls in (MatmulWorkflow, MatmulFmaWorkflow):
+            rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+            a, b, c_refs = workflow_cls(dataset, grid=2).build(rt, materialize=True)
+            results.append(DistributedArray.assemble(c_refs, rt.run()))
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-10)
+
+    def test_chain_dag_is_deeper_than_tree(self):
+        rt_fma = Runtime(RuntimeConfig())
+        MatmulFmaWorkflow(_tiny(64), grid=8).build(rt_fma)
+        rt_mm = Runtime(RuntimeConfig())
+        MatmulWorkflow(_tiny(64), grid=8).build(rt_mm)
+        assert rt_fma.graph.height > rt_mm.graph.height
+
+    def test_fma_cost_close_to_matmul_cost(self):
+        n = 2048
+        ratio = fma_cost(n, n, n).parallel_flops / matmul_cost(n, n, n).parallel_flops
+        assert 1.0 <= ratio < 1.01

@@ -1,0 +1,82 @@
+"""Unit tests for the distributed array."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import DistributedArray
+from repro.data import Blocking, DatasetSpec, GridSpec
+from repro.data.generator import generate_matrix
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.runtime import Backend
+
+
+def _blocking(rows=64, cols=64, k=4, l=4):
+    return Blocking.from_grid(DatasetSpec("d", rows=rows, cols=cols), GridSpec(k=k, l=l))
+
+
+class TestCreation:
+    def test_grid_of_refs(self):
+        rt = Runtime(RuntimeConfig())
+        array = DistributedArray.create(rt, _blocking())
+        assert array.grid_shape == (4, 4)
+        assert array.shape == (64, 64)
+        assert len(array.blocks()) == 16
+
+    def test_block_sizes_match_blocking(self):
+        rt = Runtime(RuntimeConfig())
+        blocking = _blocking()
+        array = DistributedArray.create(rt, blocking)
+        assert all(ref.size_bytes == blocking.block_bytes for ref in array.blocks())
+
+    def test_blocks_spread_round_robin_over_nodes(self):
+        rt = Runtime(RuntimeConfig())
+        array = DistributedArray.create(rt, _blocking())
+        homes = [ref.home_node for ref in array.blocks()]
+        assert set(homes) == set(range(8))
+
+    def test_ref_grid_shape_validated(self):
+        blocking = _blocking()
+        with pytest.raises(ValueError):
+            DistributedArray(blocking, [[]])
+
+    def test_names_carry_indices(self):
+        rt = Runtime(RuntimeConfig())
+        array = DistributedArray.create(rt, _blocking(), name="X")
+        assert array.block(2, 3).name == "X[2][3]"
+
+
+class TestMaterialisation:
+    def test_materialized_blocks_tile_the_matrix(self):
+        rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        blocking = _blocking(rows=32, cols=32, k=2, l=2)
+        array = DistributedArray.create(rt, blocking, materialize=True)
+        result = rt.run()  # no tasks; just materialised inputs
+        gathered = array.gather(result)
+        expected = generate_matrix(blocking.dataset)
+        np.testing.assert_array_equal(gathered, expected)
+
+    def test_ragged_blocks_materialise_correctly(self):
+        rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        blocking = Blocking.from_grid(
+            DatasetSpec("d", rows=10, cols=4), GridSpec(k=3, l=1)
+        )
+        array = DistributedArray.create(rt, blocking, materialize=True)
+        result = rt.run()
+        gathered = array.gather(result)
+        assert gathered.shape == (10, 4)
+        np.testing.assert_array_equal(gathered, generate_matrix(blocking.dataset))
+
+    def test_assemble_from_output_grid(self):
+        rt = Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+        blocking = _blocking(rows=8, cols=8, k=2, l=2)
+        array = DistributedArray.create(rt, blocking, materialize=True)
+        negated = [
+            [
+                rt.submit(name="neg", inputs=[array.block(i, j)], fn=lambda b: -b)[0]
+                for j in range(2)
+            ]
+            for i in range(2)
+        ]
+        result = rt.run()
+        assembled = DistributedArray.assemble(negated, result)
+        np.testing.assert_array_equal(assembled, -array.gather(result))

@@ -1,0 +1,125 @@
+"""Tests for the task-based distributed array operations."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import DistributedArray
+from repro.arrays.ops import (
+    add,
+    center,
+    column_means,
+    elementwise_cost,
+    reduction_cost,
+    scale,
+    transpose,
+)
+from repro.data import Blocking, DatasetSpec, GridSpec
+from repro.data.generator import generate_matrix
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.runtime import Backend
+
+
+def _array(rt, rows=24, cols=12, k=3, l=2, name="A"):
+    blocking = Blocking.from_grid(
+        DatasetSpec(f"ops_{name}", rows=rows, cols=cols), GridSpec(k=k, l=l)
+    )
+    return DistributedArray.create(rt, blocking, name=name, materialize=True)
+
+
+def _in_process():
+    return Runtime(RuntimeConfig(backend=Backend.IN_PROCESS))
+
+
+class TestRealExecution:
+    def test_scale(self):
+        rt = _in_process()
+        a = _array(rt)
+        refs = scale(rt, a, 2.5)
+        result = rt.run()
+        got = DistributedArray.assemble(refs, result)
+        np.testing.assert_allclose(got, a.gather(result) * 2.5)
+
+    def test_add(self):
+        rt = _in_process()
+        a = _array(rt, name="A")
+        b = _array(rt, name="B")
+        refs = add(rt, a, b)
+        result = rt.run()
+        got = DistributedArray.assemble(refs, result)
+        np.testing.assert_allclose(got, a.gather(result) + b.gather(result))
+
+    def test_add_shape_mismatch(self):
+        rt = _in_process()
+        a = _array(rt, rows=24, name="A")
+        b = _array(rt, rows=12, k=3, name="B")
+        with pytest.raises(ValueError, match="share shape"):
+            add(rt, a, b)
+
+    def test_transpose(self):
+        rt = _in_process()
+        a = _array(rt)
+        refs = transpose(rt, a)
+        result = rt.run()
+        got = DistributedArray.assemble(refs, result)
+        np.testing.assert_allclose(got, a.gather(result).T)
+
+    def test_column_means(self):
+        rt = _in_process()
+        a = _array(rt)
+        means_ref = column_means(rt, a)
+        result = rt.run()
+        expected = generate_matrix(a.blocking.dataset).mean(axis=0)
+        np.testing.assert_allclose(result.value_of(means_ref), expected)
+
+    def test_column_means_with_ragged_blocks(self):
+        rt = _in_process()
+        blocking = Blocking.from_grid(
+            DatasetSpec("ragged", rows=25, cols=4), GridSpec(k=4, l=1)
+        )
+        a = DistributedArray.create(rt, blocking, materialize=True)
+        means_ref = column_means(rt, a)
+        result = rt.run()
+        expected = generate_matrix(blocking.dataset).mean(axis=0)
+        np.testing.assert_allclose(result.value_of(means_ref), expected)
+
+    def test_center(self):
+        rt = _in_process()
+        a = _array(rt)
+        means_ref = column_means(rt, a)
+        refs = center(rt, a, means_ref)
+        result = rt.run()
+        got = DistributedArray.assemble(refs, result)
+        assert np.allclose(got.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_ops_compose_into_one_dag(self):
+        rt = _in_process()
+        a = _array(rt)
+        means_ref = column_means(rt, a)
+        centered = center(rt, a, means_ref)
+        assert rt.graph.height >= 3  # colsum -> merge -> center
+        result = rt.run()
+        assert len(result.trace.tasks) == rt.graph.num_tasks
+
+
+class TestCosts:
+    def test_elementwise_memory_bound(self):
+        cost = elementwise_cost(1000, 1000, flops_per_element=1.0)
+        assert cost.arithmetic_intensity < 0.1
+        assert cost.serial_flops == 0
+
+    def test_reduction_output_small(self):
+        cost = reduction_cost(1000, 100, out_elements=101)
+        assert cost.output_bytes == 8 * 101
+        assert cost.input_bytes == 8 * 1000 * 100
+
+    def test_simulated_execution_with_ops(self):
+        rt = Runtime(RuntimeConfig(use_gpu=True))
+        blocking = Blocking.from_grid(
+            DatasetSpec("simops", rows=1_000_000, cols=100), GridSpec(k=16, l=1)
+        )
+        a = DistributedArray.create(rt, blocking)
+        means_ref = column_means(rt, a)
+        center(rt, a, means_ref)
+        result = rt.run()
+        assert result.makespan > 0
+        assert len(result.trace.tasks) == 16 + 1 + 16

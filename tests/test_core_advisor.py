@@ -1,0 +1,115 @@
+"""Tests for the automated-design advisor (§5.4.3)."""
+
+import pytest
+
+from repro.algorithms import KMeansWorkflow, MatmulWorkflow
+from repro.core.advisor import WorkflowAdvisor
+from repro.data import paper_datasets
+from repro.hardware import StorageKind
+from repro.runtime import SchedulingPolicy
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return WorkflowAdvisor()
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return paper_datasets()
+
+
+class TestAnalyticScreen:
+    def test_matmul_task_split(self, advisor, datasets):
+        workflow = MatmulWorkflow(datasets["matmul_8gb"], grid=4)
+        verdicts = advisor.screen_gpu(workflow)
+        # The paper's Figure 8: matmul_func is worth accelerating,
+        # add_func never is.
+        assert verdicts["matmul_func"] is True
+        assert verdicts["add_func"] is False
+
+    def test_kmeans_low_clusters_marginal(self, advisor, datasets):
+        workflow = KMeansWorkflow(datasets["kmeans_10gb"], 64, n_clusters=10)
+        predicted = advisor.predict_user_code_speedup(workflow)
+        assert 1.0 < predicted < 1.6
+
+    def test_kmeans_many_clusters_attractive(self, advisor, datasets):
+        low = advisor.predict_user_code_speedup(
+            KMeansWorkflow(datasets["kmeans_10gb"], 64, n_clusters=10)
+        )
+        high = advisor.predict_user_code_speedup(
+            KMeansWorkflow(datasets["kmeans_10gb"], 64, n_clusters=1000)
+        )
+        assert high > 3 * low
+
+    def test_fits_gpu(self, advisor, datasets):
+        assert advisor.fits_gpu(MatmulWorkflow(datasets["matmul_8gb"], grid=4))
+        assert not advisor.fits_gpu(MatmulWorkflow(datasets["matmul_8gb"], grid=1))
+
+
+class TestRecommendation:
+    @pytest.fixture(scope="class")
+    def recommendation(self, datasets):
+        advisor = WorkflowAdvisor()
+        family = lambda grid: KMeansWorkflow(  # noqa: E731
+            datasets["kmeans_10gb"], grid_rows=grid, n_clusters=10, iterations=3
+        )
+        return advisor.recommend(
+            family,
+            grids=(128, 16, 2),
+            storages=(StorageKind.LOCAL, StorageKind.SHARED),
+            policies=(SchedulingPolicy.GENERATION_ORDER,),
+        )
+
+    def test_best_is_fastest(self, recommendation):
+        ranking = recommendation.ranking()
+        assert recommendation.best == ranking[0]
+        times = [c.parallel_task_time for c in ranking]
+        assert times == sorted(times)
+
+    def test_prefers_fine_grain_and_local_disk(self, recommendation):
+        # For cheap K-means tasks, the known-good configuration.
+        assert recommendation.best.grid == 128
+        assert recommendation.best.storage is StorageKind.LOCAL
+
+    def test_covers_full_space(self, recommendation):
+        # 3 grids x 2 processors x 2 storages x 1 policy = 12 runs.
+        assert len(recommendation.candidates) == 12
+
+    def test_render(self, recommendation):
+        text = recommendation.render()
+        assert "Advisor ranking" in text
+        assert "grid 128" in text
+
+
+class TestOomPruning:
+    def test_oom_grid_pruned_without_simulation(self, datasets):
+        advisor = WorkflowAdvisor()
+        family = lambda grid: MatmulWorkflow(  # noqa: E731
+            datasets["matmul_8gb"], grid=grid
+        )
+        recommendation = advisor.recommend(
+            family,
+            grids=(4, 1),
+            processors=(True,),
+            storages=(StorageKind.SHARED,),
+            policies=(SchedulingPolicy.GENERATION_ORDER,),
+        )
+        oom = [c for c in recommendation.candidates if c.status == "gpu_oom"]
+        assert len(oom) == 1
+        assert oom[0].grid == 1
+        assert oom[0].parallel_task_time is None
+
+    def test_no_feasible_configuration_raises(self, datasets):
+        advisor = WorkflowAdvisor()
+        family = lambda grid: MatmulWorkflow(  # noqa: E731
+            datasets["matmul_8gb"], grid=grid
+        )
+        with pytest.raises(ValueError, match="no feasible"):
+            advisor.recommend(
+                family,
+                grids=(1,),
+                processors=(True,),
+                storages=(StorageKind.SHARED,),
+                policies=(SchedulingPolicy.GENERATION_ORDER,),
+            )

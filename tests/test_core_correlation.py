@@ -1,0 +1,122 @@
+"""Unit and property tests for the Spearman correlation implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import one_hot, spearman, spearman_matrix
+from repro.core.correlation import rank_with_ties
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestRanks:
+    def test_simple_ranks(self):
+        np.testing.assert_array_equal(rank_with_ties([30, 10, 20]), [3, 1, 2])
+
+    def test_ties_get_midrank(self):
+        np.testing.assert_array_equal(rank_with_ties([1, 2, 2, 3]), [1, 2.5, 2.5, 4])
+
+    def test_all_equal(self):
+        np.testing.assert_array_equal(rank_with_ties([5, 5, 5]), [2, 2, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rank_with_ties(np.zeros((2, 2)))
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman([1, 2, 3, 4], [10, 100, 1000, 10000]) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        assert spearman([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_column_is_nan(self):
+        assert np.isnan(spearman([1, 1, 1], [1, 2, 3]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            spearman([1], [1])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=3,
+            max_size=50,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_scipy(self, xs, rng):
+        ys = [rng.uniform(-100, 100) for _ in xs]
+        ours = spearman(xs, ys)
+        theirs = scipy_stats.spearmanr(xs, ys).statistic
+        if np.isnan(theirs):
+            assert np.isnan(ours)
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=4, max_size=40)
+    )
+    def test_ties_match_scipy(self, xs):
+        ys = list(reversed(xs))
+        ours = spearman(xs, ys)
+        theirs = scipy_stats.spearmanr(xs, ys).statistic
+        if np.isnan(theirs):
+            assert np.isnan(ours)
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_symmetry(self):
+        xs = [3.0, 1.0, 4.0, 1.0, 5.0]
+        ys = [2.0, 7.0, 1.0, 8.0, 2.0]
+        assert spearman(xs, ys) == pytest.approx(spearman(ys, xs))
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(["a", "b", "a"], categories=["a", "b"])
+        assert encoded == {"a": [1, 0, 1], "b": [0, 1, 0]}
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(["a", "z"], categories=["a", "b"])
+
+    def test_complementary_columns_anticorrelate(self):
+        encoded = one_hot(["a", "b", "a", "b"], categories=["a", "b"])
+        assert spearman(encoded["a"], encoded["b"]) == pytest.approx(-1.0)
+
+
+class TestSpearmanMatrix:
+    def test_diagonal_is_one(self):
+        matrix = spearman_matrix({"x": [1, 2, 3], "y": [3, 1, 2]})
+        assert matrix.value("x", "x") == 1.0
+
+    def test_symmetric(self):
+        matrix = spearman_matrix({"x": [1, 2, 3], "y": [3, 1, 2]})
+        assert matrix.value("x", "y") == matrix.value("y", "x")
+
+    def test_column_lookup(self):
+        matrix = spearman_matrix({"x": [1, 2, 3], "y": [1, 2, 3], "z": [3, 2, 1]})
+        column = matrix.column("x")
+        assert column["y"] == pytest.approx(1.0)
+        assert column["z"] == pytest.approx(-1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spearman_matrix({"x": [1, 2], "y": [1, 2, 3]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            spearman_matrix({})
+
+    def test_render_contains_features(self):
+        matrix = spearman_matrix({"alpha": [1, 2, 3], "beta": [3, 2, 1]})
+        text = matrix.render()
+        assert "alpha" in text
+        assert "-1.000" in text

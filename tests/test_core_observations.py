@@ -1,0 +1,226 @@
+"""Unit tests for the O1-O6 observation checkers on synthetic results."""
+
+from repro.core.experiments.fig7 import Fig7Point, Fig7Series
+from repro.core.experiments.fig8 import Fig8Point, Fig8Result
+from repro.core.experiments.fig9 import Fig9aPoint, Fig9aResult
+from repro.core.experiments.fig10 import Fig10Cell, Fig10Result
+from repro.core.experiments.runners import (
+    STATUS_GPU_OOM,
+    STATUS_OK,
+    RunMetrics,
+)
+from repro.core.observations import (
+    check_o1,
+    check_o2,
+    check_o3,
+    check_o4,
+    check_o5,
+    check_o6,
+)
+from repro.hardware import StorageKind
+from repro.runtime import SchedulingPolicy
+from repro.tracing.aggregate import UserCodeMetrics
+
+
+def _metrics(
+    user_code=None,
+    parallel_task_time=1.0,
+    status=STATUS_OK,
+    use_gpu=False,
+):
+    return RunMetrics(
+        status=status,
+        use_gpu=use_gpu,
+        storage=StorageKind.SHARED,
+        scheduling=SchedulingPolicy.GENERATION_ORDER,
+        user_code=user_code or {},
+        parallel_task_time=parallel_task_time,
+    )
+
+
+def _uc(task_type, serial=0.0, parallel=1.0, comm=0.0):
+    return UserCodeMetrics(
+        task_type=task_type,
+        num_tasks=1,
+        serial_fraction=serial,
+        parallel_fraction=parallel,
+        cpu_gpu_comm=comm,
+    )
+
+
+def _fig7_point(block_mb, num_tasks, cpu_uc, gpu_uc, cpu_pt, gpu_pt, tt="partial_sum"):
+    return Fig7Point(
+        grid_label=f"{num_tasks} x 1",
+        block_mb=block_mb,
+        num_tasks=num_tasks,
+        cpu=_metrics(user_code={tt: cpu_uc}, parallel_task_time=cpu_pt),
+        gpu=_metrics(user_code={tt: gpu_uc}, parallel_task_time=gpu_pt, use_gpu=True),
+        primary_task_type=tt,
+    )
+
+
+class TestO1:
+    def _series(self, speedups):
+        series = Fig7Series(algorithm="kmeans", dataset="d")
+        for i, s in enumerate(speedups):
+            cpu = _uc("partial_sum", serial=1.0, parallel=1.0)
+            gpu = _uc("partial_sum", serial=1.0, parallel=2.0 / s - 1.0)
+            series.points.append(
+                _fig7_point(float(10 * (i + 1)), 2 ** (8 - i), cpu, gpu, 1.0, 1.0)
+            )
+        return series
+
+    def test_flat_speedups_pass(self):
+        assert check_o1(self._series([1.1, 1.2, 1.15, 1.1])).passed
+
+    def test_strong_scaling_fails(self):
+        assert not check_o1(self._series([1.1, 1.5, 1.9, 1.3, 1.2, 5.0])).passed
+
+    def test_too_few_points_fail(self):
+        assert not check_o1(self._series([1.1])).passed
+
+
+class TestO2:
+    def _series(self, speedup_by_tasks):
+        series = Fig7Series(algorithm="kmeans", dataset="d")
+        for num_tasks, speedup in speedup_by_tasks.items():
+            cpu = _uc("partial_sum")
+            gpu = _uc("partial_sum")
+            series.points.append(
+                _fig7_point(1.0, num_tasks, cpu, gpu, speedup, 1.0)
+            )
+        return series
+
+    def test_paper_signature_passes(self):
+        # Negative at the finest grain, positive from 32 tasks, flat for
+        # coarser grains — §5.1.2's shape.
+        series = self._series({256: 0.9, 128: 1.0, 32: 1.1, 8: 1.1, 2: 1.05})
+        assert check_o2(series).passed
+
+    def test_significant_coarse_gain_fails(self):
+        series = self._series({256: 0.8, 128: 0.9, 32: 1.0, 8: 1.4, 2: 1.5})
+        assert not check_o2(series).passed
+
+    def test_positive_finest_grain_fails(self):
+        series = self._series({256: 1.5, 128: 1.4, 32: 1.2, 8: 1.1, 2: 1.0})
+        assert not check_o2(series).passed
+
+
+class TestO3:
+    def _result(self, add_speedups):
+        result = Fig8Result(dataset="d")
+        for i, s in enumerate(add_speedups):
+            cpu = _metrics(
+                user_code={
+                    "matmul_func": _uc("matmul_func"),
+                    "add_func": _uc("add_func", parallel=1.0),
+                }
+            )
+            gpu = _metrics(
+                user_code={
+                    "matmul_func": _uc("matmul_func"),
+                    "add_func": _uc("add_func", parallel=1.0 / s),
+                },
+                use_gpu=True,
+            )
+            result.points.append(
+                Fig8Point(block_mb=float(10 * (i + 1)), grid=2**i, cpu=cpu, gpu=gpu)
+            )
+        return result
+
+    def test_gpu_always_loses_passes(self):
+        assert check_o3(self._result([0.2, 0.3, 0.25])).passed
+
+    def test_gpu_win_anywhere_fails(self):
+        assert not check_o3(self._result([0.2, 1.5, 0.25])).passed
+
+    def test_no_points_fail(self):
+        assert not check_o3(Fig8Result(dataset="d")).passed
+
+
+class TestO4:
+    def _result(self, best_by_clusters):
+        result = Fig9aResult(dataset="d")
+        for clusters, speedup in best_by_clusters.items():
+            cpu = _metrics(user_code={"partial_sum": _uc("partial_sum")})
+            gpu = _metrics(
+                user_code={"partial_sum": _uc("partial_sum", parallel=1.0 / speedup)},
+                use_gpu=True,
+            )
+            result.points.append(
+                Fig9aPoint(
+                    n_clusters=clusters, block_mb=100.0, grid=16, cpu=cpu, gpu=gpu
+                )
+            )
+        return result
+
+    def test_growing_speedups_pass(self):
+        assert check_o4(self._result({10: 1.2, 100: 3.5, 1000: 5.2})).passed
+
+    def test_non_monotone_fails(self):
+        assert not check_o4(self._result({10: 2.0, 100: 1.5, 1000: 5.0})).passed
+
+    def test_oom_points_are_ignored(self):
+        result = self._result({10: 1.2, 100: 3.5})
+        result.points.append(
+            Fig9aPoint(
+                n_clusters=1000,
+                block_mb=100.0,
+                grid=16,
+                cpu=_metrics(),
+                gpu=_metrics(status=STATUS_GPU_OOM, use_gpu=True),
+            )
+        )
+        assert check_o4(result).passed
+
+
+def _fig10(cells):
+    result = Fig10Result(algorithm="x", dataset="d")
+    for storage, policy, grid, gpu, value in cells:
+        result.cells.append(
+            Fig10Cell(
+                storage=storage,
+                scheduling=policy,
+                grid=grid,
+                block_mb=float(grid),
+                use_gpu=gpu,
+                metrics=_metrics(parallel_task_time=value, use_gpu=gpu),
+            )
+        )
+    return result
+
+
+class TestO5O6:
+    def test_o5_small_local_gap_passes(self):
+        cells = []
+        for policy in SchedulingPolicy:
+            for gpu in (False, True):
+                cells.append((StorageKind.LOCAL, policy, 4, gpu, 10.0))
+        assert check_o5(_fig10(cells)).passed
+
+    def test_o5_large_local_gap_fails(self):
+        cells = [
+            (StorageKind.LOCAL, SchedulingPolicy.GENERATION_ORDER, 4, False, 10.0),
+            (StorageKind.LOCAL, SchedulingPolicy.DATA_LOCALITY, 4, False, 20.0),
+        ]
+        assert not check_o5(_fig10(cells)).passed
+
+    def test_o6_kmeans_gap_moves_more(self):
+        kmeans_cells = [
+            (StorageKind.SHARED, SchedulingPolicy.GENERATION_ORDER, 4, False, 10.0),
+            (StorageKind.SHARED, SchedulingPolicy.GENERATION_ORDER, 4, True, 12.0),
+            (StorageKind.SHARED, SchedulingPolicy.DATA_LOCALITY, 4, False, 10.0),
+            (StorageKind.SHARED, SchedulingPolicy.DATA_LOCALITY, 4, True, 9.0),
+        ]
+        matmul_cells = [
+            (StorageKind.SHARED, SchedulingPolicy.GENERATION_ORDER, 4, False, 100.0),
+            (StorageKind.SHARED, SchedulingPolicy.GENERATION_ORDER, 4, True, 103.0),
+            (StorageKind.SHARED, SchedulingPolicy.DATA_LOCALITY, 4, False, 100.0),
+            (StorageKind.SHARED, SchedulingPolicy.DATA_LOCALITY, 4, True, 103.0),
+        ]
+        check = check_o6(_fig10(kmeans_cells), _fig10(matmul_cells))
+        assert check.passed
+
+    def test_observation_str(self):
+        check = check_o5(_fig10([]))
+        assert "O5" in str(check)

@@ -1,0 +1,86 @@
+"""Tests for experiment result persistence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import run_fig6, run_fig8
+from repro.core.persistence import diff_scalars, load_result, save_result, to_jsonable
+from repro.hardware import StorageKind
+
+
+class TestToJsonable:
+    def test_primitives(self):
+        assert to_jsonable(3) == 3
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(2.5) == 2.5
+
+    def test_nan_and_inf_encoded(self):
+        assert to_jsonable(float("nan")) == "nan"
+        assert to_jsonable(math.inf) == "inf"
+        assert to_jsonable(-math.inf) == "-inf"
+
+    def test_enum(self):
+        assert to_jsonable(StorageKind.LOCAL) == "local_disk"
+
+    def test_numpy(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_dataclass_tagged(self):
+        result = run_fig6()
+        payload = to_jsonable(result)
+        assert payload["__dataclass__"] == "Fig6Result"
+        assert payload["matmul"]["num_tasks"] == 112
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        result = run_fig6()
+        path = save_result(result, tmp_path / "fig6.json", metadata={"run": 1})
+        loaded = load_result(path)
+        assert loaded["metadata"]["run"] == 1
+        assert loaded["result"]["kmeans"]["width"] == 4
+
+    def test_directories_created(self, tmp_path):
+        path = save_result({"a": 1}, tmp_path / "nested" / "dir" / "r.json")
+        assert path.exists()
+
+    def test_figure_with_oom_points_serialises(self, tmp_path):
+        result = run_fig8(grids=(2,))
+        path = save_result(result, tmp_path / "fig8.json")
+        loaded = load_result(path)
+        assert loaded["result"]["__dataclass__"] == "Fig8Result"
+
+
+class TestDiff:
+    def test_identical(self):
+        assert diff_scalars({"a": 1}, {"a": 1}) == []
+
+    def test_changed_leaf(self):
+        diffs = diff_scalars({"a": {"b": 1}}, {"a": {"b": 2}})
+        assert diffs == ["a.b: 1 -> 2"]
+
+    def test_added_and_removed_keys(self):
+        diffs = diff_scalars({"a": 1}, {"b": 1})
+        assert "a: removed" in diffs
+        assert "b: added" in diffs
+
+    def test_list_length_change(self):
+        diffs = diff_scalars({"xs": [1, 2]}, {"xs": [1]})
+        assert diffs == ["xs: length 2 -> 1"]
+
+    def test_list_elementwise(self):
+        diffs = diff_scalars([1, 2, 3], [1, 9, 3])
+        assert diffs == ["[1]: 2 -> 9"]
+
+    def test_real_results_diff_on_calibration_change(self, tmp_path):
+        a = to_jsonable(run_fig6())
+        b = to_jsonable(run_fig6())
+        assert diff_scalars(a, b) == []

@@ -1,0 +1,87 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.core.plotting import bar_chart, line_chart, speedup_chart
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        text = line_chart({"cpu": {1.0: 1.0, 2.0: 2.0}}, title="T")
+        assert text.startswith("T")
+        assert "legend: o cpu" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_chart({"a": {1.0: 1.0}, "b": {1.0: 2.0}})
+        assert "o a" in text and "x b" in text
+
+    def test_none_values_skipped(self):
+        text = line_chart({"s": {1.0: 1.0, 2.0: None, 4.0: 3.0}})
+        assert "legend" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart({"s": {}}, title="E")
+
+    def test_log_x_requires_positive(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": {0.0: 1.0, 1.0: 2.0}}, log_x=True)
+
+    def test_monotone_series_renders_monotone(self):
+        # The highest y must appear on an earlier line than the lowest y.
+        points = {2.0**i: float(i) for i in range(6)}
+        text = line_chart({"s": points}, width=40, height=10, log_x=True)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first_marker_row = next(i for i, r in enumerate(rows) if "o" in r)
+        last_marker_row = max(i for i, r in enumerate(rows) if "o" in r)
+        first_col = rows[first_marker_row].index("o")
+        last_col = rows[last_marker_row].index("o")
+        # Rising series: top row marker is to the right of bottom row's.
+        assert first_col > last_col
+
+    def test_axis_ticks_present(self):
+        text = line_chart({"s": {1.0: 5.0, 10.0: 20.0}})
+        assert "20" in text
+        assert "5.00" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart({"s": {1.0: 3.0, 2.0: 3.0}})
+        assert "legend" in text
+
+    def test_single_point(self):
+        text = line_chart({"s": {5.0: 1.5}})
+        assert "legend" in text
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_missing_values_marked(self):
+        text = bar_chart({"a": 1.0, "b": None})
+        assert "OOM" in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({}, title="E")
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0})
+        assert "|" in text
+
+
+class TestSpeedupChart:
+    def test_end_to_end_with_experiment_output(self):
+        from repro.core.experiments import run_fig8
+
+        result = run_fig8(grids=(8, 4))
+        text = speedup_chart(
+            {
+                "matmul_func": result.speedups("matmul_func"),
+                "add_func": result.speedups("add_func"),
+            },
+            "Figure 8 shape",
+        )
+        assert "Figure 8 shape" in text
+        assert "matmul_func" in text

@@ -1,0 +1,116 @@
+"""Unit tests for report rendering and the Table-1 factor framework."""
+
+import pytest
+
+from repro.core import (
+    Dimension,
+    SystemFunction,
+    TABLE1_FACTORS,
+    Table,
+    factors_table,
+    format_seconds,
+    format_speedup,
+)
+from repro.core.factors import factors_affecting, factors_of_dimension
+from repro.core.report import format_bytes_mb
+
+
+class TestFormatting:
+    def test_format_seconds_ranges(self):
+        assert format_seconds(None) == "-"
+        assert format_seconds(0) == "0"
+        assert format_seconds(5e-6) == "5.0us"
+        assert format_seconds(0.25) == "250.0ms"
+        assert format_seconds(12.3456) == "12.35s"
+        assert format_seconds(4321.0) == "4321s"
+
+    def test_format_speedup_paper_convention(self):
+        # The paper writes slowdowns as negative speedups (Figure 1).
+        assert format_speedup(5.69) == "5.69x"
+        assert format_speedup(1.0) == "1.00x"
+        assert format_speedup(0.83) == "-1.20x"
+        assert format_speedup(None) == "-"
+
+    def test_format_bytes_mb(self):
+        assert format_bytes_mb(39e6) == "39"
+        assert format_bytes_mb(32 * 2**20, binary=True) == "32"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("T", headers=("a", "bbb"))
+        table.add_row(1, 22)
+        table.add_row(333, 4)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bbb" in lines[2]
+        assert len(lines) == 6
+
+    def test_row_arity_checked(self):
+        table = Table("T", headers=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_str_equals_render(self):
+        table = Table("T", headers=("a",))
+        table.add_row("x")
+        assert str(table) == table.render()
+
+
+class TestTable1:
+    def test_eight_factors(self):
+        assert len(TABLE1_FACTORS) == 8
+
+    def test_dimension_partition(self):
+        assert len(factors_of_dimension(Dimension.TASK_ALGORITHM)) == 4
+        assert len(factors_of_dimension(Dimension.DATASET)) == 1
+        assert len(factors_of_dimension(Dimension.RESOURCES)) == 2
+        assert len(factors_of_dimension(Dimension.SYSTEM)) == 1
+
+    def test_block_dimension_parameters(self):
+        block = next(f for f in TABLE1_FACTORS if f.name == "block dimension")
+        assert set(block.parameters) == {"block size", "grid dimension", "DAG shape"}
+
+    def test_every_factor_affects_device_speedup_or_more(self):
+        for factor in TABLE1_FACTORS:
+            assert factor.affects, f"{factor.name} affects nothing"
+
+    def test_footnote_mapping(self):
+        # Table 1's footnote: block dimension stresses all five functions.
+        block = next(f for f in TABLE1_FACTORS if f.name == "block dimension")
+        assert block.affects == frozenset(SystemFunction)
+
+    def test_storage_architecture_affects_storage_io(self):
+        assert any(
+            f.name == "storage architecture"
+            for f in factors_affecting(SystemFunction.STORAGE_IO)
+        )
+
+    def test_scheduling_policy_affects_scheduling(self):
+        assert any(
+            f.name == "scheduling policy"
+            for f in factors_affecting(SystemFunction.TASK_SCHEDULING)
+        )
+
+    def test_render_contains_all_factors(self):
+        text = factors_table().render()
+        for factor in TABLE1_FACTORS:
+            assert factor.name in text
+
+
+class TestMarkdownRender:
+    def test_markdown_structure(self):
+        table = Table("Title", headers=("a", "b"))
+        table.add_row(1, 2)
+        text = table.render_markdown()
+        lines = text.splitlines()
+        assert lines[0] == "**Title**"
+        assert lines[2] == "| a | b |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| 1 | 2 |"
+
+    def test_markdown_of_table1(self):
+        text = factors_table().render_markdown()
+        assert "| Dimension |" in text
+        assert "block dimension" in text

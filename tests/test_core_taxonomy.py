@@ -1,0 +1,64 @@
+"""Tests for the Figure 2 taxonomy encoding."""
+
+import pytest
+
+from repro.core.taxonomy import figure2_taxonomy, scope_matches_table1
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return figure2_taxonomy()
+
+
+class TestStructure:
+    def test_five_top_level_axes(self, tree):
+        assert [child.name for child in tree.children] == [
+            "GPU Usage",
+            "GPU Integration",
+            "Application",
+            "Level of Analysis",
+            "Infrastructure",
+        ]
+
+    def test_find(self, tree):
+        node = tree.find("Task-based Workflows")
+        assert node.in_scope
+        assert 78 in node.citations
+
+    def test_find_unknown_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.find("Quantum Processing")
+
+    def test_walk_counts_every_category(self, tree):
+        assert len(list(tree.walk())) == 26
+
+
+class TestScope:
+    def test_paper_scope_categories(self, tree):
+        scope = set(tree.scope())
+        # The red categories of Figure 2.
+        assert "Heterogeneous CPU-GPU" in scope
+        assert "Dedicated" in scope
+        assert "Task-based Workflows" in scope
+        assert "Task" in scope and "DAG" in scope
+        assert "Storage I/O" in scope and "Network I/O" in scope
+        # Out of scope: integrated GPUs, dataflows, instruction level.
+        assert "Integrated" not in scope
+        assert "Dataflows" not in scope
+        assert "Instruction" not in scope
+
+    def test_scope_consistent_with_table1(self):
+        # Figure 2's limitation areas == Table 1's system functions.
+        assert scope_matches_table1()
+
+
+class TestRender:
+    def test_render_marks_scope(self, tree):
+        text = tree.render()
+        assert "Heterogeneous CPU-GPU *" in text
+        assert "Integrated [33, 35, 75]" in text
+
+    def test_render_indents_children(self, tree):
+        lines = tree.render().splitlines()
+        assert lines[0].startswith("CPU-GPU Processing")
+        assert lines[1].startswith("  GPU Usage")

@@ -1,0 +1,205 @@
+"""Unit and property tests for the grid/block math of Eq. (1)-(2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import (
+    BlockSpec,
+    Blocking,
+    DatasetSpec,
+    GridSpec,
+    InvalidBlockingError,
+)
+from repro.data.blocking import row_wise_blockings, square_blockings
+
+
+def _dataset(rows=1024, cols=512):
+    return DatasetSpec("d", rows=rows, cols=cols)
+
+
+class TestGridAndBlockSpecs:
+    def test_grid_num_blocks(self):
+        assert GridSpec(k=4, l=2).num_blocks == 8
+
+    def test_grid_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GridSpec(k=0, l=1)
+
+    def test_block_elements(self):
+        assert BlockSpec(m=8, n=4).elements == 32
+
+    def test_block_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BlockSpec(m=1, n=0)
+
+
+class TestEquationOne:
+    def test_from_grid_divisible(self):
+        blocking = Blocking.from_grid(_dataset(), GridSpec(k=4, l=2))
+        assert blocking.block.m == 256
+        assert blocking.block.n == 256
+        assert blocking.num_tasks == 8
+
+    def test_from_block_divisible(self):
+        blocking = Blocking.from_block(_dataset(), BlockSpec(m=256, n=256))
+        assert blocking.grid.k == 4
+        assert blocking.grid.l == 2
+
+    def test_inverse_relationship(self):
+        # Eq. (2): k and l are inversely proportional to m and n.
+        small = Blocking.from_grid(_dataset(), GridSpec(k=8, l=8))
+        large = Blocking.from_grid(_dataset(), GridSpec(k=2, l=2))
+        assert small.block.elements < large.block.elements
+        assert small.num_tasks > large.num_tasks
+
+    def test_grid_larger_than_dataset_rejected(self):
+        with pytest.raises(InvalidBlockingError):
+            Blocking.from_grid(_dataset(rows=4, cols=4), GridSpec(k=8, l=1))
+
+    def test_block_larger_than_dataset_rejected(self):
+        # Constraint of §3.5: block dimension bounded by dataset dimension.
+        with pytest.raises(InvalidBlockingError):
+            Blocking.from_block(_dataset(), BlockSpec(m=2048, n=1))
+
+    def test_inconsistent_triple_rejected(self):
+        with pytest.raises(InvalidBlockingError):
+            Blocking(_dataset(), BlockSpec(m=100, n=512), GridSpec(k=2, l=1))
+
+
+class TestRaggedBlocks:
+    def test_non_divisible_rows_get_smaller_last_block(self):
+        # The paper's 12.5M-sample K-means over 256 row blocks.
+        dataset = DatasetSpec("k", rows=12_500_000, cols=100)
+        blocking = Blocking.from_grid(dataset, GridSpec(k=256, l=1))
+        assert blocking.block.m == 48829
+        assert blocking.block_rows(0) == 48829
+        assert blocking.block_rows(255) == 12_500_000 - 255 * 48829
+        assert blocking.block_rows(255) <= blocking.block.m
+
+    def test_row_counts_sum_to_dataset(self):
+        dataset = DatasetSpec("k", rows=1000, cols=7)
+        blocking = Blocking.from_grid(dataset, GridSpec(k=3, l=1))
+        total = sum(blocking.block_rows(i) for i in range(3))
+        assert total == 1000
+
+    def test_block_cols_ragged(self):
+        dataset = DatasetSpec("k", rows=10, cols=10)
+        blocking = Blocking.from_grid(dataset, GridSpec(k=1, l=3))
+        assert [blocking.block_cols(j) for j in range(3)] == [4, 4, 2]
+
+    def test_out_of_range_block_row(self):
+        blocking = Blocking.from_grid(_dataset(), GridSpec(k=4, l=2))
+        with pytest.raises(IndexError):
+            blocking.block_rows(4)
+
+
+class TestConvenience:
+    def test_block_bytes(self):
+        blocking = Blocking.from_grid(_dataset(), GridSpec(k=4, l=2))
+        assert blocking.block_bytes == 256 * 256 * 8
+
+    def test_row_wise_blockings(self):
+        dataset = DatasetSpec("k", rows=1024, cols=100)
+        blockings = row_wise_blockings(dataset, [1, 2, 4])
+        assert [b.grid.k for b in blockings] == [1, 2, 4]
+        assert all(b.grid.l == 1 for b in blockings)
+
+    def test_square_blockings(self):
+        dataset = _dataset(rows=1024, cols=1024)
+        blockings = square_blockings(dataset, [1, 2, 4])
+        assert [(b.grid.k, b.grid.l) for b in blockings] == [(1, 1), (2, 2), (4, 4)]
+
+    def test_describe_mentions_tasks(self):
+        blocking = Blocking.from_grid(_dataset(), GridSpec(k=4, l=2))
+        assert "8 tasks" in blocking.describe()
+
+
+class TestBlockingProperties:
+    @given(
+        rows=st.integers(min_value=1, max_value=10_000),
+        cols=st.integers(min_value=1, max_value=10_000),
+        k=st.integers(min_value=1, max_value=64),
+        l=st.integers(min_value=1, max_value=64),
+    )
+    def test_ceiling_form_of_eq1_always_holds(self, rows, cols, k, l):
+        dataset = DatasetSpec("p", rows=rows, cols=cols)
+        if k > rows or l > cols:
+            with pytest.raises(InvalidBlockingError):
+                Blocking.from_grid(dataset, GridSpec(k=k, l=l))
+            return
+        try:
+            blocking = Blocking.from_grid(dataset, GridSpec(k=k, l=l))
+        except InvalidBlockingError:
+            # Unrealizable grid (ceil blocks would leave an empty slot).
+            m = -(-rows // k)
+            n = -(-cols // l)
+            assert -(-rows // m) != k or -(-cols // n) != l
+            return
+        m, n = blocking.block.m, blocking.block.n
+        assert (k - 1) * m < rows <= k * m
+        assert (l - 1) * n < cols <= l * n
+
+    @given(
+        rows=st.integers(min_value=1, max_value=10_000),
+        k=st.integers(min_value=1, max_value=64),
+    )
+    def test_row_counts_partition_the_dataset(self, rows, k):
+        if k > rows:
+            return
+        dataset = DatasetSpec("p", rows=rows, cols=3)
+        try:
+            blocking = Blocking.from_grid(dataset, GridSpec(k=k, l=1))
+        except InvalidBlockingError:
+            return  # unrealizable grid; covered by the Eq. (1) property
+        counts = [blocking.block_rows(i) for i in range(k)]
+        assert sum(counts) == rows
+        assert all(c >= 1 for c in counts)
+        assert max(counts) == blocking.block.m
+
+    @given(
+        rows=st.integers(min_value=2, max_value=4096),
+        m=st.integers(min_value=1, max_value=4096),
+    )
+    def test_from_block_then_block_rows_consistent(self, rows, m):
+        if m > rows:
+            return
+        dataset = DatasetSpec("p", rows=rows, cols=2)
+        blocking = Blocking.from_block(dataset, BlockSpec(m=m, n=2))
+        assert blocking.grid.k == -(-rows // m)
+        total = sum(blocking.block_rows(i) for i in range(blocking.grid.k))
+        assert total == rows
+
+
+class TestRenderPartitioning:
+    def test_row_wise_task_labels(self):
+        from repro.data.blocking import render_partitioning
+        from repro.data import ChunkingPolicy
+
+        blocking = Blocking.from_grid(
+            DatasetSpec("f", rows=8, cols=8), GridSpec(k=4, l=2)
+        )
+        text = render_partitioning(blocking, ChunkingPolicy.ROW_WISE)
+        # 4 block-rows -> 4 tasks; every row repeats one label.
+        rows = text.splitlines()[1:]
+        assert len(rows) == 8
+        assert len(set(rows[0].split())) == 1
+
+    def test_hybrid_has_one_task_per_block(self):
+        from repro.data.blocking import render_partitioning
+        from repro.data import ChunkingPolicy
+
+        blocking = Blocking.from_grid(
+            DatasetSpec("f", rows=8, cols=8), GridSpec(k=4, l=2)
+        )
+        text = render_partitioning(blocking, ChunkingPolicy.HYBRID)
+        labels = {cell for line in text.splitlines()[1:] for cell in line.split()}
+        assert labels == {f"T{i}" for i in range(1, 9)}
+
+    def test_refuses_large_datasets(self):
+        from repro.data.blocking import render_partitioning
+
+        blocking = Blocking.from_grid(
+            DatasetSpec("big", rows=1000, cols=1000), GridSpec(k=2, l=2)
+        )
+        with pytest.raises(ValueError, match="tiny"):
+            render_partitioning(blocking)

@@ -1,0 +1,68 @@
+"""Unit tests for dataset specs and presets."""
+
+import pytest
+
+from repro.data import DatasetSpec, paper_datasets
+
+
+class TestDatasetSpec:
+    def test_sizes(self):
+        spec = DatasetSpec("d", rows=1000, cols=100)
+        assert spec.elements == 100_000
+        assert spec.size_bytes == 800_000
+        assert spec.size_mb == pytest.approx(0.8)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("d", rows=0, cols=10)
+        with pytest.raises(ValueError):
+            DatasetSpec("d", rows=10, cols=-1)
+
+    def test_rejects_bad_skew(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("d", rows=10, cols=10, skew=1.0)
+        with pytest.raises(ValueError):
+            DatasetSpec("d", rows=10, cols=10, skew=-0.1)
+
+    def test_scaled_to_keeps_distribution(self):
+        spec = DatasetSpec("d", rows=100, cols=100, skew=0.5, seed=7)
+        scaled = spec.scaled_to(10, 10)
+        assert scaled.skew == 0.5
+        assert scaled.seed == 7
+        assert scaled.rows == 10
+
+
+class TestPaperDatasets:
+    def test_paper_sizes_match_section_445(self):
+        datasets = paper_datasets()
+        # Matmul: 8 GB = 32K x 32K, 32 GB = 64K x 64K (binary GB).
+        assert datasets["matmul_8gb"].size_bytes == 32_768**2 * 8
+        assert datasets["matmul_8gb"].size_bytes == 8 * 1024**3
+        assert datasets["matmul_32gb"].size_bytes == 32 * 1024**3
+        # K-means: 10 GB = 12.5M x 100, 100 GB = 125M x 100 (decimal GB).
+        assert datasets["kmeans_10gb"].size_bytes == int(10e9)
+        assert datasets["kmeans_100gb"].size_bytes == int(100e9)
+
+    def test_element_counts_match_paper(self):
+        datasets = paper_datasets()
+        # "1024M elements" and "4B elements" for Matmul.
+        assert datasets["matmul_8gb"].elements == 1024 * 2**20
+        assert datasets["matmul_32gb"].elements == 4 * 2**30
+        # "1250M" and "12.5B" for K-means.
+        assert datasets["kmeans_10gb"].elements == 1_250_000_000
+        assert datasets["kmeans_100gb"].elements == 12_500_000_000
+
+    def test_skew_variants_present(self):
+        datasets = paper_datasets()
+        assert datasets["matmul_2gb_skew"].skew == 0.5
+        assert datasets["kmeans_1gb_skew"].skew == 0.5
+        assert datasets["matmul_2gb"].skew == 0.0
+
+    def test_correlation_extras_present(self):
+        datasets = paper_datasets()
+        assert datasets["matmul_128mb"].size_bytes == 4000 * 4000 * 8
+        assert datasets["kmeans_100mb"].size_bytes == 125_000 * 100 * 8
+
+    def test_fixed_seed_for_reproducibility(self):
+        datasets = paper_datasets()
+        assert all(spec.seed == 42 for spec in datasets.values())

@@ -1,0 +1,81 @@
+"""Unit tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetSpec, generate_matrix, skewed_matrix, uniform_matrix
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        data = uniform_matrix(50, 20, seed=1)
+        assert data.shape == (50, 20)
+        assert data.min() >= 0.0
+        assert data.max() < 1.0
+
+    def test_fixed_seed_reproducible(self):
+        a = uniform_matrix(10, 10, seed=42)
+        b = uniform_matrix(10, 10, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = uniform_matrix(10, 10, seed=1)
+        b = uniform_matrix(10, 10, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestSkewed:
+    def test_shape_preserved(self):
+        data = skewed_matrix(40, 25, skew=0.5, seed=3)
+        assert data.shape == (40, 25)
+
+    def test_skew_concentrates_values_in_bands(self):
+        data = skewed_matrix(200, 200, skew=0.5, bands=4, band_width=0.02, seed=3)
+        centres = (np.arange(4) + 0.5) / 4
+        in_band = np.zeros(data.size, dtype=bool)
+        flat = data.reshape(-1)
+        for centre in centres:
+            in_band |= np.abs(flat - centre) <= 0.011
+        # At least the skewed half sits in the narrow bands (uniform data
+        # would put only ~4 x 2.2% there).
+        assert in_band.mean() > 0.45
+
+    def test_zero_skew_is_uniform(self):
+        a = skewed_matrix(10, 10, skew=0.0, seed=5)
+        b = uniform_matrix(10, 10, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_reproducible(self):
+        a = skewed_matrix(30, 30, skew=0.5, seed=9)
+        b = skewed_matrix(30, 30, skew=0.5, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            skewed_matrix(5, 5, skew=1.0)
+        with pytest.raises(ValueError):
+            skewed_matrix(5, 5, bands=0)
+        with pytest.raises(ValueError):
+            skewed_matrix(5, 5, bands=4, band_width=0.5)
+
+
+class TestGenerateMatrix:
+    def test_uniform_spec(self):
+        spec = DatasetSpec("d", rows=100, cols=10)
+        data = generate_matrix(spec)
+        assert data.shape == (100, 10)
+
+    def test_skewed_spec_routes_to_skewed_generator(self):
+        spec = DatasetSpec("d", rows=100, cols=10, skew=0.5)
+        expected = skewed_matrix(100, 10, skew=0.5, seed=spec.seed)
+        np.testing.assert_array_equal(generate_matrix(spec), expected)
+
+    def test_refuses_paper_scale_datasets(self):
+        spec = DatasetSpec("big", rows=1_000_000, cols=1000)
+        with pytest.raises(MemoryError, match="simulated backend"):
+            generate_matrix(spec)
+
+    def test_cap_is_adjustable(self):
+        spec = DatasetSpec("d", rows=1000, cols=100)
+        with pytest.raises(MemoryError):
+            generate_matrix(spec, max_bytes=1000)

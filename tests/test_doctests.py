@@ -1,0 +1,19 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.correlation
+import repro.perfmodel.amdahl
+import repro.sim.engine
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.sim.engine, repro.core.correlation, repro.perfmodel.amdahl],
+)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert attempted > 0, f"{module.__name__} has no doctests"
+    assert failures == 0

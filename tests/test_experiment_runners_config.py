@@ -1,0 +1,79 @@
+"""Tests for runner configuration plumbing (custom clusters, statuses)."""
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms import KMeansWorkflow, MatmulWorkflow
+from repro.core.experiments.runners import (
+    STATUS_CPU_OOM,
+    STATUS_GPU_OOM,
+    run_workflow,
+)
+from repro.data import paper_datasets
+from repro.hardware import minotauro
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return paper_datasets()
+
+
+class TestCustomClusterPlumbing:
+    def test_bigger_gpu_memory_clears_oom(self, datasets):
+        workflow = MatmulWorkflow(datasets["matmul_8gb"], grid=1)
+        default = run_workflow(
+            MatmulWorkflow(datasets["matmul_8gb"], grid=1), use_gpu=True
+        )
+        assert default.status == STATUS_GPU_OOM
+        big = minotauro()
+        big = dataclasses.replace(
+            big,
+            node=dataclasses.replace(
+                big.node,
+                gpu=dataclasses.replace(big.node.gpu, memory_bytes=48 * 1024**3),
+            ),
+        )
+        roomy = run_workflow(workflow, use_gpu=True, cluster=big)
+        assert roomy.status == "ok"
+
+    def test_smaller_ram_triggers_cpu_oom(self, datasets):
+        tiny = minotauro()
+        tiny = dataclasses.replace(
+            tiny, node=dataclasses.replace(tiny.node, ram_bytes=1 * 1024**3)
+        )
+        metrics = run_workflow(
+            KMeansWorkflow(datasets["kmeans_10gb"], grid_rows=2, n_clusters=10),
+            use_gpu=False,
+            cluster=tiny,
+        )
+        assert metrics.status == STATUS_CPU_OOM
+        assert metrics.parallel_task_time == 0.0
+
+    def test_more_nodes_speed_up_distributed_runs(self, datasets):
+        def makespan(nodes):
+            return run_workflow(
+                KMeansWorkflow(
+                    datasets["kmeans_10gb"], grid_rows=128, n_clusters=100,
+                    iterations=1,
+                ),
+                use_gpu=False,
+                cluster=minotauro(num_nodes=nodes),
+            ).makespan
+
+        assert makespan(8) < makespan(2)
+
+    def test_dag_shape_recorded_even_on_oom(self, datasets):
+        metrics = run_workflow(
+            MatmulWorkflow(datasets["matmul_8gb"], grid=1), use_gpu=True
+        )
+        assert metrics.dag_width == 1
+        assert metrics.num_tasks == 1
+        assert metrics.error  # carries the OOM message
+
+    def test_movement_metrics_populated_on_success(self, datasets):
+        metrics = run_workflow(
+            KMeansWorkflow(datasets["kmeans_10gb"], grid_rows=16), use_gpu=False
+        )
+        assert metrics.movement is not None
+        assert metrics.movement.num_cores > 0

@@ -1,0 +1,64 @@
+"""Tests for the resource-parameter sensitivity experiment."""
+
+import pytest
+
+from repro.core.experiments.ext_resources import (
+    SWEEPS,
+    run_resource_sensitivity,
+)
+
+
+class TestSweepDefinitions:
+    def test_four_deferred_parameters(self):
+        assert set(SWEEPS) == {
+            "gpus_per_node",
+            "gpu_memory",
+            "bus_bandwidth",
+            "shared_disk_bandwidth",
+        }
+
+    def test_baseline_value_present_in_each_sweep(self):
+        # Each sweep passes through the Minotauro baseline so results are
+        # comparable across parameters.
+        values = {name: sweep[0] for name, sweep in SWEEPS.items()}
+        assert 4 in values["gpus_per_node"]
+        assert 12 * 1024**3 in values["gpu_memory"]
+        assert 2.0e9 in values["bus_bandwidth"]
+        assert 2.0e9 in values["shared_disk_bandwidth"]
+
+    def test_builders_produce_valid_clusters(self):
+        from repro.hardware import minotauro
+
+        base = minotauro()
+        for values, build, fmt in SWEEPS.values():
+            for value in values:
+                cluster = build(base, value)
+                assert cluster.num_nodes == base.num_nodes
+                assert isinstance(fmt(value), str)
+
+
+class TestSmallSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_resource_sensitivity(
+            matmul_grid=4, kmeans_grid=32, parameters=("gpus_per_node",)
+        )
+
+    def test_points_cover_sweep(self, result):
+        labels = set(result.series("gpus_per_node", "kmeans"))
+        assert labels == {"1", "2", "4", "8"}
+
+    def test_more_gpus_never_slower(self, result):
+        series = result.series("gpus_per_node", "kmeans")
+        ordered = [series[label] for label in ("1", "2", "4", "8")]
+        assert all(a >= b * 0.999 for a, b in zip(ordered, ordered[1:]))
+
+    def test_sensitivity_of_inert_parameter_is_one(self):
+        result = run_resource_sensitivity(
+            matmul_grid=4, kmeans_grid=32, parameters=("gpu_memory",)
+        )
+        assert result.sensitivity("gpu_memory", "kmeans") == pytest.approx(1.0)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "sensitivity gpus_per_node" in text

@@ -1,0 +1,97 @@
+"""Rendering tests: every figure's textual output carries its content.
+
+The benches print these renders as the reproduction's artefacts, so the
+renders themselves are part of the public surface.
+"""
+
+import pytest
+
+from repro.core.experiments import (
+    run_fig1,
+    run_fig6,
+    run_fig8,
+    run_fig9b,
+    run_fig10_for,
+    run_fig12,
+    run_parallel_ratio_sweep,
+)
+from repro.hardware import StorageKind
+from repro.runtime import SchedulingPolicy
+
+
+class TestRenders:
+    def test_fig1_render_rows(self):
+        text = run_fig1(grid_rows=32).render()
+        assert "parallel fraction (single task)" in text
+        assert "parallel tasks (distributed)" in text
+        assert text.count("x") >= 3  # three speedup cells
+
+    def test_fig6_render_columns(self):
+        text = run_fig6().render()
+        assert "width/height" in text
+        assert "matmul_func=64" in text
+
+    def test_fig8_render_and_chart_agree(self):
+        result = run_fig8(grids=(4, 2))
+        render = result.render()
+        chart = result.chart()
+        assert "matmul_func" in render and "add_func" in render
+        assert "matmul_func" in chart and "add_func" in chart
+        assert "Figure 8 shape" in chart
+
+    def test_fig9b_render_shows_skew_levels(self):
+        text = run_fig9b(grid=4).render()
+        assert "0%" in text and "50%" in text
+
+    def test_fig10_chart_renders_bars(self):
+        panel = run_fig10_for(
+            "kmeans",
+            "kmeans_10gb",
+            grids=(16, 1),
+            combos=((StorageKind.SHARED, SchedulingPolicy.GENERATION_ORDER),),
+        )
+        chart = panel.chart(
+            StorageKind.SHARED, SchedulingPolicy.GENERATION_ORDER
+        )
+        assert "#" in chart
+        assert "CPU" in chart and "GPU" in chart
+
+    def test_fig12_render(self):
+        text = run_fig12(grids=(4,)).render()
+        assert "Figure 12" in text
+        assert "fma" in text.lower()
+
+    def test_parallel_ratio_render_footer(self):
+        result = run_parallel_ratio_sweep(
+            ratios=(0.0, 0.5, 1.0), rows=200_000, grid_rows=8
+        )
+        text = result.render()
+        assert "break-even" in text
+
+    def test_fig10_render_csv(self):
+        panel = run_fig10_for(
+            "kmeans",
+            "kmeans_10gb",
+            grids=(16,),
+            combos=((StorageKind.SHARED, SchedulingPolicy.GENERATION_ORDER),),
+        )
+        # The ASCII table converts to CSV without losing columns.
+        from repro.core.report import Table
+
+        # build the same table through render() path sanity
+        text = panel.render()
+        assert "block MB" in text
+
+
+class TestRenderStability:
+    def test_renders_are_deterministic(self):
+        a = run_fig6().render()
+        b = run_fig6().render()
+        assert a == b
+
+    def test_fig1_speedup_formats_paper_convention(self):
+        result = run_fig1(grid_rows=32)
+        text = result.render()
+        # The distributed row uses the paper's negative-speedup notation.
+        if result.parallel_tasks_speedup < 1.0:
+            assert "-1." in text

@@ -1,0 +1,84 @@
+"""Tests for heterogeneous GPU-overflow execution."""
+
+import pytest
+
+from repro.algorithms import KMeansWorkflow, MatmulWorkflow
+from repro.data import paper_datasets
+from repro.hardware import StorageKind
+from repro.runtime import Runtime, RuntimeConfig
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return paper_datasets()
+
+
+def _kmeans_run(datasets, n_clusters, **config):
+    rt = Runtime(RuntimeConfig(storage=StorageKind.LOCAL, **config))
+    KMeansWorkflow(
+        datasets["kmeans_10gb"], grid_rows=128, n_clusters=n_clusters,
+        iterations=3,
+    ).build(rt)
+    return rt.run()
+
+
+class TestOverflowDecisions:
+    def test_overflow_splits_work_when_cpu_competitive(self, datasets):
+        result = _kmeans_run(datasets, 10, use_gpu=True, gpu_overflow_to_cpu=True)
+        gpu_tasks = sum(1 for t in result.trace.tasks if t.used_gpu)
+        cpu_tasks = sum(
+            1
+            for t in result.trace.tasks
+            if not t.used_gpu and t.task_type == "partial_sum"
+        )
+        assert gpu_tasks > 0
+        assert cpu_tasks > 0
+
+    def test_no_overflow_when_gpu_clearly_wins(self, datasets):
+        # K=1000: waiting for a device still beats a 5x-slower core.
+        result = _kmeans_run(datasets, 1000, use_gpu=True,
+                             gpu_overflow_to_cpu=True)
+        partial_sums = [
+            t for t in result.trace.tasks if t.task_type == "partial_sum"
+        ]
+        assert all(t.used_gpu for t in partial_sums)
+
+    def test_overflow_never_catastrophic(self, datasets):
+        for n_clusters in (10, 100, 1000):
+            pure = _kmeans_run(datasets, n_clusters, use_gpu=True).makespan
+            overflow = _kmeans_run(
+                datasets, n_clusters, use_gpu=True, gpu_overflow_to_cpu=True
+            ).makespan
+            assert overflow <= pure * 1.15
+
+    def test_overflow_beats_pure_modes_in_sweet_spot(self, datasets):
+        cpu = _kmeans_run(datasets, 10, use_gpu=False).makespan
+        gpu = _kmeans_run(datasets, 10, use_gpu=True).makespan
+        overflow = _kmeans_run(
+            datasets, 10, use_gpu=True, gpu_overflow_to_cpu=True
+        ).makespan
+        assert overflow < min(cpu, gpu)
+
+    def test_disabled_without_gpu_mode(self, datasets):
+        plain = _kmeans_run(datasets, 10, use_gpu=False).makespan
+        flagged = _kmeans_run(
+            datasets, 10, use_gpu=False, gpu_overflow_to_cpu=True
+        ).makespan
+        assert plain == flagged
+
+
+class TestOverflowRescuesOom:
+    def test_unfittable_task_runs_on_cpu(self, datasets):
+        # Matmul 1x1 OOMs the device; with overflow on, it runs on a core
+        # instead of failing up front.
+        rt = Runtime(RuntimeConfig(use_gpu=True, gpu_overflow_to_cpu=True))
+        MatmulWorkflow(datasets["matmul_8gb"], grid=1).build(rt)
+        result = rt.run()
+        assert len(result.trace.tasks) == 1
+        assert not result.trace.tasks[0].used_gpu
+
+    def test_fitting_tasks_still_use_gpu(self, datasets):
+        rt = Runtime(RuntimeConfig(use_gpu=True, gpu_overflow_to_cpu=True))
+        MatmulWorkflow(datasets["matmul_8gb"], grid=4).build(rt)
+        result = rt.run()
+        assert any(t.used_gpu for t in result.trace.tasks)

@@ -1,0 +1,69 @@
+"""Tests for the additional cluster presets."""
+
+import pytest
+
+from repro.algorithms import MatmulWorkflow
+from repro.core.experiments.runners import run_workflow
+from repro.data import paper_datasets
+from repro.hardware import fat_storage, minotauro, modern
+
+
+class TestModernPreset:
+    def test_same_topology_as_minotauro(self):
+        assert modern().total_cpu_cores == minotauro().total_cpu_cores
+        assert modern().total_gpus == minotauro().total_gpus
+
+    def test_device_generation_upgraded(self):
+        assert modern().node.gpu.flops > 10 * minotauro().node.gpu.flops
+        assert modern().node.gpu.memory_bytes > minotauro().node.gpu.memory_bytes
+
+    def test_modern_fits_the_8gib_matmul_block(self):
+        # 3 x 8 GiB = 24 GiB fits a 40 GiB device, unlike the K80.
+        workflow = MatmulWorkflow(paper_datasets()["matmul_8gb"], grid=1)
+        metrics = run_workflow(workflow, use_gpu=True, cluster=modern())
+        assert metrics.status == "ok"
+
+    def test_modern_widens_user_code_speedup(self):
+        datasets = paper_datasets()
+
+        def speedup(cluster):
+            cpu = run_workflow(
+                MatmulWorkflow(datasets["matmul_8gb"], grid=4),
+                use_gpu=False, cluster=cluster,
+            )
+            gpu = run_workflow(
+                MatmulWorkflow(datasets["matmul_8gb"], grid=4),
+                use_gpu=True, cluster=cluster,
+            )
+            return (
+                cpu.user_code["matmul_func"].user_code
+                / gpu.user_code["matmul_func"].user_code
+            )
+
+        assert speedup(modern()) > 2 * speedup(minotauro())
+
+
+class TestFatStoragePreset:
+    def test_storage_upgraded_only(self):
+        preset = fat_storage()
+        assert preset.shared_disk.read_bandwidth > minotauro().shared_disk.read_bandwidth
+        assert preset.node.gpu == minotauro().node.gpu
+
+    def test_fat_storage_cuts_movement_bound_times(self):
+        from repro.algorithms import KMeansWorkflow
+
+        datasets = paper_datasets()
+
+        def ptask(cluster):
+            return run_workflow(
+                KMeansWorkflow(datasets["kmeans_10gb"], grid_rows=128,
+                               n_clusters=10, iterations=1),
+                use_gpu=False,
+                cluster=cluster,
+            ).parallel_task_time
+
+        assert ptask(fat_storage()) < 0.7 * ptask(minotauro())
+
+    def test_node_count_parameter(self):
+        assert fat_storage(num_nodes=2).total_cpu_cores == 32
+        assert modern(num_nodes=4).total_gpus == 16

@@ -1,0 +1,87 @@
+"""Tests for hybrid (per-task-type) CPU-GPU execution."""
+
+import pytest
+
+from repro.algorithms import KMeansWorkflow, MatmulWorkflow
+from repro.core.advisor import WorkflowAdvisor
+from repro.data import paper_datasets
+from repro.runtime import Runtime, RuntimeConfig
+from repro.tracing import parallel_task_metrics
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return paper_datasets()
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return WorkflowAdvisor()
+
+
+def _matmul_run(datasets, **config):
+    rt = Runtime(RuntimeConfig(**config))
+    MatmulWorkflow(datasets["matmul_8gb"], grid=4).build(rt)
+    return rt.run()
+
+
+class TestPlanHybrid:
+    def test_matmul_splits_by_type(self, advisor, datasets):
+        plan = advisor.plan_hybrid(MatmulWorkflow(datasets["matmul_8gb"], grid=4))
+        assert plan == frozenset({"matmul_func"})
+
+    def test_oom_types_excluded(self, advisor, datasets):
+        plan = advisor.plan_hybrid(MatmulWorkflow(datasets["matmul_8gb"], grid=1))
+        assert plan == frozenset()
+
+    def test_kmeans_low_complexity_included_when_worth_it(self, advisor, datasets):
+        workflow = KMeansWorkflow(datasets["kmeans_10gb"], 64, n_clusters=1000)
+        assert "partial_sum" in advisor.plan_hybrid(workflow)
+
+
+class TestHybridExecution:
+    def test_device_assignment_follows_plan(self, datasets):
+        result = _matmul_run(
+            datasets, use_gpu=True, gpu_task_types=frozenset({"matmul_func"})
+        )
+        used = {t.task_type: set() for t in result.trace.tasks}
+        for task in result.trace.tasks:
+            used[task.task_type].add(task.used_gpu)
+        assert used["matmul_func"] == {True}
+        assert used["add_func"] == {False}
+
+    def test_hybrid_beats_both_pure_modes_on_matmul(self, datasets):
+        def ptask(**config):
+            result = _matmul_run(datasets, **config)
+            return parallel_task_metrics(
+                result.trace, {"matmul_func", "add_func"}
+            ).average_parallel_time
+
+        cpu = ptask(use_gpu=False)
+        gpu = ptask(use_gpu=True)
+        hybrid = ptask(use_gpu=True, gpu_task_types=frozenset({"matmul_func"}))
+        assert hybrid < gpu < cpu
+
+    def test_empty_plan_equals_cpu_mode(self, datasets):
+        cpu = _matmul_run(datasets, use_gpu=False)
+        hybrid = _matmul_run(datasets, use_gpu=True, gpu_task_types=frozenset())
+        assert hybrid.makespan == cpu.makespan
+
+    def test_none_plan_equals_full_gpu_mode(self, datasets):
+        gpu = _matmul_run(datasets, use_gpu=True)
+        hybrid = _matmul_run(datasets, use_gpu=True, gpu_task_types=None)
+        assert hybrid.makespan == gpu.makespan
+
+    def test_filter_ignored_without_gpu_mode(self, datasets):
+        cpu = _matmul_run(datasets, use_gpu=False)
+        filtered = _matmul_run(
+            datasets, use_gpu=False, gpu_task_types=frozenset({"matmul_func"})
+        )
+        assert filtered.makespan == cpu.makespan
+
+    def test_oom_precheck_respects_plan(self, datasets):
+        # Full-GPU mode OOMs at grid 1; hybrid with an empty plan must not.
+        rt = Runtime(RuntimeConfig(use_gpu=True, gpu_task_types=frozenset()))
+        MatmulWorkflow(datasets["matmul_8gb"], grid=1).build(rt)
+        result = rt.run()  # no OOM raised
+        assert len(result.trace.tasks) == 1

@@ -1,0 +1,80 @@
+"""Packaging sanity: metadata, versioning, and public API surface."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestMetadata:
+    def test_version_matches_pyproject(self):
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+    def test_license_file_present(self):
+        text = (REPO / "LICENSE").read_text()
+        assert "Apache License" in text
+
+    def test_py_typed_marker(self):
+        assert (REPO / "src" / "repro" / "py.typed").exists()
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_all_sorted_for_readability(self):
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.hardware as hardware
+        import repro.runtime as runtime
+        import repro.sim as sim
+        import repro.tracing as tracing
+
+        for module in (core, hardware, runtime, sim, tracing):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_headline_types_importable_from_root(self):
+        from repro import (
+            CostModel,
+            DistributedArray,
+            KMeansWorkflow,
+            MatmulWorkflow,
+            Runtime,
+            RuntimeConfig,
+            TaskCost,
+        )
+
+        assert all(
+            (CostModel, DistributedArray, KMeansWorkflow, MatmulWorkflow,
+             Runtime, RuntimeConfig, TaskCost)
+        )
+
+
+class TestRepoLayout:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "README.md",
+            "CONTRIBUTING.md",
+            "docs/architecture.md",
+            "scripts/regenerate_results.sh",
+            "examples/README.md",
+        ],
+    )
+    def test_expected_files_exist(self, path):
+        assert (REPO / path).exists(), path
+
+    def test_no_stray_top_level_modules(self):
+        # Everything importable lives under src/repro.
+        sources = {p.name for p in (REPO / "src").iterdir()}
+        assert sources == {"repro", "repro.egg-info"} or sources == {"repro"}

@@ -1,0 +1,167 @@
+"""Unit tests for the stage cost model and its calibration."""
+
+import pytest
+
+from repro.hardware import GpuOutOfMemoryError, HostOutOfMemoryError, minotauro
+from repro.perfmodel import CostModel, TaskCost
+from repro.perfmodel.calibration import verify_calibration_consistency
+
+
+def _cost(**overrides) -> TaskCost:
+    base = dict(
+        serial_flops=1e9,
+        parallel_flops=1e10,
+        parallel_items=1e6,
+        arithmetic_intensity=10.0,
+        input_bytes=10**8,
+        output_bytes=10**7,
+        host_device_bytes=10**8,
+        gpu_memory_bytes=10**8,
+    )
+    base.update(overrides)
+    return TaskCost(**base)
+
+
+@pytest.fixture
+def model() -> CostModel:
+    return CostModel(minotauro())
+
+
+class TestTaskCost:
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            _cost(serial_flops=-1)
+        with pytest.raises(ValueError):
+            _cost(input_bytes=-1)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            _cost(gpu_efficiency=0.0)
+        with pytest.raises(ValueError):
+            _cost(gpu_efficiency=1.5)
+
+    def test_scaled_multiplies_everything(self):
+        cost = _cost()
+        double = cost.scaled(2.0)
+        assert double.parallel_flops == cost.parallel_flops * 2
+        assert double.input_bytes == cost.input_bytes * 2
+        assert double.gpu_memory_bytes == cost.gpu_memory_bytes * 2
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _cost().scaled(0.0)
+
+
+class TestRates:
+    def test_cpu_rate_compute_bound(self, model):
+        # High arithmetic intensity: limited by FLOP rate.
+        assert model.cpu_rate(1000.0) == model.cpu.flops_per_core
+
+    def test_cpu_rate_memory_bound(self, model):
+        # Very low intensity: limited by memory bandwidth x intensity.
+        ai = 1 / 24
+        expected = model.cpu.mem_bandwidth_per_core * ai
+        assert model.cpu_rate(ai) == pytest.approx(expected)
+
+    def test_gpu_rate_scales_with_occupancy(self, model):
+        small = model.gpu_rate(1000.0, work_items=1e4)
+        large = model.gpu_rate(1000.0, work_items=1e9)
+        assert small < large <= model.gpu.flops
+
+    def test_gpu_efficiency_scales_rate(self, model):
+        full = model.gpu_rate(1000.0, 1e8, efficiency=1.0)
+        half = model.gpu_rate(1000.0, 1e8, efficiency=0.5)
+        assert half == pytest.approx(full / 2)
+
+
+class TestStageTimes:
+    def test_zero_fractions_cost_nothing(self, model):
+        cost = _cost(serial_flops=0, parallel_flops=0, host_device_bytes=0)
+        times = model.stage_times(cost, use_gpu=False)
+        assert times.serial_fraction == 0.0
+        assert times.parallel_fraction == 0.0
+        assert times.cpu_gpu_comm == 0.0
+
+    def test_cpu_tasks_have_no_comm(self, model):
+        times = model.stage_times(_cost(), use_gpu=False)
+        assert times.cpu_gpu_comm == 0.0
+
+    def test_gpu_tasks_pay_comm(self, model):
+        times = model.stage_times(_cost(), use_gpu=True)
+        pcie = model.cluster.node.interconnect
+        expected = pcie.latency + 1e8 / pcie.bandwidth_per_transfer
+        assert times.cpu_gpu_comm == pytest.approx(expected)
+
+    def test_user_code_is_sum_of_stages(self, model):
+        times = model.stage_times(_cost(), use_gpu=True)
+        assert times.user_code == pytest.approx(
+            times.serial_fraction + times.parallel_fraction + times.cpu_gpu_comm
+        )
+
+    def test_serial_fraction_identical_on_both_processors(self, model):
+        cost = _cost()
+        cpu = model.stage_times(cost, use_gpu=False)
+        gpu = model.stage_times(cost, use_gpu=True)
+        assert cpu.serial_fraction == gpu.serial_fraction
+
+
+class TestSpeedups:
+    def test_big_compute_bound_kernel_gets_near_peak_speedup(self, model):
+        cost = _cost(parallel_flops=1e14, parallel_items=1e9, serial_flops=0)
+        ratio = model.gpu.flops / model.cpu.flops_per_core
+        speedup = model.parallel_fraction_speedup(cost)
+        assert 0.9 * ratio < speedup <= ratio
+
+    def test_tiny_kernel_gets_poor_speedup(self, model):
+        cost = _cost(parallel_flops=1e7, parallel_items=1e3)
+        assert model.parallel_fraction_speedup(cost) < 1.0
+
+    def test_user_code_speedup_below_parallel_fraction_speedup(self, model):
+        # Amdahl: serial fraction and comm can only reduce the gain.
+        cost = _cost(parallel_flops=1e13, parallel_items=1e9)
+        assert model.user_code_speedup(cost) < model.parallel_fraction_speedup(cost)
+
+    def test_speedup_grows_with_work(self, model):
+        speedups = [
+            model.parallel_fraction_speedup(
+                _cost(parallel_flops=f, parallel_items=f / 100)
+            )
+            for f in (1e9, 1e11, 1e13)
+        ]
+        assert speedups == sorted(speedups)
+
+
+class TestMemoryChecks:
+    def test_gpu_oom(self, model):
+        with pytest.raises(GpuOutOfMemoryError):
+            model.check_gpu_memory(_cost(gpu_memory_bytes=13 * 1024**3))
+        model.check_gpu_memory(_cost(gpu_memory_bytes=12 * 1024**3))
+
+    def test_host_oom(self, model):
+        with pytest.raises(HostOutOfMemoryError):
+            model.check_host_memory(_cost(host_memory_bytes=129 * 1024**3))
+        model.check_host_memory(_cost(host_memory_bytes=128 * 1024**3))
+
+
+class TestCalibration:
+    def test_notes_match_spec(self):
+        assert verify_calibration_consistency() == []
+
+    def test_matmul_2048mb_block_lands_near_21x(self):
+        # The paper's Figure 8 peak: a 2048 MB matmul block reaches ~21x.
+        model = CostModel(minotauro())
+        n = 16_384
+        flops = 2.0 * n**3
+        in_bytes = 2 * 8 * n * n
+        out_bytes = 8 * n * n
+        cost = TaskCost(
+            serial_flops=0.0,
+            parallel_flops=flops,
+            parallel_items=float(n * n),
+            arithmetic_intensity=flops / (in_bytes + out_bytes),
+            input_bytes=in_bytes,
+            output_bytes=out_bytes,
+            host_device_bytes=in_bytes + out_bytes,
+            gpu_memory_bytes=in_bytes + out_bytes,
+        )
+        assert 18.0 <= model.user_code_speedup(cost) <= 25.0

@@ -1,0 +1,137 @@
+"""Tests for the analytic Amdahl-with-overhead speedup model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algorithms.kmeans import partial_sum_cost
+from repro.algorithms.matmul import add_cost, matmul_cost
+from repro.hardware import minotauro
+from repro.perfmodel import CostModel
+from repro.perfmodel.amdahl import (
+    amdahl_speedup,
+    amdahl_with_overhead,
+    breakeven_device_speedup,
+    predict,
+    worth_gpu,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel(minotauro())
+
+
+class TestAmdahlFormulas:
+    def test_fully_serial_gives_no_speedup(self):
+        assert amdahl_speedup(0.0, 100.0) == 1.0
+
+    def test_fully_parallel_gives_device_speedup(self):
+        assert amdahl_speedup(1.0, 25.0) == pytest.approx(25.0)
+
+    def test_half_parallel_classic_value(self):
+        # f=0.5, s=2 -> 1/(0.5 + 0.25) = 1.333...
+        assert amdahl_speedup(0.5, 2.0) == pytest.approx(4.0 / 3.0)
+
+    def test_overhead_reduces_speedup(self):
+        base = amdahl_speedup(0.9, 10.0)
+        with_overhead = amdahl_with_overhead(0.9, 10.0, 0.2)
+        assert with_overhead < base
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2.0)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0.0)
+        with pytest.raises(ValueError):
+            amdahl_with_overhead(0.5, 2.0, -0.1)
+
+    @given(
+        f=st.floats(min_value=0.0, max_value=1.0),
+        s=st.floats(min_value=1.0, max_value=1000.0),
+    )
+    def test_speedup_bounded_by_amdahl_ceiling(self, f, s):
+        speedup = amdahl_speedup(f, s)
+        assert 1.0 <= speedup <= s + 1e-9
+        if f < 1.0:
+            assert speedup <= 1.0 / (1.0 - f) + 1e-9
+
+    @given(
+        f=st.floats(min_value=0.01, max_value=1.0),
+        s=st.floats(min_value=1.0, max_value=100.0),
+        o=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_overhead_monotone(self, f, s, o):
+        assert amdahl_with_overhead(f, s, o) <= amdahl_speedup(f, s) + 1e-12
+
+
+class TestPredictionAgainstCostModel:
+    def test_prediction_matches_cost_model_exactly(self, model):
+        # Both derive from the same stage times, so the user-code speedup
+        # must agree to rounding.
+        cost = partial_sum_cost(48829, 100, 10)
+        prediction = predict(cost, model)
+        assert prediction.user_code_speedup == pytest.approx(
+            model.user_code_speedup(cost), rel=1e-9
+        )
+
+    def test_matmul_parallel_share_is_one(self, model):
+        cost = matmul_cost(4096, 4096, 4096)
+        assert predict(cost, model).parallel_share == pytest.approx(1.0)
+
+    def test_kmeans_parallel_share_below_one(self, model):
+        cost = partial_sum_cost(48829, 100, 10)
+        assert predict(cost, model).parallel_share < 0.5
+
+    def test_ceiling_caps_user_code_speedup(self, model):
+        cost = partial_sum_cost(48829, 100, 1000)
+        prediction = predict(cost, model)
+        assert prediction.user_code_speedup <= prediction.amdahl_ceiling
+
+    def test_zero_work_task_rejected(self, model):
+        from repro.perfmodel import TaskCost
+
+        empty = TaskCost(
+            serial_flops=0, parallel_flops=0, parallel_items=0,
+            arithmetic_intensity=0, input_bytes=0, output_bytes=0,
+            host_device_bytes=0, gpu_memory_bytes=0,
+        )
+        with pytest.raises(ValueError):
+            predict(empty, model)
+
+
+class TestBreakevenAndWorthiness:
+    def test_matmul_large_block_is_worth_gpu(self, model):
+        assert worth_gpu(matmul_cost(16384, 16384, 16384), model)
+
+    def test_add_func_never_worth_gpu(self, model):
+        # The paper's Figure 8 inversion, analytically: no finite device
+        # speedup makes add_func profitable.
+        cost = add_cost(16384, 16384)
+        assert not worth_gpu(cost, model)
+        assert breakeven_device_speedup(cost, model) is None
+
+    def test_breakeven_consistency(self, model):
+        # At the break-even device speedup, the predicted gain is exactly 1.
+        cost = matmul_cost(2048, 2048, 2048)
+        breakeven = breakeven_device_speedup(cost, model)
+        assert breakeven is not None
+        prediction = predict(cost, model)
+        implied = amdahl_with_overhead(
+            prediction.parallel_share, breakeven, prediction.overhead_share
+        )
+        assert implied == pytest.approx(1.0)
+
+    def test_breakeven_above_one_when_overhead_present(self, model):
+        cost = matmul_cost(2048, 2048, 2048)
+        assert breakeven_device_speedup(cost, model) > 1.0
+
+    def test_serial_only_task_not_worth_gpu(self, model):
+        from repro.perfmodel import TaskCost
+
+        serial = TaskCost(
+            serial_flops=1e9, parallel_flops=0, parallel_items=0,
+            arithmetic_intensity=0, input_bytes=8, output_bytes=8,
+            host_device_bytes=0, gpu_memory_bytes=0,
+        )
+        assert not worth_gpu(serial, model)
+        assert breakeven_device_speedup(serial, model) is None

@@ -1,0 +1,124 @@
+"""Property-based tests of the cost model's physical invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.hardware import minotauro
+from repro.perfmodel import CostModel, TaskCost
+
+model = CostModel(minotauro())
+
+positive = st.floats(min_value=1.0, max_value=1e14)
+bytes_st = st.integers(min_value=1, max_value=10**11)
+intensity = st.floats(min_value=1e-3, max_value=1e4)
+items = st.floats(min_value=1.0, max_value=1e10)
+
+
+def _cost(serial, parallel, items_, ai, in_b, out_b):
+    return TaskCost(
+        serial_flops=serial,
+        parallel_flops=parallel,
+        parallel_items=items_,
+        arithmetic_intensity=ai,
+        input_bytes=in_b,
+        output_bytes=out_b,
+        host_device_bytes=in_b + out_b,
+        gpu_memory_bytes=in_b + out_b,
+    )
+
+
+class TestRateBounds:
+    @given(ai=intensity)
+    def test_cpu_rate_bounded_by_peak(self, ai):
+        assert 0 < model.cpu_rate(ai) <= model.cpu.flops_per_core
+
+    @given(ai=intensity, n=items)
+    def test_gpu_rate_bounded_by_peak(self, ai, n):
+        assert 0 <= model.gpu_rate(ai, n) <= model.gpu.flops
+
+    @given(ai=intensity, n1=items, n2=items)
+    def test_gpu_rate_monotone_in_items(self, ai, n1, n2):
+        lo, hi = sorted((n1, n2))
+        assert model.gpu_rate(ai, lo) <= model.gpu_rate(ai, hi) + 1e-9
+
+    @given(ai1=intensity, ai2=intensity)
+    def test_cpu_rate_monotone_in_intensity(self, ai1, ai2):
+        lo, hi = sorted((ai1, ai2))
+        assert model.cpu_rate(lo) <= model.cpu_rate(hi) + 1e-9
+
+
+class TestTimeInvariants:
+    @given(
+        serial=positive,
+        parallel=positive,
+        n=items,
+        ai=intensity,
+        in_b=bytes_st,
+        out_b=bytes_st,
+    )
+    def test_all_stage_times_positive(self, serial, parallel, n, ai, in_b, out_b):
+        cost = _cost(serial, parallel, n, ai, in_b, out_b)
+        for use_gpu in (False, True):
+            times = model.stage_times(cost, use_gpu)
+            assert times.serial_fraction > 0
+            assert times.parallel_fraction > 0
+            assert times.deserialization_cpu > 0
+            assert times.serialization_cpu > 0
+            assert times.user_code > 0
+
+    @given(
+        parallel=positive,
+        n=items,
+        ai=intensity,
+    )
+    def test_scaling_work_scales_cpu_time_linearly(self, parallel, n, ai):
+        cost = _cost(1.0, parallel, n, ai, 8, 8)
+        single = model.parallel_fraction_time_cpu(cost)
+        double = model.parallel_fraction_time_cpu(
+            _cost(1.0, 2 * parallel, n, ai, 8, 8)
+        )
+        assert double == pytest_approx(2 * single)
+
+    @given(
+        parallel=positive,
+        n=items,
+        ai=intensity,
+        in_b=bytes_st,
+        out_b=bytes_st,
+    )
+    def test_user_code_speedup_below_parallel_speedup_ceiling(
+        self, parallel, n, ai, in_b, out_b
+    ):
+        # Amdahl: serial time and transfer pull the user-code speedup
+        # toward 1 from whichever side the kernel speedup sits on, so it
+        # can never exceed max(kernel speedup, 1).
+        cost = _cost(1e6, parallel, n, ai, in_b, out_b)
+        ceiling = max(model.parallel_fraction_speedup(cost), 1.0)
+        assert model.user_code_speedup(cost) <= ceiling + 1e-9
+
+    @given(
+        serial=positive,
+        parallel=positive,
+        n=items,
+        ai=intensity,
+    )
+    def test_gpu_user_code_cannot_beat_zero_comm_bound(self, serial, parallel, n, ai):
+        # The GPU-side user code includes serial time on the CPU, so it is
+        # at least the serial fraction.
+        cost = _cost(serial, parallel, n, ai, 64, 64)
+        gpu_time = model.user_code_time(cost, use_gpu=True)
+        assert gpu_time >= model.serial_fraction_time(cost)
+
+    @given(threads=st.integers(min_value=1, max_value=16))
+    def test_thread_scaling_sublinear(self, threads):
+        cost = _cost(0.0, 1e12, 1e8, 100.0, 8, 8)
+        one = model.parallel_fraction_time_cpu(cost, threads=1)
+        many = model.parallel_fraction_time_cpu(cost, threads=threads)
+        # Faster than one core, slower than perfect scaling.
+        assert many <= one + 1e-12
+        assert many >= one / threads - 1e-12
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9)

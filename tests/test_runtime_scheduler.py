@@ -1,0 +1,199 @@
+"""Unit tests for the scheduling policies."""
+
+from repro.runtime import DataRef, SchedulingPolicy, Task
+from repro.runtime.scheduler import (
+    DataLocalityScheduler,
+    GenerationOrderScheduler,
+    make_scheduler,
+)
+
+
+class FakeCluster:
+    """A ClusterView stub with explicit per-node availability."""
+
+    def __init__(self, free_cores, free_gpus=None):
+        self.free_cores = free_cores
+        self.free_gpus = free_gpus or [1] * len(free_cores)
+
+    def num_nodes(self):
+        return len(self.free_cores)
+
+    def has_free_slot(self, node, needs_gpu, ram_bytes=0):
+        if self.free_cores[node] < 1:
+            return False
+        if needs_gpu and self.free_gpus[node] < 1:
+            return False
+        return True
+
+
+def _task(task_id, input_homes=(), parallel=False):
+    from repro.perfmodel import TaskCost
+
+    inputs = tuple(
+        DataRef(size_bytes=100, home_node=home) for home in input_homes
+    )
+    cost = TaskCost(
+        serial_flops=1.0,
+        parallel_flops=100.0 if parallel else 0.0,
+        parallel_items=10.0 if parallel else 0.0,
+        arithmetic_intensity=1.0,
+        input_bytes=100,
+        output_bytes=10,
+        host_device_bytes=0,
+        gpu_memory_bytes=0,
+    )
+    return Task(
+        task_id=task_id,
+        name=f"t{task_id}",
+        inputs=inputs,
+        outputs=(DataRef(size_bytes=10),),
+        cost=cost,
+    )
+
+
+
+def _never_gpu(task):
+    return False
+
+
+def _eligible_gpu(task):
+    return task.gpu_eligible
+
+
+class TestGenerationOrder:
+    def test_picks_head_of_queue(self):
+        scheduler = GenerationOrderScheduler()
+        ready = [_task(3), _task(7)]
+        choice = scheduler.select(ready, FakeCluster([1, 1]), _never_gpu)
+        assert choice.task.task_id == 3
+
+    def test_round_robin_spreads_nodes(self):
+        scheduler = GenerationOrderScheduler()
+        cluster = FakeCluster([2, 2, 2])
+        nodes = [
+            scheduler.select([_task(i)], cluster, _never_gpu).node
+            for i in range(3)
+        ]
+        assert nodes == [0, 1, 2]
+
+    def test_skips_full_nodes(self):
+        scheduler = GenerationOrderScheduler()
+        cluster = FakeCluster([0, 0, 1])
+        choice = scheduler.select([_task(0)], cluster, _never_gpu)
+        assert choice.node == 2
+
+    def test_returns_none_when_cluster_full(self):
+        scheduler = GenerationOrderScheduler()
+        assert scheduler.select([_task(0)], FakeCluster([0, 0]), _never_gpu) is None
+
+    def test_returns_none_when_queue_empty(self):
+        scheduler = GenerationOrderScheduler()
+        assert scheduler.select([], FakeCluster([1]), _never_gpu) is None
+
+    def test_gpu_requirement_respected(self):
+        scheduler = GenerationOrderScheduler()
+        cluster = FakeCluster([1, 1], free_gpus=[0, 1])
+        choice = scheduler.select([_task(0, parallel=True)], cluster, _eligible_gpu)
+        assert choice.node == 1
+
+    def test_serial_task_needs_no_gpu_even_in_gpu_mode(self):
+        scheduler = GenerationOrderScheduler()
+        cluster = FakeCluster([1], free_gpus=[0])
+        choice = scheduler.select([_task(0, parallel=False)], cluster, _eligible_gpu)
+        assert choice is not None
+
+
+class TestDataLocality:
+    def test_prefers_owner_node(self):
+        scheduler = DataLocalityScheduler()
+        cluster = FakeCluster([1, 1, 1])
+        choice = scheduler.select([_task(0, input_homes=[2])], cluster, _never_gpu)
+        assert choice.node == 2
+
+    def test_majority_bytes_win(self):
+        scheduler = DataLocalityScheduler()
+        cluster = FakeCluster([1, 1])
+        task = _task(0, input_homes=[0, 1, 1])
+        choice = scheduler.select([task], cluster, _never_gpu)
+        assert choice.node == 1
+
+    def test_falls_back_when_owner_busy(self):
+        scheduler = DataLocalityScheduler()
+        cluster = FakeCluster([1, 0])
+        choice = scheduler.select([_task(0, input_homes=[1])], cluster, _never_gpu)
+        assert choice.node == 0
+
+    def test_scans_past_blocked_tasks(self):
+        scheduler = DataLocalityScheduler()
+        cluster = FakeCluster([1], free_gpus=[0])
+        blocked = _task(0, parallel=True)
+        runnable = _task(1, input_homes=[0], parallel=False)
+        choice = scheduler.select([blocked, runnable], cluster, _eligible_gpu)
+        assert choice.task.task_id == 1
+
+    def test_returns_none_when_cluster_full(self):
+        scheduler = DataLocalityScheduler()
+        assert scheduler.select([_task(0)], FakeCluster([0]), _never_gpu) is None
+
+
+class TestFactory:
+    def test_make_scheduler(self):
+        assert isinstance(
+            make_scheduler(SchedulingPolicy.GENERATION_ORDER),
+            GenerationOrderScheduler,
+        )
+        assert isinstance(
+            make_scheduler(SchedulingPolicy.DATA_LOCALITY), DataLocalityScheduler
+        )
+
+    def test_policy_labels(self):
+        assert SchedulingPolicy.GENERATION_ORDER.label == "task generation order"
+        assert SchedulingPolicy.DATA_LOCALITY.label == "data locality"
+
+
+class TestLifo:
+    def test_picks_tail_of_queue(self):
+        from repro.runtime.scheduler import LifoScheduler
+
+        scheduler = LifoScheduler()
+        ready = [_task(3), _task(7)]
+        choice = scheduler.select(ready, FakeCluster([1, 1]), _never_gpu)
+        assert choice.task.task_id == 7
+
+    def test_round_robin_nodes(self):
+        from repro.runtime.scheduler import LifoScheduler
+
+        scheduler = LifoScheduler()
+        cluster = FakeCluster([2, 2])
+        nodes = [
+            scheduler.select([_task(i)], cluster, _never_gpu).node
+            for i in range(2)
+        ]
+        assert nodes == [0, 1]
+
+    def test_returns_none_when_full(self):
+        from repro.runtime.scheduler import LifoScheduler
+
+        scheduler = LifoScheduler()
+        assert scheduler.select([_task(0)], FakeCluster([0]), _never_gpu) is None
+
+    def test_factory_and_label(self):
+        from repro.runtime.scheduler import LifoScheduler
+
+        assert isinstance(make_scheduler(SchedulingPolicy.LIFO), LifoScheduler)
+        assert SchedulingPolicy.LIFO.label == "LIFO"
+
+    def test_end_to_end_lifo_run(self):
+        from repro.perfmodel import TaskCost
+        from repro.runtime import Runtime, RuntimeConfig
+
+        rt = Runtime(RuntimeConfig(scheduling=SchedulingPolicy.LIFO))
+        cost = TaskCost(
+            serial_flops=1e9, parallel_flops=0, parallel_items=0,
+            arithmetic_intensity=0, input_bytes=10**6, output_bytes=10**5,
+            host_device_bytes=0, gpu_memory_bytes=0,
+        )
+        for i in range(20):
+            ref = rt.register_input(10**6, name=f"in{i}")
+            rt.submit(name="w", inputs=[ref], cost=cost)
+        assert len(rt.run().trace.tasks) == 20

@@ -1,0 +1,132 @@
+"""Tests for the concurrent (thread-pool) real-execution backend."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import KMeansWorkflow, MatmulWorkflow, kmeans_reference
+from repro.arrays import DistributedArray
+from repro.data import DatasetSpec
+from repro.data.generator import generate_matrix
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.runtime import Backend
+
+
+def _threaded(workers=4):
+    return Runtime(RuntimeConfig(backend=Backend.THREADED, thread_workers=workers))
+
+
+class TestCorrectness:
+    def test_matmul_matches_numpy(self):
+        dataset = DatasetSpec("thr_m", rows=48, cols=48)
+        rt = _threaded()
+        _a, _b, c_refs = MatmulWorkflow(dataset, grid=4).build(rt, materialize=True)
+        result = rt.run()
+        got = DistributedArray.assemble(c_refs, result)
+        full = generate_matrix(dataset)
+        np.testing.assert_allclose(got, full @ full, rtol=1e-10)
+
+    def test_kmeans_matches_reference(self):
+        dataset = DatasetSpec("thr_k", rows=500, cols=5)
+        workflow = KMeansWorkflow(dataset, grid_rows=5, n_clusters=3, iterations=3)
+        rt = _threaded()
+        _d, centroids_ref = workflow.build(rt, materialize=True)
+        got = rt.run().value_of(centroids_ref)
+        expected = kmeans_reference(
+            generate_matrix(dataset), workflow.initial_centroids(), 3
+        )
+        np.testing.assert_allclose(got, expected)
+
+    def test_matches_sequential_backend_exactly(self):
+        dataset = DatasetSpec("thr_eq", rows=32, cols=32)
+        outputs = []
+        for backend in (Backend.IN_PROCESS, Backend.THREADED):
+            rt = Runtime(RuntimeConfig(backend=backend))
+            _a, _b, c_refs = MatmulWorkflow(dataset, grid=2).build(
+                rt, materialize=True
+            )
+            outputs.append(DistributedArray.assemble(c_refs, rt.run()))
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+
+    def test_single_worker_degenerates_to_sequential(self):
+        dataset = DatasetSpec("thr_one", rows=32, cols=32)
+        rt = _threaded(workers=1)
+        _a, _b, c_refs = MatmulWorkflow(dataset, grid=2).build(rt, materialize=True)
+        result = rt.run()
+        assert len(result.trace.tasks) == rt.graph.num_tasks
+
+
+class TestConcurrency:
+    def test_independent_tasks_overlap(self):
+        # Tasks that sleep must overlap on a multi-worker pool.
+        rt = _threaded(workers=4)
+        active = {"now": 0, "peak": 0}
+        lock = threading.Lock()
+
+        def slow(x):
+            with lock:
+                active["now"] += 1
+                active["peak"] = max(active["peak"], active["now"])
+            time.sleep(0.05)
+            with lock:
+                active["now"] -= 1
+            return x
+
+        for i in range(8):
+            ref = rt.register_input(8, value=i)
+            rt.submit(name="slow", inputs=[ref], fn=slow)
+        rt.run()
+        assert active["peak"] >= 2
+
+    def test_dependencies_still_respected(self):
+        rt = _threaded(workers=4)
+        order = []
+        lock = threading.Lock()
+
+        def step(x, label):
+            with lock:
+                order.append(label)
+            return x
+
+        ref = rt.register_input(8, value=0)
+        (a,) = rt.submit(name="first", inputs=[ref],
+                         fn=lambda x: step(x, "first"))
+        (b,) = rt.submit(name="second", inputs=[a],
+                         fn=lambda x: step(x, "second"))
+        rt.submit(name="third", inputs=[b], fn=lambda x: step(x, "third"))
+        rt.run()
+        assert order == ["first", "second", "third"]
+
+    def test_trace_complete(self):
+        dataset = DatasetSpec("thr_tr", rows=32, cols=32)
+        rt = _threaded()
+        MatmulWorkflow(dataset, grid=2).build(rt, materialize=True)
+        result = rt.run()
+        assert len(result.trace.tasks) == rt.graph.num_tasks
+        assert len({t.task_id for t in result.trace.tasks}) == rt.graph.num_tasks
+
+
+class TestErrors:
+    def test_task_error_propagates(self):
+        rt = _threaded()
+        ref = rt.register_input(8, value=1)
+
+        def boom(x):
+            raise RuntimeError("task failed")
+
+        rt.submit(name="boom", inputs=[ref], fn=boom)
+        with pytest.raises(RuntimeError, match="task failed"):
+            rt.run()
+
+    def test_invalid_worker_count(self):
+        from repro.runtime.backends.threaded import ThreadedExecutor
+
+        with pytest.raises(ValueError):
+            ThreadedExecutor(max_workers=0)
+
+    def test_empty_workflow(self):
+        rt = _threaded()
+        result = rt.run()
+        assert result.trace.tasks == []

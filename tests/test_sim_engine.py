@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, seen.append, "late")
+        sim.schedule(1.0, seen.append, "early")
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(3.5, lambda: None)
+        sim.run()
+        assert sim.now == 3.5
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        seen = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, seen.append, label)
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+        assert sim.now == 5.0
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, seen.append, "never")
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancelled_events_do_not_advance_clock(self):
+        sim = Simulator()
+        event = sim.schedule(9.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        event.cancel()
+        sim.run()
+        assert sim.now == 1.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(5.0, seen.append, "b")
+        sim.run(until=2.0)
+        assert seen == ["a"]
+        assert sim.now == 2.0
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(5.0, seen.append, "b")
+        sim.run(until=2.0)
+        sim.run()
+        assert seen == ["a", "b"]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+
+class TestStep:
+    def test_step_runs_exactly_one_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        assert sim.step() is True
+        assert seen == ["a"]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert Simulator().step() is False
+
+    def test_processed_event_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 4

@@ -1,0 +1,151 @@
+"""Property-based tests of the simulated executor's invariants.
+
+Random workloads (task counts, dependency fan-out, cost profiles) are run
+through the full simulation and checked against invariants that must hold
+for *any* schedule the executor could produce:
+
+* every task completes exactly once;
+* the makespan respects both lower bounds (critical path, total work
+  over capacity);
+* stage records of one task are ordered and nested in the task record;
+* two tasks never overlap on the same (node, core) slot;
+* the simulation is deterministic.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.perfmodel import TaskCost
+from repro.runtime import Runtime, RuntimeConfig
+from repro.tracing import Trace
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+costs = st.builds(
+    TaskCost,
+    serial_flops=st.floats(min_value=0, max_value=5e10),
+    parallel_flops=st.floats(min_value=0, max_value=5e11),
+    parallel_items=st.floats(min_value=1e3, max_value=1e8),
+    arithmetic_intensity=st.floats(min_value=0.01, max_value=100.0),
+    input_bytes=st.integers(min_value=0, max_value=10**9),
+    output_bytes=st.integers(min_value=0, max_value=10**8),
+    host_device_bytes=st.integers(min_value=0, max_value=10**9),
+    gpu_memory_bytes=st.integers(min_value=0, max_value=10 * 1024**3),
+)
+
+
+def _build_workflow(task_costs, chain_every):
+    """A workflow mixing independent tasks with dependency chains."""
+    rt = Runtime(RuntimeConfig(use_gpu=False))
+    previous = None
+    for i, cost in enumerate(task_costs):
+        if previous is not None and chain_every and i % chain_every == 0:
+            inputs = [previous]
+        else:
+            inputs = [rt.register_input(cost.input_bytes, name=f"in{i}")]
+        (previous,) = rt.submit(name=f"t{i % 3}", inputs=inputs, cost=cost)
+    return rt
+
+
+class TestExecutorInvariants:
+    @given(
+        task_costs=st.lists(costs, min_size=1, max_size=30),
+        chain_every=st.integers(min_value=0, max_value=4),
+    )
+    @settings(**_SETTINGS)
+    def test_all_tasks_complete_exactly_once(self, task_costs, chain_every):
+        rt = _build_workflow(task_costs, chain_every)
+        result = rt.run()
+        assert len(result.trace.tasks) == len(task_costs)
+        assert len({t.task_id for t in result.trace.tasks}) == len(task_costs)
+
+    @given(
+        task_costs=st.lists(costs, min_size=2, max_size=20),
+    )
+    @settings(**_SETTINGS)
+    def test_makespan_not_below_work_bound(self, task_costs):
+        # Total serial+parallel compute over total cores is a hard floor.
+        rt = _build_workflow(task_costs, chain_every=0)
+        result = rt.run()
+        cores = rt.config.cluster.total_cpu_cores
+        from repro.perfmodel import CostModel
+
+        model = CostModel(rt.config.cluster)
+        total_compute = sum(
+            model.serial_fraction_time(c) + model.parallel_fraction_time_cpu(c)
+            for c in task_costs
+        )
+        assert result.makespan >= total_compute / cores - 1e-9
+
+    @given(
+        task_costs=st.lists(costs, min_size=2, max_size=15),
+    )
+    @settings(**_SETTINGS)
+    def test_makespan_not_below_critical_path(self, task_costs):
+        # Fully chained: the sum of compute times is a floor.
+        rt = _build_workflow(task_costs, chain_every=1)
+        result = rt.run()
+        from repro.perfmodel import CostModel
+
+        model = CostModel(rt.config.cluster)
+        critical = sum(
+            model.serial_fraction_time(c) + model.parallel_fraction_time_cpu(c)
+            for c in task_costs
+        )
+        assert result.makespan >= critical - 1e-9
+
+    @given(
+        task_costs=st.lists(costs, min_size=1, max_size=20),
+        chain_every=st.integers(min_value=0, max_value=3),
+    )
+    @settings(**_SETTINGS)
+    def test_stage_records_nested_and_ordered(self, task_costs, chain_every):
+        rt = _build_workflow(task_costs, chain_every)
+        trace = rt.run().trace
+        spans = {t.task_id: (t.start, t.end) for t in trace.tasks}
+        by_task: dict[int, list] = {}
+        for record in trace.stages:
+            by_task.setdefault(record.task_id, []).append(record)
+            start, end = spans[record.task_id]
+            assert start - 1e-9 <= record.start <= record.end <= end + 1e-9
+        for records in by_task.values():
+            ordered = sorted(records, key=lambda r: r.start)
+            for earlier, later in zip(ordered, ordered[1:]):
+                assert earlier.end <= later.start + 1e-9
+
+    @given(
+        task_costs=st.lists(costs, min_size=2, max_size=25),
+    )
+    @settings(**_SETTINGS)
+    def test_no_core_slot_double_booking(self, task_costs):
+        rt = _build_workflow(task_costs, chain_every=0)
+        trace = rt.run().trace
+        by_slot: dict[tuple[int, int], list] = {}
+        for task in trace.tasks:
+            by_slot.setdefault((task.node, task.core), []).append(task)
+        for tasks in by_slot.values():
+            ordered = sorted(tasks, key=lambda t: t.start)
+            for earlier, later in zip(ordered, ordered[1:]):
+                assert earlier.end <= later.start + 1e-9
+
+    @given(
+        task_costs=st.lists(costs, min_size=1, max_size=15),
+        chain_every=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_determinism(self, task_costs, chain_every):
+        first = _build_workflow(task_costs, chain_every).run()
+        second = _build_workflow(task_costs, chain_every).run()
+        assert first.makespan == second.makespan
+        assert _fingerprint(first.trace) == _fingerprint(second.trace)
+
+
+def _fingerprint(trace: Trace):
+    return [
+        (r.task_id, r.stage, round(r.start, 9), round(r.end, 9))
+        for r in trace.stages
+    ]

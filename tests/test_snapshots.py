@@ -1,0 +1,52 @@
+"""Golden-output snapshots of small deterministic renders.
+
+The simulator is deterministic, so these exact-text snapshots guard
+against silent changes to the public renders that the benches print as
+the reproduction's artefacts.  If an intentional change trips one, update
+the expected text alongside the change.
+"""
+
+from repro.core.experiments import run_fig6
+from repro.core.factors import factors_table
+from repro.data import Blocking, ChunkingPolicy, DatasetSpec, GridSpec
+from repro.data.blocking import render_partitioning
+
+FIG6_SNAPSHOT = """\
+Figure 6: DAG shapes (K-means 4x1 x3 iters vs Matmul 4x4)
+
+algorithm                    tasks  edges  width  height  width/height  per type
+---------------------------  -----  -----  -----  ------  ------------  ---------------------------
+K-means (4x1, 3 iterations)     15     20      4       6          0.67      partial_sum=12, merge=3
+               Matmul (4x4)    112     96     64       3         21.33  matmul_func=64, add_func=48"""
+
+FIG5_ROW_WISE_SNAPSHOT = """\
+dataset 8x8 (64 elements), block 2x4, grid 4 x 2 (row_wise chunking)
+ T1  T1  T1  T1  T1  T1  T1  T1
+ T1  T1  T1  T1  T1  T1  T1  T1
+ T2  T2  T2  T2  T2  T2  T2  T2
+ T2  T2  T2  T2  T2  T2  T2  T2
+ T3  T3  T3  T3  T3  T3  T3  T3
+ T3  T3  T3  T3  T3  T3  T3  T3
+ T4  T4  T4  T4  T4  T4  T4  T4
+ T4  T4  T4  T4  T4  T4  T4  T4"""
+
+
+def _rstripped(text: str) -> list[str]:
+    return [line.rstrip() for line in text.splitlines()]
+
+
+class TestSnapshots:
+    def test_fig6_render_snapshot(self):
+        assert _rstripped(run_fig6().render()) == _rstripped(FIG6_SNAPSHOT)
+
+    def test_fig5_partitioning_snapshot(self):
+        blocking = Blocking.from_grid(
+            DatasetSpec("fig5", rows=8, cols=8), GridSpec(k=4, l=2)
+        )
+        text = render_partitioning(blocking, ChunkingPolicy.ROW_WISE)
+        assert text == FIG5_ROW_WISE_SNAPSHOT
+
+    def test_table1_row_count_snapshot(self):
+        lines = factors_table().render().splitlines()
+        # Title, blank, header, rule, 8 factor rows.
+        assert len(lines) == 12

@@ -1,0 +1,160 @@
+"""Unit tests for trace records and the §4.2 metric aggregations."""
+
+import pytest
+
+from repro.tracing import (
+    Stage,
+    StageRecord,
+    TaskRecord,
+    Trace,
+    data_movement_metrics,
+    parallel_task_metrics,
+    user_code_metrics,
+)
+
+
+def _stage(task_id, stage, start, end, task_type="t", node=0, core=0, level=0,
+           gpu=False):
+    return StageRecord(
+        task_id=task_id,
+        task_type=task_type,
+        stage=stage,
+        start=start,
+        end=end,
+        node=node,
+        core=core,
+        level=level,
+        used_gpu=gpu,
+    )
+
+
+def _task(task_id, start, end, task_type="t", node=0, core=0, level=0, gpu=False):
+    return TaskRecord(
+        task_id=task_id,
+        task_type=task_type,
+        start=start,
+        end=end,
+        node=node,
+        core=core,
+        level=level,
+        used_gpu=gpu,
+    )
+
+
+class TestRecords:
+    def test_duration(self):
+        record = _stage(0, Stage.SERIAL_FRACTION, 1.0, 3.5)
+        assert record.duration == 2.5
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            _stage(0, Stage.SERIAL_FRACTION, 2.0, 1.0)
+
+    def test_makespan(self):
+        trace = Trace()
+        trace.add_task(_task(0, 1.0, 4.0))
+        trace.add_task(_task(1, 2.0, 9.0))
+        assert trace.makespan == 8.0
+
+    def test_empty_trace_makespan_zero(self):
+        assert Trace().makespan == 0.0
+
+    def test_task_types_first_seen_order(self):
+        trace = Trace()
+        trace.add_task(_task(0, 0, 1, task_type="b"))
+        trace.add_task(_task(1, 0, 1, task_type="a"))
+        trace.add_task(_task(2, 0, 1, task_type="b"))
+        assert trace.task_types() == ["b", "a"]
+
+
+class TestUserCodeMetrics:
+    def test_averages_per_task_type(self):
+        trace = Trace()
+        for task_id, duration in ((0, 2.0), (1, 4.0)):
+            trace.add_stage(_stage(task_id, Stage.SERIAL_FRACTION, 0, duration))
+            trace.add_task(_task(task_id, 0, duration))
+        metrics = user_code_metrics(trace)["t"]
+        assert metrics.serial_fraction == pytest.approx(3.0)
+        assert metrics.num_tasks == 2
+
+    def test_split_comm_records_are_summed_per_task(self):
+        # The simulated backend records H2D and D2H separately.
+        trace = Trace()
+        trace.add_stage(_stage(0, Stage.CPU_GPU_COMM, 0.0, 1.0))
+        trace.add_stage(_stage(0, Stage.CPU_GPU_COMM, 2.0, 2.5))
+        trace.add_task(_task(0, 0, 3))
+        metrics = user_code_metrics(trace)["t"]
+        assert metrics.cpu_gpu_comm == pytest.approx(1.5)
+
+    def test_user_code_sums_three_stages(self):
+        trace = Trace()
+        trace.add_stage(_stage(0, Stage.SERIAL_FRACTION, 0, 1))
+        trace.add_stage(_stage(0, Stage.PARALLEL_FRACTION, 1, 4))
+        trace.add_stage(_stage(0, Stage.CPU_GPU_COMM, 4, 5))
+        trace.add_task(_task(0, 0, 5))
+        metrics = user_code_metrics(trace)["t"]
+        assert metrics.user_code == pytest.approx(5.0)
+
+    def test_types_are_separated(self):
+        trace = Trace()
+        trace.add_stage(_stage(0, Stage.SERIAL_FRACTION, 0, 1, task_type="x"))
+        trace.add_stage(_stage(1, Stage.SERIAL_FRACTION, 0, 9, task_type="y"))
+        trace.add_task(_task(0, 0, 1, task_type="x"))
+        trace.add_task(_task(1, 0, 9, task_type="y"))
+        metrics = user_code_metrics(trace)
+        assert metrics["x"].serial_fraction == 1.0
+        assert metrics["y"].serial_fraction == 9.0
+
+
+class TestDataMovementMetrics:
+    def test_grouped_per_core(self):
+        trace = Trace()
+        trace.add_stage(_stage(0, Stage.DESERIALIZATION, 0, 2, core=0))
+        trace.add_stage(_stage(1, Stage.DESERIALIZATION, 0, 4, core=1))
+        trace.add_stage(_stage(0, Stage.SERIALIZATION, 2, 3, core=0))
+        metrics = data_movement_metrics(trace)
+        assert metrics.num_cores == 2
+        assert metrics.deserialization_per_core == pytest.approx(3.0)
+        assert metrics.serialization_per_core == pytest.approx(0.5)
+        assert metrics.total_per_core == pytest.approx(3.5)
+
+    def test_cores_on_different_nodes_are_distinct(self):
+        trace = Trace()
+        trace.add_stage(_stage(0, Stage.DESERIALIZATION, 0, 2, node=0, core=0))
+        trace.add_stage(_stage(1, Stage.DESERIALIZATION, 0, 2, node=1, core=0))
+        assert data_movement_metrics(trace).num_cores == 2
+
+    def test_empty_trace(self):
+        metrics = data_movement_metrics(Trace())
+        assert metrics.num_cores == 0
+        assert metrics.total_per_core == 0.0
+
+
+class TestParallelTaskMetrics:
+    def test_level_wall_times(self):
+        trace = Trace()
+        trace.add_task(_task(0, 0.0, 3.0, level=0))
+        trace.add_task(_task(1, 1.0, 5.0, level=0))
+        trace.add_task(_task(2, 5.0, 6.0, level=1))
+        metrics = parallel_task_metrics(trace)
+        assert metrics.level_wall_times[0] == pytest.approx(5.0)
+        assert metrics.level_wall_times[1] == pytest.approx(1.0)
+        assert metrics.average_parallel_time == pytest.approx(3.0)
+
+    def test_filter_to_parallel_task_types(self):
+        trace = Trace()
+        trace.add_task(_task(0, 0.0, 4.0, task_type="partial_sum", level=0))
+        trace.add_task(_task(1, 4.0, 4.5, task_type="merge", level=1))
+        metrics = parallel_task_metrics(trace, {"partial_sum"})
+        assert metrics.parallel_levels == (0,)
+        assert metrics.average_parallel_time == pytest.approx(4.0)
+
+    def test_total_time(self):
+        trace = Trace()
+        trace.add_task(_task(0, 0.0, 2.0, level=0))
+        trace.add_task(_task(1, 2.0, 5.0, level=1))
+        assert parallel_task_metrics(trace).total_time == pytest.approx(5.0)
+
+    def test_empty(self):
+        metrics = parallel_task_metrics(Trace())
+        assert metrics.average_parallel_time == 0.0

@@ -1,0 +1,85 @@
+"""Tests for the overhead-decomposition analysis."""
+
+import pytest
+
+from repro.algorithms import KMeansWorkflow, MatmulWorkflow
+from repro.data import paper_datasets
+from repro.hardware import StorageKind
+from repro.runtime import Runtime, RuntimeConfig
+from repro.tracing import Trace, decompose_overheads
+
+
+def _kmeans_trace(grid_rows=64, storage=StorageKind.SHARED, use_gpu=False):
+    rt = Runtime(RuntimeConfig(storage=storage, use_gpu=use_gpu))
+    KMeansWorkflow(
+        paper_datasets()["kmeans_10gb"], grid_rows=grid_rows, n_clusters=10,
+        iterations=1,
+    ).build(rt)
+    return rt.run().trace
+
+
+class TestDecomposition:
+    def test_shares_sum_to_one(self):
+        breakdown = decompose_overheads(_kmeans_trace())
+        total = (
+            breakdown.compute_share
+            + breakdown.movement_share
+            + breakdown.comm_share
+            + breakdown.scheduling_share
+            + breakdown.idle_share
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_all_shares_nonnegative(self):
+        breakdown = decompose_overheads(_kmeans_trace())
+        for value in (
+            breakdown.compute_share,
+            breakdown.movement_share,
+            breakdown.comm_share,
+            breakdown.scheduling_share,
+            breakdown.idle_share,
+        ):
+            assert value >= 0.0
+
+    def test_kmeans_is_movement_dominated(self):
+        # The paper's §5.1.2: (de-)serialization is the critical overhead
+        # for cheap distributed tasks on shared disk.
+        breakdown = decompose_overheads(_kmeans_trace())
+        assert breakdown.movement_share > breakdown.compute_share
+
+    def test_matmul_is_compute_dominated(self):
+        rt = Runtime(RuntimeConfig())
+        MatmulWorkflow(paper_datasets()["matmul_8gb"], grid=4).build(rt)
+        breakdown = decompose_overheads(rt.run().trace)
+        assert breakdown.compute_share > breakdown.movement_share
+
+    def test_cpu_runs_have_no_comm(self):
+        breakdown = decompose_overheads(_kmeans_trace(use_gpu=False))
+        assert breakdown.comm_share == 0.0
+
+    def test_gpu_runs_have_comm(self):
+        breakdown = decompose_overheads(_kmeans_trace(use_gpu=True))
+        assert breakdown.comm_share > 0.0
+
+    def test_local_disk_cuts_movement_share(self):
+        shared = decompose_overheads(_kmeans_trace(storage=StorageKind.SHARED))
+        local = decompose_overheads(_kmeans_trace(storage=StorageKind.LOCAL))
+        assert local.movement_share < shared.movement_share
+
+    def test_empty_trace(self):
+        breakdown = decompose_overheads(Trace())
+        assert breakdown.makespan == 0.0
+        assert breakdown.cores_used == 0
+
+    def test_render_mentions_all_categories(self):
+        text = decompose_overheads(_kmeans_trace()).render()
+        for token in ("compute", "movement", "comm", "scheduling", "idle"):
+            assert token in text
+
+    def test_overhead_share_property(self):
+        breakdown = decompose_overheads(_kmeans_trace())
+        assert breakdown.overhead_share == pytest.approx(
+            breakdown.movement_share
+            + breakdown.comm_share
+            + breakdown.scheduling_share
+        )

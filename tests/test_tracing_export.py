@@ -1,0 +1,99 @@
+"""Tests for trace export/import and the ASCII Gantt view."""
+
+import io
+
+import pytest
+
+from repro.perfmodel import TaskCost
+from repro.runtime import Runtime, RuntimeConfig
+from repro.tracing import Stage, Trace, dump_trace, gantt, load_trace
+
+
+def _sample_trace() -> Trace:
+    cost = TaskCost(
+        serial_flops=16e9,
+        parallel_flops=32e9,
+        parallel_items=1e7,
+        arithmetic_intensity=10.0,
+        input_bytes=10**7,
+        output_bytes=10**6,
+        host_device_bytes=0,
+        gpu_memory_bytes=0,
+    )
+    rt = Runtime(RuntimeConfig())
+    for i in range(6):
+        ref = rt.register_input(10**7, name=f"in{i}")
+        rt.submit(name="work", inputs=[ref], cost=cost)
+    return rt.run().trace
+
+
+class TestRoundTrip:
+    def test_lossless_through_stream(self):
+        trace = _sample_trace()
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert loaded.stages == trace.stages
+        assert loaded.tasks == trace.tasks
+
+    def test_lossless_through_file(self, tmp_path):
+        trace = _sample_trace()
+        path = tmp_path / "trace.jsonl"
+        dump_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.makespan == trace.makespan
+        assert len(loaded.stages) == len(trace.stages)
+
+    def test_blank_lines_ignored(self):
+        trace = _sample_trace()
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        text = buffer.getvalue() + "\n\n"
+        loaded = load_trace(io.StringIO(text))
+        assert len(loaded.tasks) == len(trace.tasks)
+
+    def test_unknown_kind_rejected(self):
+        bad = io.StringIO('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record kind"):
+            load_trace(bad)
+
+    def test_stage_enum_survives(self):
+        trace = _sample_trace()
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert all(isinstance(r.stage, Stage) for r in loaded.stages)
+
+
+class TestGantt:
+    def test_empty_trace(self):
+        assert gantt(Trace()) == "(empty trace)"
+
+    def test_rows_per_active_core(self):
+        trace = _sample_trace()
+        text = gantt(trace, width=60)
+        active_cores = {(r.node, r.core) for r in trace.stages}
+        # Header line + one line per core.
+        assert len(text.splitlines()) == 1 + len(active_cores)
+
+    def test_glyphs_present(self):
+        trace = _sample_trace()
+        text = gantt(trace, width=60)
+        assert "d" in text  # deserialization happened
+        assert "F" in text  # serial fraction happened
+
+    def test_max_rows_truncation(self):
+        trace = _sample_trace()
+        active_cores = {(r.node, r.core) for r in trace.stages}
+        if len(active_cores) > 2:
+            text = gantt(trace, width=40, max_rows=2)
+            assert "more cores" in text
+
+    def test_row_width_fixed(self):
+        trace = _sample_trace()
+        for line in gantt(trace, width=50).splitlines()[1:]:
+            if line.startswith("n"):
+                body = line.split("|")[1]
+                assert len(body) == 50

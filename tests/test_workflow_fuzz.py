@@ -1,0 +1,126 @@
+"""Workflow-level fuzzing: random configurations must behave sanely.
+
+Hypothesis draws (algorithm, grid, storage, policy, processor) tuples on
+small datasets; every draw must either complete with consistent metrics
+or fail with one of the two modelled OOM conditions — nothing else.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms import (
+    KMeansWorkflow,
+    LinearRegressionWorkflow,
+    MatmulFmaWorkflow,
+    MatmulWorkflow,
+    SyntheticWorkflow,
+)
+from repro.core.experiments.runners import run_workflow
+from repro.data import DatasetSpec
+from repro.hardware import StorageKind
+from repro.runtime import SchedulingPolicy
+
+_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+matmul_like = st.sampled_from([MatmulWorkflow, MatmulFmaWorkflow])
+
+
+def _square_dataset(order):
+    return DatasetSpec(f"fuzz_m{order}", rows=order, cols=order)
+
+
+def _tall_dataset(rows):
+    return DatasetSpec(f"fuzz_k{rows}", rows=rows, cols=50)
+
+
+class TestFuzzedConfigurations:
+    @given(
+        workflow_cls=matmul_like,
+        order_exp=st.integers(min_value=9, max_value=13),
+        grid=st.sampled_from([1, 2, 4, 8]),
+        storage=st.sampled_from(list(StorageKind)),
+        policy=st.sampled_from(list(SchedulingPolicy)),
+        use_gpu=st.booleans(),
+    )
+    @settings(**_SETTINGS)
+    def test_matmul_family(self, workflow_cls, order_exp, grid, storage,
+                           policy, use_gpu):
+        workflow = workflow_cls(_square_dataset(2**order_exp), grid=grid)
+        metrics = run_workflow(
+            workflow_cls(_square_dataset(2**order_exp), grid=grid),
+            use_gpu=use_gpu,
+            storage=storage,
+            scheduling=policy,
+        )
+        assert metrics.status in {"ok", "gpu_oom", "cpu_oom"}
+        if metrics.ok:
+            assert metrics.makespan > 0
+            assert metrics.parallel_task_time > 0
+            assert metrics.num_tasks > 0
+            if grid == 1:
+                # dislib Matmul: one task; FMA adds the zero accumulator.
+                expected = 1 if workflow_cls is MatmulWorkflow else 2
+                assert metrics.num_tasks == expected
+
+    @given(
+        rows=st.integers(min_value=10_000, max_value=5_000_000),
+        grid=st.sampled_from([1, 2, 8, 32]),
+        clusters=st.sampled_from([2, 10, 100]),
+        storage=st.sampled_from(list(StorageKind)),
+        policy=st.sampled_from(list(SchedulingPolicy)),
+        use_gpu=st.booleans(),
+    )
+    @settings(**_SETTINGS)
+    def test_kmeans(self, rows, grid, clusters, storage, policy, use_gpu):
+        if grid > rows:
+            return
+        metrics = run_workflow(
+            KMeansWorkflow(_tall_dataset(rows), grid_rows=grid,
+                           n_clusters=clusters, iterations=2),
+            use_gpu=use_gpu,
+            storage=storage,
+            scheduling=policy,
+        )
+        assert metrics.status in {"ok", "gpu_oom", "cpu_oom"}
+        if metrics.ok:
+            # Two iterations: partial_sum levels plus merges.
+            assert metrics.dag_height == 4
+            assert metrics.makespan >= metrics.parallel_task_time
+
+    @given(
+        rows=st.integers(min_value=50_000, max_value=2_000_000),
+        grid=st.sampled_from([1, 4, 16]),
+        use_gpu=st.booleans(),
+    )
+    @settings(**_SETTINGS)
+    def test_linreg(self, rows, grid, use_gpu):
+        if grid > rows:
+            return
+        metrics = run_workflow(
+            LinearRegressionWorkflow(_tall_dataset(rows), grid_rows=grid),
+            use_gpu=use_gpu,
+        )
+        assert metrics.status == "ok"
+        assert metrics.makespan > 0
+
+    @given(
+        ratio=st.floats(min_value=0.0, max_value=1.0),
+        grid=st.sampled_from([1, 8, 32]),
+        use_gpu=st.booleans(),
+    )
+    @settings(**_SETTINGS)
+    def test_synthetic(self, ratio, grid, use_gpu):
+        metrics = run_workflow(
+            SyntheticWorkflow(_tall_dataset(500_000), grid_rows=grid,
+                              parallel_ratio=ratio),
+            use_gpu=use_gpu,
+        )
+        assert metrics.status == "ok"
+        user_code = metrics.user_code["synthetic_stage"]
+        if ratio == 0.0:
+            assert user_code.parallel_fraction == 0.0
+        else:
+            assert user_code.parallel_fraction > 0.0
