@@ -1,0 +1,43 @@
+"""Pre-execution workflow analysis: the ``repro lint`` static analyzer.
+
+The paper's headline failures are all predictable before a single task
+runs: Figure 9a's "CPU GPU OOM" (a distance matrix larger than node RAM),
+the launch-overhead regime of observation O1, and the transfer-bound
+placements of O4 are functions of the DAG, the declared
+:class:`~repro.perfmodel.TaskCost` demands, and the cluster spec alone.
+This package checks all of them statically and reports structured
+:class:`Diagnostic` records with stable ``WFnnn`` codes (documented in
+``docs/linting.md``).
+
+Three entry points:
+
+* :func:`analyze` / :func:`analyze_runtime` — library API;
+* ``Runtime.run(validate=True)`` — refuse dispatch when errors are found,
+  raising :class:`WorkflowValidationError`;
+* ``repro lint`` — the CLI front-end (text or JSON output, non-zero exit
+  on errors).
+"""
+
+from repro.analysis.analyzer import analyze, analyze_runtime, collect_ref_ids
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    WorkflowValidationError,
+)
+from repro.analysis.rules import AnalysisOptions, RuleContext, all_rules
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisReport",
+    "CODES",
+    "Diagnostic",
+    "RuleContext",
+    "Severity",
+    "WorkflowValidationError",
+    "all_rules",
+    "analyze",
+    "analyze_runtime",
+    "collect_ref_ids",
+]

@@ -1,0 +1,129 @@
+"""The static workflow analyzer: run every rule over a built task graph.
+
+:func:`analyze` is the core entry point — pure graph-plus-spec analysis,
+no execution.  :func:`analyze_runtime` is the convenience wrapper used by
+``Runtime.run(validate=True)`` and the ``repro lint`` CLI: it pulls the
+graph, cluster, backend, and GPU mode out of a configured
+:class:`~repro.runtime.Runtime`.
+
+Typical use::
+
+    runtime = Runtime(RuntimeConfig(use_gpu=True))
+    refs = workflow.build(runtime)
+    report = analyze_runtime(runtime, returned=refs)
+    if report.has_errors:
+        print(report.render())          # WF101: host OOM predicted, ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.rules import AnalysisOptions, RuleContext, all_rules
+from repro.hardware.specs import ClusterSpec
+from repro.perfmodel.costmodel import CostModel
+from repro.runtime.dag import TaskGraph
+
+
+def collect_ref_ids(value: Any) -> frozenset[int]:
+    """Ref ids reachable from an arbitrary build() return value.
+
+    Walks nested tuples/lists/dicts, accepts bare
+    :class:`~repro.runtime.DataRef` objects and anything exposing
+    ``blocks()`` (e.g. :class:`~repro.arrays.DistributedArray`).
+    """
+    found: set[int] = set()
+    _collect(value, found)
+    return frozenset(found)
+
+
+def _collect(value: Any, found: set[int]) -> None:
+    if value is None:
+        return
+    ref_id = getattr(value, "ref_id", None)
+    if ref_id is not None:
+        found.add(ref_id)
+        return
+    blocks = getattr(value, "blocks", None)
+    if callable(blocks):
+        _collect(blocks(), found)
+        return
+    if isinstance(value, dict):
+        for item in value.values():
+            _collect(item, found)
+        return
+    if isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            _collect(item, found)
+
+
+def analyze(
+    graph: TaskGraph,
+    cluster: ClusterSpec | None = None,
+    *,
+    use_gpu: bool = False,
+    backend: str | None = "simulated",
+    returned: Any = None,
+    options: AnalysisOptions | None = None,
+) -> AnalysisReport:
+    """Run all diagnostic rules over a built task graph.
+
+    Parameters
+    ----------
+    graph:
+        The workflow DAG (nothing is executed).
+    cluster:
+        Target cluster for the feasibility and performance rules; with
+        ``None`` only the structural ``WF0xx`` rules run.
+    use_gpu:
+        Whether GPU execution is planned (enables the GPU feasibility
+        and performance rules).
+    backend:
+        Target backend name; real-execution backends skip the
+        missing-cost rule.  ``Backend`` enum values are accepted.
+    returned:
+        The refs the application keeps as results (any nesting), so the
+        dead-task rule knows terminal outputs are wanted.  ``None`` means
+        unknown: final-level tasks are then given the benefit of the
+        doubt.
+    """
+    backend_name = getattr(backend, "value", backend)
+    context = RuleContext(
+        graph=graph,
+        cluster=cluster,
+        cost_model=CostModel(cluster) if cluster is not None else None,
+        use_gpu=use_gpu,
+        backend=backend_name,
+        returned_ref_ids=None if returned is None else collect_ref_ids(returned),
+        options=options or AnalysisOptions(),
+    )
+    report = AnalysisReport(
+        cluster=cluster.name if cluster is not None else "",
+        use_gpu=use_gpu,
+    )
+    for _code, rule_fn in all_rules():
+        report.extend(rule_fn(context))
+    return report
+
+
+def analyze_runtime(
+    runtime: Any,
+    returned: Any = None,
+    options: AnalysisOptions | None = None,
+) -> AnalysisReport:
+    """Analyze the workflow recorded in a :class:`~repro.runtime.Runtime`.
+
+    Reads the cluster, backend, and GPU mode from the runtime's config so
+    the diagnostics describe exactly the execution that ``run()`` would
+    perform.
+    """
+    config = runtime.config
+    return analyze(
+        runtime.graph,
+        config.cluster,
+        use_gpu=config.use_gpu,
+        backend=config.backend,
+        returned=returned,
+        options=options,
+    )

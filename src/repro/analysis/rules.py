@@ -1,0 +1,515 @@
+"""The analyzer's rule set, one function per ``WFnnn`` diagnostic code.
+
+Each rule inspects a :class:`RuleContext` — the task graph plus (when a
+cluster was given) the :class:`~repro.perfmodel.CostModel` that maps
+:class:`~repro.perfmodel.TaskCost` demands to stage durations — and
+returns zero or more :class:`~repro.analysis.diagnostics.Diagnostic`
+findings.  Rules never execute tasks: everything here is a function of
+the DAG, the declared demands, and the cluster spec, which is what makes
+the paper's headline failures (Figure 9a's "CPU GPU OOM", O1's
+launch-overhead regime, O4's transfer-bound placements) predictable
+before dispatch.
+
+Findings are aggregated per task type so a 768-task sweep produces one
+record per defect, not 768.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.hardware.specs import ClusterSpec
+from repro.perfmodel.costmodel import CostModel
+from repro.runtime.dag import CycleError, TaskGraph
+from repro.runtime.task import Task
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Tunable thresholds of the performance-smell rules."""
+
+    #: WF201 fires when launch overhead is at least this share of the GPU
+    #: parallel-fraction time (0.5 = overhead equals useful kernel work).
+    launch_overhead_share: float = 0.5
+    #: WF203 fires when the DAG width is below this share of the
+    #: cluster's parallel slots.
+    width_slot_share: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 < self.launch_overhead_share <= 1:
+            raise ValueError("launch_overhead_share must be in (0, 1]")
+        if not 0 < self.width_slot_share <= 1:
+            raise ValueError("width_slot_share must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Everything a rule may inspect."""
+
+    graph: TaskGraph
+    cluster: ClusterSpec | None = None
+    cost_model: CostModel | None = None
+    use_gpu: bool = False
+    #: Backend the workflow targets ("simulated", "in_process",
+    #: "threaded") or ``None`` for backend-agnostic analysis.
+    backend: str | None = "simulated"
+    #: Ref ids the application keeps as workflow results, or ``None``
+    #: when unknown (the dead-task rule then only flags interior tasks).
+    returned_ref_ids: frozenset[int] | None = None
+    options: AnalysisOptions = field(default_factory=AnalysisOptions)
+
+
+Rule = Callable[[RuleContext], list[Diagnostic]]
+
+_RULES: list[tuple[str, Rule]] = []
+
+
+def rule(code: str) -> Callable[[Rule], Rule]:
+    """Register a rule function under its stable code."""
+
+    def register(fn: Rule) -> Rule:
+        _RULES.append((code, fn))
+        return fn
+
+    return register
+
+
+def all_rules() -> list[tuple[str, Rule]]:
+    """Every registered rule as (code, function), ordered by code."""
+    return sorted(_RULES)
+
+
+# --------------------------------------------------------------- helpers
+def _gib(num_bytes: float) -> str:
+    return f"{num_bytes / GIB:.1f} GiB"
+
+
+def _grouped(tasks: list[Task]) -> dict[str, list[Task]]:
+    groups: dict[str, list[Task]] = {}
+    for task in tasks:
+        groups.setdefault(task.name, []).append(task)
+    return groups
+
+
+def _ids(tasks: list[Task]) -> tuple[int, ...]:
+    return tuple(t.task_id for t in tasks)
+
+
+# --------------------------------------------------- WF0xx: graph hazards
+@rule("WF001")
+def check_cycles(ctx: RuleContext) -> list[Diagnostic]:
+    """WF001 — the dependency graph must be acyclic."""
+    graph = ctx.graph
+    try:
+        graph.topological_order()
+        return []
+    except CycleError:
+        pass
+    indegree = {t.task_id: 0 for t in graph.tasks()}
+    for _, consumer in graph.edges():
+        indegree[consumer] += 1
+    frontier = [t for t, d in indegree.items() if d == 0]
+    while frontier:
+        task_id = frontier.pop()
+        for successor in graph.successors(task_id):
+            indegree[successor.task_id] -= 1
+            if indegree[successor.task_id] == 0:
+                frontier.append(successor.task_id)
+    stuck = tuple(sorted(t for t, d in indegree.items() if d > 0))
+    return [
+        Diagnostic(
+            code="WF001",
+            severity=Severity.ERROR,
+            message="task dependencies form a cycle; no schedule can run them",
+            task_ids=stuck,
+            hint="break the cycle: no task may (transitively) consume its "
+            "own output",
+        )
+    ]
+
+
+@rule("WF002")
+def check_duplicate_producers(ctx: RuleContext) -> list[Diagnostic]:
+    """WF002 — every data ref must have exactly one producer."""
+    producer_of: dict[int, int] = {}
+    findings: list[Diagnostic] = []
+    for task in ctx.graph.tasks():
+        for ref in task.outputs:
+            first = producer_of.setdefault(ref.ref_id, task.task_id)
+            if first != task.task_id:
+                findings.append(
+                    Diagnostic(
+                        code="WF002",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"ref #{ref.ref_id} ({ref.name or 'unnamed'}) is "
+                            f"produced by both task #{first} and task "
+                            f"#{task.task_id}; consumers would silently bind "
+                            "to the later producer"
+                        ),
+                        task_ids=(first, task.task_id),
+                        task_type=task.name,
+                        hint="give each task its own output refs; "
+                        "TaskGraph.add_task raises DuplicateProducerError "
+                        "for this at build time",
+                    )
+                )
+    return findings
+
+
+@rule("WF003")
+def check_self_dependency(ctx: RuleContext) -> list[Diagnostic]:
+    """WF003 — a task must not consume its own output."""
+    self_edges = {src for src, dst in ctx.graph.edges() if src == dst}
+    offenders = []
+    for task in ctx.graph.tasks():
+        out_ids = {ref.ref_id for ref in task.outputs}
+        if task.task_id in self_edges or any(
+            ref.ref_id in out_ids for ref in task.inputs
+        ):
+            offenders.append(task)
+    if not offenders:
+        return []
+    return [
+        Diagnostic(
+            code="WF003",
+            severity=Severity.ERROR,
+            message=f"{len(offenders)} task(s) consume their own output; "
+            "such a task can never become ready",
+            task_ids=_ids(offenders),
+            task_type=offenders[0].name if len(_grouped(offenders)) == 1 else "",
+            hint="feed the task a ref produced by another task (or a "
+            "workflow input) instead",
+        )
+    ]
+
+
+@rule("WF004")
+def check_duplicate_edges(ctx: RuleContext) -> list[Diagnostic]:
+    """WF004 — at most one dependency edge between any two tasks."""
+    duplicated = [
+        edge for edge, count in Counter(ctx.graph.edges()).items() if count > 1
+    ]
+    if not duplicated:
+        return []
+    consumers = tuple(sorted({dst for _, dst in duplicated}))
+    pairs = ", ".join(f"#{src}->#{dst}" for src, dst in sorted(duplicated)[:5])
+    return [
+        Diagnostic(
+            code="WF004",
+            severity=Severity.WARNING,
+            message=f"{len(duplicated)} dependency edge(s) are duplicated "
+            f"({pairs}); num_edges and DOT exports over-count",
+            task_ids=consumers,
+            hint="TaskGraph.add_task dedupes edges since this rule was "
+            "introduced; rebuild hand-wired graphs through add_task",
+        )
+    ]
+
+
+@rule("WF005")
+def check_dead_tasks(ctx: RuleContext) -> list[Diagnostic]:
+    """WF005 — every task's outputs should be consumed or returned."""
+    graph = ctx.graph
+    try:
+        levels = graph.levels()
+    except CycleError:
+        return []  # WF001 already covers an unschedulable graph
+    if not levels:
+        return []
+    max_level = max(levels.values())
+    consumed = {
+        ref.ref_id for task in graph.tasks() for ref in task.inputs
+    }
+    returned = ctx.returned_ref_ids
+    dead: list[Task] = []
+    for task in graph.tasks():
+        if not task.outputs:
+            continue  # side-effect sink tasks have nothing to consume
+        if any(ref.ref_id in consumed for ref in task.outputs):
+            continue
+        if returned is not None:
+            if any(ref.ref_id in returned for ref in task.outputs):
+                continue
+        elif levels[task.task_id] == max_level:
+            # Without knowing which refs the application keeps, final-level
+            # tasks are presumed to carry the workflow's results.
+            continue
+        dead.append(task)
+    findings = []
+    for name, tasks in _grouped(dead).items():
+        findings.append(
+            Diagnostic(
+                code="WF005",
+                severity=Severity.WARNING,
+                message=f"{len(tasks)} {name!r} task(s) produce outputs that "
+                "no task consumes and the workflow never returns; their work "
+                "is wasted",
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="drop the tasks, or consume/return their outputs",
+            )
+        )
+    return findings
+
+
+@rule("WF006")
+def check_missing_costs(ctx: RuleContext) -> list[Diagnostic]:
+    """WF006 — the simulated backend needs a TaskCost per task."""
+    if ctx.backend not in (None, "simulated"):
+        return []  # real-execution backends run the actual function
+    missing = [t for t in ctx.graph.tasks() if t.cost is None]
+    findings = []
+    for name, tasks in _grouped(missing).items():
+        findings.append(
+            Diagnostic(
+                code="WF006",
+                severity=Severity.WARNING,
+                message=f"{len(tasks)} {name!r} task(s) have no TaskCost; the "
+                "simulated backend will run them with zero-duration stages, "
+                "skewing every timing metric",
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="pass _cost= (task decorator) or cost= (Runtime.submit)",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------- WF1xx: feasibility
+@rule("WF101")
+def check_host_memory(ctx: RuleContext) -> list[Diagnostic]:
+    """WF101 — per-task host working set vs node RAM (Figure 9a)."""
+    if ctx.cluster is None:
+        return []
+    ram = ctx.cluster.node.ram_bytes
+    offenders = [
+        t
+        for t in ctx.graph.tasks()
+        if t.cost is not None and t.cost.host_memory_bytes > ram
+    ]
+    findings = []
+    for name, tasks in _grouped(offenders).items():
+        worst = max(t.cost.host_memory_bytes for t in tasks)
+        findings.append(
+            Diagnostic(
+                code="WF101",
+                severity=Severity.ERROR,
+                message=(
+                    f"{len(tasks)} {name!r} task(s) need up to {_gib(worst)} "
+                    f"of host RAM but a node has {_gib(ram)}; execution "
+                    "would abort with HostOutOfMemoryError on CPUs and GPUs "
+                    "alike (the paper's 'CPU GPU OOM', Figure 9a)"
+                ),
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="shrink the working set: smaller blocks (larger grid) "
+                "or fewer clusters/features per task",
+            )
+        )
+    return findings
+
+
+def _gpu_tasks(ctx: RuleContext) -> list[Task]:
+    """GPU-eligible tasks with costs, when a GPU run targets a GPU cluster."""
+    if ctx.cluster is None or not ctx.use_gpu or not ctx.cluster.has_gpus:
+        return []
+    return [t for t in ctx.graph.tasks() if t.gpu_eligible and t.cost is not None]
+
+
+@rule("WF102")
+def check_gpu_memory(ctx: RuleContext) -> list[Diagnostic]:
+    """WF102 — per-task device working set vs GPU memory (Figure 9a)."""
+    if ctx.cluster is None:
+        return []
+    device = ctx.cluster.node.gpu
+    offenders = [
+        t
+        for t in _gpu_tasks(ctx)
+        if t.cost.gpu_memory_bytes > device.memory_bytes
+    ]
+    findings = []
+    for name, tasks in _grouped(offenders).items():
+        worst = max(t.cost.gpu_memory_bytes for t in tasks)
+        findings.append(
+            Diagnostic(
+                code="WF102",
+                severity=Severity.ERROR,
+                message=(
+                    f"{len(tasks)} {name!r} task(s) need up to {_gib(worst)} "
+                    f"of device memory but {device.name} has "
+                    f"{_gib(device.memory_bytes)}; GPU execution would abort "
+                    "with GpuOutOfMemoryError (the paper's 'GPU OOM')"
+                ),
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="use smaller blocks (larger grid) or run these tasks "
+                "on CPUs (gpu_task_types=)",
+            )
+        )
+    return findings
+
+
+@rule("WF103")
+def check_gpu_available(ctx: RuleContext) -> list[Diagnostic]:
+    """WF103 — a GPU run needs a cluster that has GPU devices."""
+    if ctx.cluster is None or not ctx.use_gpu or ctx.cluster.has_gpus:
+        return []
+    eligible = [t for t in ctx.graph.tasks() if t.gpu_eligible]
+    if not eligible:
+        return []
+    return [
+        Diagnostic(
+            code="WF103",
+            severity=Severity.ERROR,
+            message=(
+                f"GPU execution requested but cluster "
+                f"{ctx.cluster.name!r} has no GPU devices; "
+                f"{len(eligible)} GPU-eligible task(s) cannot be placed"
+            ),
+            task_ids=_ids(eligible),
+            hint="run with use_gpu=False, or pick a preset with devices "
+            "(minotauro, modern)",
+        )
+    ]
+
+
+@rule("WF104")
+def check_output_blocks_fit_gpu(ctx: RuleContext) -> list[Diagnostic]:
+    """WF104 — each produced block should fit one GPU device's memory."""
+    if ctx.cluster is None:
+        return []
+    device = ctx.cluster.node.gpu
+    offenders: list[Task] = []
+    worst = 0
+    for task in _gpu_tasks(ctx):
+        oversized = max(
+            (ref.size_bytes for ref in task.outputs), default=0
+        )
+        if oversized > device.memory_bytes:
+            offenders.append(task)
+            worst = max(worst, oversized)
+    findings = []
+    for name, tasks in _grouped(offenders).items():
+        findings.append(
+            Diagnostic(
+                code="WF104",
+                severity=Severity.WARNING,
+                message=(
+                    f"{len(tasks)} {name!r} task(s) produce a block of up to "
+                    f"{_gib(worst)}, larger than one {device.name} "
+                    f"({_gib(device.memory_bytes)}); the result cannot stay "
+                    "device-resident and must stream back over PCIe"
+                ),
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="use smaller output blocks (larger grid)",
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------- WF2xx: performance smells
+@rule("WF201")
+def check_launch_overhead(ctx: RuleContext) -> list[Diagnostic]:
+    """WF201 — tiny kernels where launch overhead dominates (O1)."""
+    model = ctx.cost_model
+    if model is None:
+        return []
+    launch = model.gpu.launch_overhead
+    if launch <= 0:
+        return []
+    share = ctx.options.launch_overhead_share
+    offenders = []
+    for task in _gpu_tasks(ctx):
+        if task.cost.parallel_flops <= 0:
+            continue
+        total = model.parallel_fraction_time_gpu(task.cost)
+        if total > 0 and launch / total >= share:
+            offenders.append(task)
+    findings = []
+    for name, tasks in _grouped(offenders).items():
+        findings.append(
+            Diagnostic(
+                code="WF201",
+                severity=Severity.WARNING,
+                message=(
+                    f"{len(tasks)} {name!r} kernel(s) are so small that "
+                    f"launch overhead ({launch * 1e6:.0f} us) is >= "
+                    f"{share:.0%} of their GPU parallel fraction; the GPU "
+                    "cannot pay off at this granularity (the paper's O1)"
+                ),
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="use larger blocks (smaller grid) so each kernel does "
+                "more work per launch",
+            )
+        )
+    return findings
+
+
+@rule("WF202")
+def check_transfer_bound(ctx: RuleContext) -> list[Diagnostic]:
+    """WF202 — PCIe transfer time exceeds modeled kernel time (O4)."""
+    model = ctx.cost_model
+    if model is None:
+        return []
+    offenders = []
+    for task in _gpu_tasks(ctx):
+        if task.cost.host_device_bytes <= 0 or task.cost.parallel_flops <= 0:
+            continue
+        comm = model.cpu_gpu_comm_time(task.cost)
+        kernel = model.parallel_fraction_time_gpu(task.cost)
+        if comm > kernel:
+            offenders.append(task)
+    findings = []
+    for name, tasks in _grouped(offenders).items():
+        findings.append(
+            Diagnostic(
+                code="WF202",
+                severity=Severity.WARNING,
+                message=(
+                    f"{len(tasks)} {name!r} task(s) spend longer moving data "
+                    "over PCIe than computing on the device; GPU placement "
+                    "is transfer-bound (the paper's O4)"
+                ),
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="keep these tasks on CPUs (gpu_task_types=), raise "
+                "arithmetic intensity, or enable comm_overlap",
+            )
+        )
+    return findings
+
+
+@rule("WF203")
+def check_dag_width(ctx: RuleContext) -> list[Diagnostic]:
+    """WF203 — the DAG should be wide enough to fill the cluster."""
+    if ctx.cluster is None or ctx.graph.num_tasks <= 1:
+        return []
+    try:
+        width = ctx.graph.width
+    except CycleError:
+        return []
+    slots = ctx.cluster.parallel_slots(ctx.use_gpu)
+    threshold = slots * ctx.options.width_slot_share
+    if slots <= 0 or width >= threshold:
+        return []
+    kind = "GPU devices" if ctx.use_gpu else "CPU cores"
+    return [
+        Diagnostic(
+            code="WF203",
+            severity=Severity.INFO,
+            message=(
+                f"DAG width {width} uses under {ctx.options.width_slot_share:.0%} "
+                f"of the cluster's {slots} {kind}; most of the cluster will "
+                "sit idle"
+            ),
+            hint="use a finer grid (more blocks) or a smaller cluster",
+        )
+    ]

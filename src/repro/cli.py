@@ -8,6 +8,9 @@ Commands:
 * ``advise`` — search configurations for a workload and print a ranked
   recommendation (the §5.4.3 automated-design method);
 * ``observations`` — re-verify the paper's observations O1-O6;
+* ``lint`` — statically analyze a workload/preset combination without
+  executing it, printing ``WFnnn`` diagnostics (text or JSON) and exiting
+  non-zero when errors (e.g. a predicted host OOM) are found;
 * ``info`` — show the simulated cluster and calibration constants.
 """
 
@@ -20,7 +23,7 @@ from typing import Sequence
 from repro.algorithms import KMeansWorkflow, MatmulFmaWorkflow, MatmulWorkflow
 from repro.core.report import Table, format_seconds
 from repro.data import paper_datasets
-from repro.hardware import StorageKind, minotauro
+from repro.hardware import StorageKind, cluster_presets, minotauro
 from repro.runtime import SchedulingPolicy
 
 _FIGURES = (
@@ -84,6 +87,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("observations", help="re-verify observations O1-O6")
     sub.add_parser("info", help="show cluster model and calibration")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze a workflow configuration without running it",
+    )
+    lint.add_argument("--algorithm", choices=("matmul", "matmul_fma", "kmeans"),
+                      default="kmeans")
+    lint.add_argument("--dataset", default="kmeans_10gb",
+                      help="a key of repro.data.paper_datasets()")
+    lint.add_argument("--grid", type=int, default=64,
+                      help="grid size (gxg for matmul, gx1 for kmeans)")
+    lint.add_argument("--clusters", type=int, default=10)
+    lint.add_argument("--iterations", type=int, default=3)
+    lint.add_argument("--gpu", action="store_true",
+                      help="lint for GPU execution")
+    lint.add_argument(
+        "--preset",
+        choices=tuple(sorted(cluster_presets())),
+        default="minotauro",
+        help="cluster preset to check feasibility against",
+    )
+    lint.add_argument("--nodes", type=int, default=8,
+                      help="number of cluster nodes")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format")
 
     decompose = sub.add_parser(
         "decompose",
@@ -256,6 +284,23 @@ def _cmd_observations() -> int:
     return 1 if failed else 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import analyze_runtime
+    from repro.runtime import Runtime, RuntimeConfig
+
+    cluster = cluster_presets()[args.preset](args.nodes)
+    workflow = _make_workflow(args)
+    runtime = Runtime(RuntimeConfig(cluster=cluster, use_gpu=args.gpu))
+    returned = workflow.build(runtime)
+    report = analyze_runtime(runtime, returned=returned)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(f"linting {workflow.name} on {runtime.graph.describe()}")
+        print(report.render())
+    return 1 if report.has_errors else 0
+
+
 def _cmd_info() -> int:
     from repro.perfmodel.calibration import CALIBRATION_NOTES
 
@@ -316,6 +361,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_advise(args)
     if args.command == "observations":
         return _cmd_observations()
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "info":
         return _cmd_info()
     if args.command == "decompose":

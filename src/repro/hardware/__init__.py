@@ -14,7 +14,7 @@ value.
 from repro.hardware.cluster import SimulatedCluster, SimulatedNode
 from repro.hardware.gpu import GpuDevice, GpuOutOfMemoryError
 from repro.hardware.memory import HostOutOfMemoryError
-from repro.hardware.presets import fat_storage, modern
+from repro.hardware.presets import cluster_presets, cpu_only, fat_storage, modern
 from repro.hardware.specs import (
     ClusterSpec,
     CpuSpec,
@@ -41,6 +41,8 @@ __all__ = [
     "SimulatedCluster",
     "SimulatedNode",
     "StorageKind",
+    "cluster_presets",
+    "cpu_only",
     "fat_storage",
     "minotauro",
     "modern",

@@ -17,6 +17,21 @@ from repro.hardware.specs import ClusterSpec
 from repro.sim import BandwidthResource, CapacityResource, Simulator
 
 
+class _EmptyDevicePool:
+    """Null device pool of a GPU-less node: nothing to grant, ever."""
+
+    capacity = 0
+    in_use = 0
+    peak_in_use = 0
+    available = 0
+
+    def try_request(self, amount: int) -> bool:
+        return False
+
+    def release(self, amount: int) -> None:  # pragma: no cover - defensive
+        raise RuntimeError("released a device on a GPU-less node")
+
+
 class SimulatedNode:
     """Per-node contended resources."""
 
@@ -27,8 +42,10 @@ class SimulatedNode:
         self.cores = CapacityResource(
             sim, node.cpu.cores_per_node, name=f"node{index}.cores"
         )
-        self.gpus = CapacityResource(
-            sim, node.gpu.devices_per_node, name=f"node{index}.gpus"
+        self.gpus = (
+            CapacityResource(sim, node.gpu.devices_per_node, name=f"node{index}.gpus")
+            if node.gpu.devices_per_node > 0
+            else _EmptyDevicePool()
         )
         self.gpu_devices = [
             GpuDevice(node.gpu, index=i, node=index)

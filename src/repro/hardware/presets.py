@@ -9,6 +9,7 @@ check that claim against).
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable
 
 from repro.hardware.specs import ClusterSpec, minotauro
 
@@ -40,6 +41,28 @@ def modern(num_nodes: int = 8) -> ClusterSpec:
     )
     node = dataclasses.replace(base.node, gpu=gpu, interconnect=interconnect)
     return dataclasses.replace(base, name=f"modern-{num_nodes}", node=node)
+
+
+def cpu_only(num_nodes: int = 8) -> ClusterSpec:
+    """Minotauro stripped of its GPU devices.
+
+    The baseline for CPU-only what-ifs — and the cluster on which the
+    static analyzer's ``WF103`` rule fires when a GPU run is requested.
+    """
+    base = minotauro(num_nodes)
+    gpu = dataclasses.replace(base.node.gpu, devices_per_node=0)
+    node = dataclasses.replace(base.node, gpu=gpu)
+    return dataclasses.replace(base, name=f"cpu-only-{num_nodes}", node=node)
+
+
+def cluster_presets() -> dict[str, Callable[..., ClusterSpec]]:
+    """Name -> factory for every bundled cluster preset (CLI ``--preset``)."""
+    return {
+        "minotauro": minotauro,
+        "modern": modern,
+        "fat_storage": fat_storage,
+        "cpu_only": cpu_only,
+    }
 
 
 def fat_storage(num_nodes: int = 8) -> ClusterSpec:

@@ -64,8 +64,10 @@ class GpuSpec:
     saturation_items: float
 
     def __post_init__(self) -> None:
-        if self.devices_per_node <= 0:
-            raise ValueError("devices_per_node must be positive")
+        # Zero devices describes a GPU-less (CPU-only) node; the static
+        # analyzer flags GPU-eligible workloads targeted at such clusters.
+        if self.devices_per_node < 0:
+            raise ValueError("devices_per_node must be non-negative")
         if self.memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
         for attr in ("flops", "mem_bandwidth", "launch_overhead", "saturation_items"):
@@ -203,6 +205,19 @@ class ClusterSpec:
     def gpu_per_node(self) -> int:
         """GPU devices on each node."""
         return self.node.gpu.devices_per_node
+
+    @property
+    def has_gpus(self) -> bool:
+        """Whether the cluster has any GPU devices at all."""
+        return self.total_gpus > 0
+
+    def parallel_slots(self, use_gpu: bool) -> int:
+        """Task slots that bound the degree of parallelism.
+
+        CPU execution pins one task per core (§3.3); GPU execution is
+        bounded by the device count (the paper's 128-vs-32 slot asymmetry).
+        """
+        return self.total_gpus if use_gpu else self.total_cpu_cores
 
 
 def minotauro(num_nodes: int = 8) -> ClusterSpec:

@@ -21,6 +21,30 @@ class CycleError(ValueError):
     the submit API, but guards hand-built graphs)."""
 
 
+class DuplicateProducerError(ValueError):
+    """Raised when a second task claims to produce an already-produced ref.
+
+    Silently overwriting the producer map would corrupt dependency
+    detection: consumers added later would depend on the *last* producer
+    only, losing the edge to the first.  The static analyzer surfaces the
+    same defect as diagnostic ``WF002``.
+    """
+
+    def __init__(self, ref_id: int, first_producer: int, second_producer: int) -> None:
+        self.ref_id = ref_id
+        self.first_producer = first_producer
+        self.second_producer = second_producer
+        super().__init__(
+            f"ref #{ref_id} already produced by task {first_producer}; "
+            f"task {second_producer} cannot produce it again"
+        )
+
+
+def _dot_escape(text: str) -> str:
+    """Escape a string for use inside a double-quoted DOT attribute."""
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
 class TaskGraph:
     """A directed acyclic graph of tasks keyed by data dependencies."""
 
@@ -33,15 +57,30 @@ class TaskGraph:
 
     # ------------------------------------------------------------ building
     def add_task(self, task: Task) -> None:
-        """Insert a task; dependency edges follow from its input refs."""
+        """Insert a task; dependency edges follow from its input refs.
+
+        A task consuming several refs of the same producer yields one
+        dependency edge (not one per ref), and claiming an output ref that
+        already has a producer raises :class:`DuplicateProducerError`.
+        """
         if task.task_id in self._tasks:
             raise ValueError(f"duplicate task id {task.task_id}")
+        for ref in task.outputs:
+            existing = self._producer_of_ref.get(ref.ref_id)
+            if existing is not None:
+                raise DuplicateProducerError(ref.ref_id, existing, task.task_id)
         self._tasks[task.task_id] = task
         self._successors[task.task_id] = []
         self._predecessors[task.task_id] = []
+        linked: set[int] = set()
         for ref in task.inputs:
             producer = self._producer_of_ref.get(ref.ref_id)
-            if producer is not None and producer != task.task_id:
+            if (
+                producer is not None
+                and producer != task.task_id
+                and producer not in linked
+            ):
+                linked.add(producer)
                 self._successors[producer].append(task.task_id)
                 self._predecessors[task.task_id].append(producer)
         for ref in task.outputs:
@@ -78,6 +117,18 @@ class TaskGraph:
     def roots(self) -> list[Task]:
         """Tasks with no dependencies (immediately schedulable)."""
         return [t for t in self._tasks.values() if not self._predecessors[t.task_id]]
+
+    def producer_of(self, ref_id: int) -> int | None:
+        """Task id that produces a ref, or ``None`` for workflow inputs."""
+        return self._producer_of_ref.get(ref_id)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All dependency edges as (producer task id, consumer task id)."""
+        return [
+            (task_id, successor)
+            for task_id, successors in self._successors.items()
+            for successor in successors
+        ]
 
     # ------------------------------------------------------------- shape
     def topological_order(self) -> list[Task]:
@@ -156,8 +207,9 @@ class TaskGraph:
             colour = colour_of.setdefault(
                 task.name, palette[len(colour_of) % len(palette)]
             )
+            label = _dot_escape(task.name)
             lines.append(
-                f'  t{task.task_id} [label="{task.name}\\n#{task.task_id}" '
+                f'  t{task.task_id} [label="{label}\\n#{task.task_id}" '
                 f'fillcolor={colour}];'
             )
         for task_id, successors in self._successors.items():

@@ -80,6 +80,10 @@ class RuntimeConfig:
     gpu_overflow_to_cpu: bool = False
     #: Worker threads of the THREADED backend.
     thread_workers: int = 4
+    #: Run the static analyzer (:mod:`repro.analysis`) before dispatch and
+    #: raise :class:`~repro.analysis.WorkflowValidationError` on
+    #: error-severity findings (predicted OOM, broken DAG, ...).
+    validate: bool = False
 
 
 @dataclass
@@ -199,8 +203,33 @@ class Runtime:
         return list(outputs)
 
     # ------------------------------------------------------------ execution
-    def run(self) -> WorkflowResult:
-        """Execute the recorded workflow on the configured backend."""
+    def validate(self, returned: Any = None) -> "AnalysisReport":
+        """Statically analyze the recorded workflow without executing it.
+
+        Returns the full :class:`~repro.analysis.AnalysisReport`; pass
+        ``returned=`` the refs the application keeps so the dead-task rule
+        knows terminal outputs are wanted.
+        """
+        from repro.analysis import analyze_runtime
+
+        return analyze_runtime(self, returned=returned)
+
+    def run(self, validate: bool | None = None) -> WorkflowResult:
+        """Execute the recorded workflow on the configured backend.
+
+        With ``validate=True`` (or ``config.validate``) the static
+        analyzer runs first and error-severity findings — predicted host
+        or device OOM, structural DAG defects — raise
+        :class:`~repro.analysis.WorkflowValidationError` instead of
+        failing mid-execution.
+        """
+        should_validate = self.config.validate if validate is None else validate
+        if should_validate:
+            from repro.analysis import WorkflowValidationError
+
+            report = self.validate()
+            if report.has_errors:
+                raise WorkflowValidationError(report)
         if self.config.backend is Backend.IN_PROCESS:
             trace = InProcessExecutor().execute(self.graph, self._data)
             return WorkflowResult(

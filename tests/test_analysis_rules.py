@@ -1,0 +1,326 @@
+"""Static analyzer tests: one test per diagnostic rule code, plus the
+Figure 9a regression — the 'CPU GPU OOM' configuration must be flagged
+*statically*, before any execution."""
+
+import json
+
+import pytest
+
+from repro.algorithms import KMeansWorkflow
+from repro.analysis import (
+    CODES,
+    AnalysisOptions,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    WorkflowValidationError,
+    analyze,
+    analyze_runtime,
+    collect_ref_ids,
+)
+from repro.data import paper_datasets
+from repro.hardware import cpu_only, minotauro
+from repro.perfmodel import TaskCost
+from repro.runtime import DataRef, Runtime, RuntimeConfig, Task, TaskGraph
+
+
+def _cost(**overrides) -> TaskCost:
+    base = dict(
+        serial_flops=1e6,
+        parallel_flops=1e9,
+        parallel_items=1e6,
+        arithmetic_intensity=10.0,
+        input_bytes=1_000_000,
+        output_bytes=1_000_000,
+        host_device_bytes=2_000_000,
+        gpu_memory_bytes=4_000_000,
+        host_memory_bytes=4_000_000,
+    )
+    base.update(overrides)
+    return TaskCost(**base)
+
+
+def _task(task_id, inputs=(), n_outputs=1, name="t", cost=None, out_bytes=8):
+    outputs = tuple(
+        DataRef(size_bytes=out_bytes, name=f"{name}{task_id}.o{i}")
+        for i in range(n_outputs)
+    )
+    return Task(
+        task_id=task_id, name=name, inputs=tuple(inputs), outputs=outputs, cost=cost
+    )
+
+
+def _graph(*tasks) -> TaskGraph:
+    graph = TaskGraph()
+    for task in tasks:
+        graph.add_task(task)
+    return graph
+
+
+def _codes(report: AnalysisReport) -> set[str]:
+    return report.codes()
+
+
+class TestGraphHazards:
+    def test_wf001_cycle(self):
+        ref_a = DataRef(size_bytes=8)
+        ref_b = DataRef(size_bytes=8)
+        graph = _graph(
+            Task(task_id=0, name="a", inputs=(ref_b,), outputs=(ref_a,)),
+            Task(task_id=1, name="b", inputs=(ref_a,), outputs=()),
+        )
+        graph._successors[1].append(0)
+        graph._predecessors[0].append(1)
+        report = analyze(graph)
+        assert "WF001" in _codes(report)
+        [finding] = [d for d in report.errors if d.code == "WF001"]
+        assert set(finding.task_ids) == {0, 1}
+
+    def test_wf002_duplicate_producer(self):
+        first = _task(0)
+        graph = _graph(first)
+        # Hand-inject a second producer of the same ref (add_task refuses).
+        imposter = Task(
+            task_id=1, name="imposter", inputs=(), outputs=first.outputs
+        )
+        graph._tasks[1] = imposter
+        graph._successors[1] = []
+        graph._predecessors[1] = []
+        report = analyze(graph)
+        [finding] = [d for d in report.errors if d.code == "WF002"]
+        assert finding.task_ids == (0, 1)
+
+    def test_wf003_self_dependency(self):
+        ref = DataRef(size_bytes=8)
+        graph = _graph(Task(task_id=0, name="ouro", inputs=(ref,), outputs=(ref,)))
+        report = analyze(graph)
+        [finding] = [d for d in report.errors if d.code == "WF003"]
+        assert finding.task_ids == (0,)
+
+    def test_wf004_duplicate_edge(self):
+        producer = _task(0)
+        consumer = _task(1, inputs=producer.outputs)
+        graph = _graph(producer, consumer)
+        graph._successors[0].append(1)
+        graph._predecessors[1].append(0)
+        report = analyze(graph)
+        [finding] = [d for d in report.warnings if d.code == "WF004"]
+        assert 1 in finding.task_ids
+
+    def test_wf005_dead_task_interior(self):
+        head = _task(0)
+        tail = _task(1, inputs=head.outputs)
+        dead = _task(2, name="dead")
+        graph = _graph(head, tail, dead)
+        report = analyze(graph)
+        [finding] = [d for d in report.warnings if d.code == "WF005"]
+        assert finding.task_ids == (2,)
+        assert finding.task_type == "dead"
+
+    def test_wf005_returned_outputs_are_alive(self):
+        head = _task(0)
+        tail = _task(1, inputs=head.outputs)
+        kept = _task(2, name="kept")
+        graph = _graph(head, tail, kept)
+        report = analyze(graph, returned=[kept.outputs, tail.outputs])
+        assert "WF005" not in _codes(report)
+        # Declaring returned refs removes the final-level benefit of the
+        # doubt: an unreturned terminal task is genuinely dead.
+        partial = analyze(graph, returned=list(kept.outputs))
+        [finding] = [d for d in partial.warnings if d.code == "WF005"]
+        assert finding.task_ids == (1,)
+
+    def test_wf005_final_level_presumed_alive_without_returned(self):
+        head = _task(0)
+        tail = _task(1, inputs=head.outputs)
+        report = analyze(_graph(head, tail))
+        assert "WF005" not in _codes(report)
+
+    def test_wf006_missing_cost(self):
+        report = analyze(_graph(_task(0, cost=None)), backend="simulated")
+        [finding] = [d for d in report.warnings if d.code == "WF006"]
+        assert finding.task_ids == (0,)
+
+    def test_wf006_skipped_for_real_backends(self):
+        report = analyze(_graph(_task(0, cost=None)), backend="in_process")
+        assert "WF006" not in _codes(report)
+
+
+class TestFeasibility:
+    def test_wf101_host_oom(self):
+        cluster = minotauro()
+        big = _cost(host_memory_bytes=cluster.node.ram_bytes + 1)
+        report = analyze(_graph(_task(0, cost=big)), cluster)
+        [finding] = [d for d in report.errors if d.code == "WF101"]
+        assert finding.severity is Severity.ERROR
+        assert "GiB" in finding.message
+
+    def test_wf102_gpu_oom(self):
+        cluster = minotauro()
+        big = _cost(gpu_memory_bytes=cluster.node.gpu.memory_bytes + 1)
+        report = analyze(_graph(_task(0, cost=big)), cluster, use_gpu=True)
+        assert "WF102" in {d.code for d in report.errors}
+        # CPU-only execution never touches device memory: no finding.
+        cpu_report = analyze(_graph(_task(0, cost=big)), cluster, use_gpu=False)
+        assert "WF102" not in _codes(cpu_report)
+
+    def test_wf103_gpu_less_cluster(self):
+        cluster = cpu_only()
+        assert not cluster.has_gpus
+        report = analyze(_graph(_task(0, cost=_cost())), cluster, use_gpu=True)
+        [finding] = [d for d in report.errors if d.code == "WF103"]
+        assert finding.task_ids == (0,)
+        # A CPU run of the same workflow is fine.
+        assert "WF103" not in _codes(
+            analyze(_graph(_task(0, cost=_cost())), cluster, use_gpu=False)
+        )
+
+    def test_wf104_output_block_exceeds_device_memory(self):
+        cluster = minotauro()
+        task = _task(
+            0, cost=_cost(), out_bytes=cluster.node.gpu.memory_bytes + 1
+        )
+        report = analyze(_graph(task), cluster, use_gpu=True)
+        [finding] = [d for d in report.warnings if d.code == "WF104"]
+        assert finding.task_ids == (0,)
+
+
+class TestPerformanceSmells:
+    def test_wf201_launch_overhead_dominates(self):
+        cluster = minotauro()
+        tiny = _cost(
+            parallel_flops=100.0,
+            parallel_items=100.0,
+            host_device_bytes=0,
+        )
+        report = analyze(_graph(_task(0, cost=tiny)), cluster, use_gpu=True)
+        assert "WF201" in {d.code for d in report.warnings}
+
+    def test_wf201_quiet_for_big_kernels(self):
+        cluster = minotauro()
+        big = _cost(parallel_flops=1e13, parallel_items=1e9)
+        report = analyze(_graph(_task(0, cost=big)), cluster, use_gpu=True)
+        assert "WF201" not in _codes(report)
+
+    def test_wf202_transfer_bound(self):
+        cluster = minotauro()
+        chatty = _cost(host_device_bytes=10**9, parallel_flops=1e6)
+        report = analyze(_graph(_task(0, cost=chatty)), cluster, use_gpu=True)
+        assert "WF202" in {d.code for d in report.warnings}
+
+    def test_wf203_narrow_dag(self):
+        cluster = minotauro()
+        head = _task(0, cost=_cost())
+        tail = _task(1, inputs=head.outputs, cost=_cost())
+        report = analyze(_graph(head, tail), cluster)
+        [finding] = [
+            d for d in report.by_severity(Severity.INFO) if d.code == "WF203"
+        ]
+        assert "width 1" in finding.message
+
+    def test_wf203_quiet_for_wide_dags(self):
+        cluster = minotauro()
+        tasks = [_task(i, cost=_cost()) for i in range(cluster.total_cpu_cores)]
+        report = analyze(_graph(*tasks), cluster)
+        assert "WF203" not in _codes(report)
+
+
+class TestFig9aRegression:
+    """The paper's 'CPU GPU OOM' point must be predicted without running."""
+
+    def _fig9a_runtime(self, use_gpu: bool) -> tuple[Runtime, object]:
+        workflow = KMeansWorkflow(
+            paper_datasets()["kmeans_10gb"],
+            grid_rows=1,  # maximum block size: the whole 10 GB in one block
+            n_clusters=1000,
+            iterations=3,
+        )
+        runtime = Runtime(RuntimeConfig(cluster=minotauro(), use_gpu=use_gpu))
+        returned = workflow.build(runtime)
+        return runtime, returned
+
+    def test_host_oom_flagged_statically(self):
+        runtime, returned = self._fig9a_runtime(use_gpu=False)
+        report = analyze_runtime(runtime, returned=returned)
+        assert report.has_errors
+        [finding] = [d for d in report.errors if d.code == "WF101"]
+        assert finding.task_type == "partial_sum"
+        assert "CPU GPU OOM" in finding.message
+
+    def test_gpu_mode_additionally_flags_device_oom(self):
+        runtime, returned = self._fig9a_runtime(use_gpu=True)
+        report = analyze_runtime(runtime, returned=returned)
+        assert {"WF101", "WF102"} <= {d.code for d in report.errors}
+
+    def test_validate_refuses_dispatch(self):
+        runtime, _ = self._fig9a_runtime(use_gpu=False)
+        with pytest.raises(WorkflowValidationError) as excinfo:
+            runtime.run(validate=True)
+        assert excinfo.value.report.has_errors
+        assert "WF101" in str(excinfo.value)
+
+    def test_config_validate_flag(self):
+        workflow = KMeansWorkflow(
+            paper_datasets()["kmeans_10gb"], grid_rows=1, n_clusters=1000
+        )
+        runtime = Runtime(RuntimeConfig(validate=True))
+        workflow.build(runtime)
+        with pytest.raises(WorkflowValidationError):
+            runtime.run()
+
+    def test_feasible_configuration_passes_validation(self):
+        workflow = KMeansWorkflow(
+            paper_datasets()["kmeans_10gb"], grid_rows=64, n_clusters=10
+        )
+        runtime = Runtime(RuntimeConfig(validate=True))
+        workflow.build(runtime)
+        result = runtime.run()
+        assert result.makespan > 0
+
+
+class TestReportAndPlumbing:
+    def test_every_code_documented_and_tested_codes_match(self):
+        from repro.analysis import all_rules
+
+        assert {code for code, _ in all_rules()} == set(CODES)
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="WF999", severity=Severity.INFO, message="x")
+
+    def test_json_roundtrip(self):
+        cluster = minotauro()
+        big = _cost(host_memory_bytes=cluster.node.ram_bytes + 1)
+        report = analyze(_graph(_task(0, cost=big)), cluster)
+        payload = json.loads(report.to_json())
+        assert payload["cluster"] == cluster.name
+        assert payload["summary"]["errors"] == 1
+        assert payload["diagnostics"][0]["code"] == "WF101"
+
+    def test_render_orders_errors_first(self):
+        cluster = minotauro()
+        bad = _task(0, cost=_cost(host_memory_bytes=cluster.node.ram_bytes + 1))
+        lonely = _task(1, inputs=bad.outputs, cost=_cost())
+        text = analyze(_graph(bad, lonely), cluster).render()
+        assert text.index("WF101") < text.index("WF203")
+
+    def test_structure_only_analysis_without_cluster(self):
+        report = analyze(_graph(_task(0, cost=None)))
+        assert report.cluster == ""
+        assert _codes(report) <= {"WF005", "WF006"}
+
+    def test_collect_ref_ids_walks_nesting(self):
+        refs = [DataRef(size_bytes=8) for _ in range(3)]
+
+        class FakeArray:
+            def blocks(self):
+                return refs[1:]
+
+        found = collect_ref_ids({"a": refs[0], "b": (FakeArray(), None)})
+        assert found == {r.ref_id for r in refs}
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            AnalysisOptions(launch_overhead_share=0.0)
+        with pytest.raises(ValueError):
+            AnalysisOptions(width_slot_share=2.0)

@@ -123,6 +123,45 @@ class TestFiguresMore:
         assert "saved" in capsys.readouterr().out
 
 
+class TestLint:
+    def test_lint_clean_configuration_exits_zero(self, capsys):
+        code = main(["lint", "--algorithm", "kmeans", "--grid", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workflow analysis" in out
+        assert "minotauro-8" in out
+
+    def test_lint_fig9a_oom_exits_nonzero(self, capsys):
+        code = main(["lint", "--algorithm", "kmeans", "--grid", "1",
+                     "--clusters", "1000"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "WF101" in out
+        assert "ERROR" in out
+
+    def test_lint_json_format(self, capsys):
+        import json
+
+        code = main(["lint", "--algorithm", "kmeans", "--grid", "1",
+                     "--clusters", "1000", "--gpu", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] >= 1
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"WF101", "WF102"} <= codes
+
+    def test_lint_gpu_on_cpu_only_preset(self, capsys):
+        code = main(["lint", "--algorithm", "kmeans", "--grid", "64",
+                     "--gpu", "--preset", "cpu_only"])
+        assert code == 1
+        assert "WF103" in capsys.readouterr().out
+
+    def test_lint_matmul_smoke(self, capsys):
+        code = main(["lint", "--algorithm", "matmul", "--dataset",
+                     "matmul_8gb", "--grid", "8"])
+        assert code == 0
+
+
 class TestAdviseMatmul:
     def test_advise_matmul(self, capsys):
         code = main(

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.runtime import CycleError, DataRef, Task, TaskGraph
+from repro.runtime import (
+    CycleError,
+    DataRef,
+    DuplicateProducerError,
+    Task,
+    TaskGraph,
+)
 
 
 def _task(task_id, inputs=(), n_outputs=1, name="t"):
@@ -45,6 +51,59 @@ class TestDependencyDetection:
         graph.add_task(_task(0))
         with pytest.raises(ValueError):
             graph.add_task(_task(0))
+
+    def test_two_refs_from_same_producer_yield_one_edge(self):
+        graph = TaskGraph()
+        producer = _task(0, n_outputs=2)
+        graph.add_task(producer)
+        consumer = _task(1, inputs=producer.outputs)
+        graph.add_task(consumer)
+        assert graph.num_edges == 1
+        assert [t.task_id for t in graph.successors(0)] == [1]
+        assert [t.task_id for t in graph.predecessors(1)] == [0]
+
+    def test_same_ref_twice_in_inputs_yields_one_edge(self):
+        graph = TaskGraph()
+        producer = _task(0)
+        graph.add_task(producer)
+        ref = producer.outputs[0]
+        graph.add_task(_task(1, inputs=(ref, ref)))
+        assert graph.num_edges == 1
+
+    def test_second_producer_of_a_ref_rejected(self):
+        graph = TaskGraph()
+        first = _task(0)
+        graph.add_task(first)
+        imposter = Task(
+            task_id=1, name="imposter", inputs=(), outputs=first.outputs
+        )
+        with pytest.raises(DuplicateProducerError) as excinfo:
+            graph.add_task(imposter)
+        assert excinfo.value.first_producer == 0
+        assert excinfo.value.second_producer == 1
+        # The refused task must not be half-inserted.
+        assert graph.num_tasks == 1
+        assert graph.producer_of(first.outputs[0].ref_id) == 0
+
+    def test_producer_of_and_edges_accessors(self):
+        graph = TaskGraph()
+        producer = _task(0)
+        graph.add_task(producer)
+        consumer = _task(1, inputs=producer.outputs)
+        graph.add_task(consumer)
+        assert graph.producer_of(producer.outputs[0].ref_id) == 0
+        assert graph.producer_of(10**9) is None
+        assert graph.edges() == [(0, 1)]
+
+
+class TestDotEscaping:
+    def test_quotes_and_backslashes_escaped(self):
+        graph = TaskGraph()
+        graph.add_task(_task(0, name='eval("x\\y")'))
+        dot = graph.to_dot()
+        assert 'label="eval(\\"x\\\\y\\")' in dot
+        # No raw unescaped quote sequence that would break DOT parsing.
+        assert 'eval("' not in dot
 
 
 class TestTopologyAndLevels:
