@@ -65,6 +65,8 @@ def analyze(
     use_gpu: bool = False,
     backend: str | None = "simulated",
     returned: Any = None,
+    fault_plan: Any = None,
+    retry_policy: Any = None,
     options: AnalysisOptions | None = None,
 ) -> AnalysisReport:
     """Run all diagnostic rules over a built task graph.
@@ -87,6 +89,10 @@ def analyze(
         dead-task rule knows terminal outputs are wanted.  ``None`` means
         unknown: final-level tasks are then given the benefit of the
         doubt.
+    fault_plan / retry_policy:
+        The fault-injection plan and recovery policy the run would use,
+        for the ``WF3xx`` resilience rules; both default to ``None``
+        (fault-free execution).
     """
     backend_name = getattr(backend, "value", backend)
     context = RuleContext(
@@ -96,6 +102,8 @@ def analyze(
         use_gpu=use_gpu,
         backend=backend_name,
         returned_ref_ids=None if returned is None else collect_ref_ids(returned),
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
         options=options or AnalysisOptions(),
     )
     report = AnalysisReport(
@@ -125,5 +133,7 @@ def analyze_runtime(
         use_gpu=config.use_gpu,
         backend=config.backend,
         returned=returned,
+        fault_plan=getattr(config, "fault_plan", None),
+        retry_policy=getattr(config, "retry_policy", None),
         options=options,
     )

@@ -11,6 +11,8 @@ Codes are grouped by family:
   before anything runs).
 * ``WF2xx`` — performance smells: configurations that will run, but in a
   regime the paper's observations O1-O6 identify as slow.
+* ``WF3xx`` — resilience: fault-injection plans and recovery policies
+  that contradict each other or the target cluster.
 
 An :class:`AnalysisReport` aggregates the findings of one analyzer pass
 and renders them as text or JSON.
@@ -53,6 +55,8 @@ CODES: dict[str, str] = {
     "WF201": "kernel launch overhead dominates the GPU parallel fraction (O1)",
     "WF202": "PCIe transfer time exceeds modeled GPU kernel time (O4)",
     "WF203": "DAG width far below the cluster's parallel slot count",
+    "WF301": "fault plan injects failures but the retry policy allows no retries",
+    "WF302": "fault plan targets a node outside the cluster",
 }
 
 

@@ -61,6 +61,12 @@ class RuleContext:
     #: Ref ids the application keeps as workflow results, or ``None``
     #: when unknown (the dead-task rule then only flags interior tasks).
     returned_ref_ids: frozenset[int] | None = None
+    #: Fault plan the run would inject (``None`` = fault-free), for the
+    #: WF3xx resilience rules.
+    fault_plan: object | None = None
+    #: Recovery policy the run would apply; ``None`` means the executor's
+    #: default (which does retry).
+    retry_policy: object | None = None
     options: AnalysisOptions = field(default_factory=AnalysisOptions)
 
 
@@ -511,5 +517,66 @@ def check_dag_width(ctx: RuleContext) -> list[Diagnostic]:
                 "sit idle"
             ),
             hint="use a finer grid (more blocks) or a smaller cluster",
+        )
+    ]
+
+
+# --------------------------------------------------- WF3xx: resilience
+@rule("WF301")
+def check_retries_disabled(ctx: RuleContext) -> list[Diagnostic]:
+    """WF301 — an injecting fault plan with retries turned off.
+
+    Only fires when a retry policy was *explicitly* configured with a
+    single-attempt budget; with no policy the executor's default (which
+    retries) applies.
+    """
+    plan = ctx.fault_plan
+    policy = ctx.retry_policy
+    if plan is None or getattr(plan, "is_empty", True):
+        return []
+    if policy is None or getattr(policy, "max_attempts", 2) > 1:
+        return []
+    return [
+        Diagnostic(
+            code="WF301",
+            severity=Severity.WARNING,
+            message=(
+                "the fault plan injects failures but retry_policy allows "
+                "only one attempt per task; any injected fault fails the "
+                "task (and its dependents) permanently"
+            ),
+            hint="raise RetryPolicy(max_attempts=...) above 1, or drop the "
+            "fault plan",
+        )
+    ]
+
+
+@rule("WF302")
+def check_fault_nodes_exist(ctx: RuleContext) -> list[Diagnostic]:
+    """WF302 — node faults must name nodes the cluster actually has."""
+    plan = ctx.fault_plan
+    if plan is None or ctx.cluster is None:
+        return []
+    bad = sorted(
+        {
+            fault.node
+            for fault in getattr(plan, "node_faults", ())
+            if fault.node >= ctx.cluster.num_nodes
+        }
+    )
+    if not bad:
+        return []
+    nodes = ", ".join(str(n) for n in bad)
+    return [
+        Diagnostic(
+            code="WF302",
+            severity=Severity.ERROR,
+            message=(
+                f"the fault plan kills node(s) {nodes} but the cluster has "
+                f"{ctx.cluster.num_nodes} node(s) (valid indices 0-"
+                f"{ctx.cluster.num_nodes - 1}); the executor refuses to start"
+            ),
+            hint="point node faults at existing node indices or grow "
+            "the cluster (num_nodes=)",
         )
     ]

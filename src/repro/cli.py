@@ -76,6 +76,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--gantt", action="store_true",
                      help="print an ASCII Gantt of the trace")
+    run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject failures: a FaultPlan as inline JSON, or @file.json",
+    )
+    run.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="retry budget per task when --faults is given",
+    )
 
     advise = sub.add_parser("advise", help="recommend a configuration")
     advise.add_argument("--algorithm", choices=("matmul", "kmeans"),
@@ -181,11 +192,23 @@ def _cmd_figures(which: str, save_dir: str | None = None) -> int:
     return 0
 
 
+def _load_fault_plan(spec: str):
+    """Parse ``--faults``: inline JSON or ``@path`` to a JSON file."""
+    from repro.faults import FaultPlan
+
+    if spec.startswith("@"):
+        with open(spec[1:], encoding="utf-8") as handle:
+            return FaultPlan.from_json(handle.read())
+    return FaultPlan.from_json(spec)
+
+
 def _cmd_run(args) -> int:
     from repro.core.experiments.runners import run_workflow
+    from repro.faults import RetryPolicy
     from repro.runtime import Runtime, RuntimeConfig
     from repro.tracing import (
         data_movement_metrics,
+        fault_metrics,
         gantt,
         parallel_task_metrics,
         user_code_metrics,
@@ -194,14 +217,32 @@ def _cmd_run(args) -> int:
     workflow = _make_workflow(args)
     storage = StorageKind.LOCAL if args.storage == "local" else StorageKind.SHARED
     policy = SchedulingPolicy(args.policy)
+    fault_plan = _load_fault_plan(args.faults) if args.faults else None
     config = RuntimeConfig(
-        storage=storage, scheduling=policy, use_gpu=args.gpu
+        storage=storage,
+        scheduling=policy,
+        use_gpu=args.gpu,
+        fault_plan=fault_plan,
+        retry_policy=(
+            RetryPolicy(max_attempts=args.max_attempts) if fault_plan else None
+        ),
     )
     runtime = Runtime(config)
     workflow.build(runtime)
     print(f"DAG: {runtime.graph.describe()}")
     result = runtime.run()
     print(f"makespan: {format_seconds(result.makespan)}")
+    if fault_plan is not None:
+        metrics = fault_metrics(result.trace)
+        status = "FAILED" if result.failed else "recovered"
+        print(
+            f"faults: {status} — {metrics.num_failures} failed attempt(s), "
+            f"{metrics.retried_tasks} task(s) retried, goodput "
+            f"{metrics.goodput_ratio:.0%}"
+        )
+        if result.failed:
+            shown = ", ".join(f"#{t}" for t in result.failed_task_ids[:10])
+            print(f"failed tasks: {shown}")
 
     table = Table(
         title="Task user code metrics (per-task averages)",
@@ -230,7 +271,7 @@ def _cmd_run(args) -> int:
     if args.gantt:
         print()
         print(gantt(result.trace))
-    return 0
+    return 1 if result.failed else 0
 
 
 def _cmd_advise(args) -> int:

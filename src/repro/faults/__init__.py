@@ -1,0 +1,40 @@
+"""Fault injection and recovery for the simulated runtime.
+
+A :class:`FaultPlan` describes deterministic, seed-driven failures — task
+crashes at Figure-4 stages, node loss at a simulated timestamp, runtime
+GPU OOM, stragglers — and a :class:`RetryPolicy` governs recovery: retry
+with exponential backoff and jitter, per-attempt deadlines, GPU-to-CPU
+fallback, and failed-node blacklisting.  Wire both into
+:class:`~repro.runtime.RuntimeConfig` (``fault_plan=``, ``retry_policy=``)
+and read the outcome off :class:`~repro.runtime.WorkflowResult`
+(``failed``, ``attempts``, ``recovered_makespan``) and the trace's
+:class:`~repro.tracing.TaskAttempt` records.  See ``docs/faults.md``.
+"""
+
+from repro.faults.plan import (
+    FaultError,
+    FaultPlan,
+    GpuOomFault,
+    InjectedGpuOomError,
+    NodeFault,
+    NodeFailureError,
+    Straggler,
+    TaskCrash,
+    TaskCrashError,
+    TaskDeadlineError,
+)
+from repro.faults.policy import RetryPolicy
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "GpuOomFault",
+    "InjectedGpuOomError",
+    "NodeFault",
+    "NodeFailureError",
+    "RetryPolicy",
+    "Straggler",
+    "TaskCrash",
+    "TaskCrashError",
+    "TaskDeadlineError",
+]

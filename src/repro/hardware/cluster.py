@@ -74,6 +74,20 @@ class SimulatedNode:
         )
         self._ram_in_use = 0
         self._peak_ram = 0
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the node is still part of the cluster.
+
+        A node killed by a :class:`~repro.faults.NodeFault` stops
+        accepting work: resource views report no free slots for it.
+        """
+        return self._alive
+
+    def fail(self) -> None:
+        """Take the node out of the cluster (fault injection)."""
+        self._alive = False
 
     @property
     def ram_in_use(self) -> int:

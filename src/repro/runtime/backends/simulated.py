@@ -20,6 +20,15 @@ single task chain runs on the master with in-memory data, so storage and
 (de-)serialization stages are skipped.  This mirrors the paper's
 observation that the maximum block size incurs "neither task distribution
 nor any overhead caused by it" (§5.3).
+
+With a :class:`~repro.faults.FaultPlan` the same pipeline grows a failure
+path: task attempts can crash at stage boundaries, nodes can die at a
+simulated timestamp (killing resident tasks and leaving the schedulable
+cluster), device allocations can fail at run time, and stragglers stretch
+compute stages.  A :class:`~repro.faults.RetryPolicy` governs recovery —
+re-queueing with exponential backoff, GPU-to-CPU fallback, failed-node
+blacklisting — and every try is recorded as a
+:class:`~repro.tracing.TaskAttempt`.
 """
 
 from __future__ import annotations
@@ -28,6 +37,15 @@ import bisect
 from dataclasses import dataclass
 from typing import Generator
 
+from repro.faults import (
+    FaultError,
+    FaultPlan,
+    InjectedGpuOomError,
+    NodeFailureError,
+    RetryPolicy,
+    TaskCrashError,
+    TaskDeadlineError,
+)
 from repro.hardware import SimulatedCluster, StorageKind
 from repro.perfmodel import CostModel, TaskCost
 from repro.runtime.dag import TaskGraph
@@ -41,7 +59,7 @@ from repro.sim import (
     Transfer,
     WaitEvent,
 )
-from repro.tracing import Stage, StageRecord, TaskRecord, Trace
+from repro.tracing import ATTEMPT_OK, Stage, StageRecord, TaskAttempt, TaskRecord, Trace
 
 @dataclass(frozen=True)
 class ResourceStats:
@@ -100,15 +118,27 @@ class _ReadyView:
 class _ClusterView:
     """Read-only cluster view handed to scheduling policies."""
 
-    def __init__(self, cluster: SimulatedCluster, cpu_cores_per_task: int = 1) -> None:
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        cpu_cores_per_task: int = 1,
+        blacklist: set[int] | None = None,
+    ) -> None:
         self._cluster = cluster
         self._cpu_cores_per_task = cpu_cores_per_task
+        self._blacklist = blacklist if blacklist is not None else set()
 
     def num_nodes(self) -> int:
         return len(self._cluster.nodes)
 
+    def is_blacklisted(self, node: int) -> bool:
+        """Whether recovery has excluded ``node`` from scheduling."""
+        return node in self._blacklist
+
     def has_free_slot(self, node: int, needs_gpu: bool, ram_bytes: int = 0) -> bool:
         n = self._cluster.nodes[node]
+        if not n.alive:
+            return False
         cores_needed = 1 if needs_gpu else self._cpu_cores_per_task
         if n.cores.available < cores_needed:
             return False
@@ -138,6 +168,8 @@ class SimulatedExecutor:
         jitter_seed: int = 0,
         warmup_overhead: float = 0.0,
         gpu_overflow: bool = False,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if cpu_threads < 1:
             raise ValueError("cpu_threads must be >= 1")
@@ -149,6 +181,13 @@ class SimulatedExecutor:
             raise ValueError(
                 "cpu_threads cannot exceed the cores of one node"
             )
+        if fault_plan is not None:
+            for fault in fault_plan.node_faults:
+                if fault.node >= cluster_spec.num_nodes:
+                    raise ValueError(
+                        f"fault plan kills node {fault.node} but the cluster "
+                        f"has {cluster_spec.num_nodes} nodes"
+                    )
         self.cluster_spec = cluster_spec
         self.storage = storage
         self.scheduling = scheduling
@@ -166,6 +205,14 @@ class SimulatedExecutor:
         #: overflow to a free CPU core if that is expected to finish
         #: sooner than queueing for a device.
         self.gpu_overflow = gpu_overflow
+        #: Injected failures (``None`` = fault-free execution).
+        self.fault_plan = fault_plan
+        #: Recovery rules; defaults to :class:`~repro.faults.RetryPolicy`.
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Permanently failed task ids (retries exhausted, failed
+        #: dependencies, or stranded without schedulable nodes); set by
+        #: :meth:`execute`.
+        self.failed_task_ids: tuple[int, ...] = ()
         self.cost_model = CostModel(cluster_spec)
 
     def _jitter(self, duration: float) -> float:
@@ -186,14 +233,18 @@ class SimulatedExecutor:
     def _task_on_gpu(self, task: Task) -> bool:
         """Device decision for one task at dispatch time.
 
-        With ``gpu_overflow`` on, a GPU-intended task falls back to a CPU
-        core when (a) its working set cannot fit the device at all, or
-        (b) every device is busy and running on a core is expected to
-        finish sooner than queueing: the expected device wait is
-        approximated as (GPU-intended ready tasks / total devices) x the
-        task's own device time.
+        Recovery can force a task to CPU (``_forced_cpu``) after a runtime
+        GPU OOM or the loss of the last GPU node.  With ``gpu_overflow``
+        on, a GPU-intended task falls back to a CPU core when (a) its
+        working set cannot fit the device at all, or (b) every device is
+        busy and running on a core is expected to finish sooner than
+        queueing: the expected device wait is approximated as
+        (GPU-intended ready tasks / total devices) x the task's own device
+        time.
         """
         if not self._gpu_intended(task):
+            return False
+        if hasattr(self, "_forced_cpu") and task.task_id in self._forced_cpu:
             return False
         if not self.gpu_overflow:
             return True
@@ -202,7 +253,9 @@ class SimulatedExecutor:
             return False
         if not hasattr(self, "cluster"):
             return True  # pre-simulation (memory precheck) path
-        if any(node.gpus.available > 0 for node in self.cluster.nodes):
+        if any(
+            node.alive and node.gpus.available > 0 for node in self.cluster.nodes
+        ):
             return True
         gpu_time = self.cost_model.user_code_time(cost, use_gpu=True)
         cpu_time = self.cost_model.user_code_time(cost, use_gpu=False)
@@ -222,6 +275,10 @@ class SimulatedExecutor:
         :class:`~repro.hardware.HostOutOfMemoryError` up front when any
         task's working set cannot fit, matching the paper's "GPU OOM"
         regions (the run never starts).
+
+        With a fault plan, tasks whose retries are exhausted (or that
+        depend on such a task, or that strand when every node is gone) end
+        up in :attr:`failed_task_ids` instead of aborting the simulation.
         """
         self._precheck_memory(graph)
         import numpy as _np
@@ -232,7 +289,8 @@ class SimulatedExecutor:
         self.cluster = SimulatedCluster(self.sim, self.cluster_spec)
         self.trace = Trace()
         self.scheduler: Scheduler = make_scheduler(self.scheduling)
-        self._view = _ClusterView(self.cluster, self.cpu_threads)
+        self._blacklist: set[int] = set()
+        self._view = _ClusterView(self.cluster, self.cpu_threads, self._blacklist)
         self._levels = graph.levels()
         self._no_distribution = graph.width == 1
         self._graph = graph
@@ -252,13 +310,35 @@ class SimulatedExecutor:
         self._dispatch_latency = self.cluster_spec.scheduling_latency[
             self.scheduling.value
         ]
+        self._attempt_counts: dict[int, int] = {}
+        self._failed: set[int] = set()
+        self._forced_cpu: set[int] = set()
+        self._running: dict[int, tuple[Process, int]] = {}
+        if self.fault_plan is not None:
+            for fault in self.fault_plan.node_faults:
+                Process(
+                    self.sim,
+                    self._node_killer(fault),
+                    name=f"nodefault{fault.node}",
+                )
         Process(self.sim, self._dispatcher(), name="dispatcher")
         self.sim.run()
-        if self._completed != self._total:
-            raise RuntimeError(
-                f"simulation deadlocked: {self._completed}/{self._total} "
-                "tasks completed"
-            )
+        done_ids = {t.task_id for t in self.trace.tasks}
+        stranded = [
+            t.task_id
+            for t in graph.tasks()
+            if t.task_id not in done_ids and t.task_id not in self._failed
+        ]
+        if stranded:
+            if self.fault_plan is None:
+                raise RuntimeError(
+                    f"simulation deadlocked: {self._completed}/{self._total} "
+                    "tasks completed"
+                )
+            # No schedulable node left (or the dispatcher starved): the
+            # workflow cannot make progress, so the remainder fails.
+            self._failed.update(stranded)
+        self.failed_task_ids = tuple(sorted(self._failed))
         return self.trace
 
     def resource_stats(self) -> ResourceStats:
@@ -288,9 +368,17 @@ class SimulatedExecutor:
                 self.cost_model.check_gpu_memory(cost)
 
     # ----------------------------------------------------------- dispatcher
+    def _outstanding(self) -> int:
+        """Tasks that are neither committed nor permanently failed."""
+        return self._total - self._completed - len(self._failed)
+
+    def _wake_dispatcher(self) -> None:
+        if self._wake is not None and not self._wake.fired:
+            self._wake.succeed()
+
     def _dispatcher(self) -> Generator:
         ready_view = _ReadyView(self)
-        while self._completed < self._total:
+        while self._outstanding() > 0:
             while True:
                 assignment = self.scheduler.select(
                     ready_view, self._view, self._task_on_gpu
@@ -311,12 +399,13 @@ class SimulatedExecutor:
                 core_slot = self._free_cores[node.index].pop()
                 del self._ready[bisect.bisect_left(self._ready, task.task_id)]
                 yield Timeout(self._dispatch_latency + self._scan_latency())
-                Process(
+                process = Process(
                     self.sim,
                     self._run_task(task, node.index, core_slot, task_on_gpu),
                     name=f"task{task.task_id}",
                 )
-            if self._completed < self._total:
+                self._running[task.task_id] = (process, node.index)
+            if self._outstanding() > 0:
                 self._wake = SimEvent(name="dispatcher.wake")
                 yield WaitEvent(self._wake)
 
@@ -333,8 +422,121 @@ class SimulatedExecutor:
             self._indegree[successor.task_id] -= 1
             if self._indegree[successor.task_id] == 0:
                 bisect.insort(self._ready, successor.task_id)
-        if self._wake is not None and not self._wake.fired:
-            self._wake.succeed()
+        self._wake_dispatcher()
+
+    # ----------------------------------------------------------- fault path
+    def _node_killer(self, fault) -> Generator:
+        """Fail one node at its planned timestamp.
+
+        All resident task processes are interrupted (they fail with a
+        ``node_failure`` outcome and re-enter the retry path) and the node
+        is blacklisted from scheduling when the policy says so.
+        """
+        if fault.at_time > 0:
+            yield Timeout(fault.at_time)
+        node = self.cluster.nodes[fault.node]
+        if not node.alive:
+            return
+        node.fail()
+        if self.retry_policy.blacklist_failed_nodes:
+            self._blacklist.add(fault.node)
+        for task_id, (process, node_index) in list(self._running.items()):
+            if (
+                node_index == fault.node
+                and process.started
+                and not process.done.fired
+            ):
+                process.interrupt(NodeFailureError(fault.node))
+        self._wake_dispatcher()
+
+    def _check_fault(
+        self,
+        task: Task,
+        attempt: int,
+        stage: Stage,
+        planned_crash: Stage | None,
+        attempt_start: float,
+    ) -> None:
+        """Raise at a stage boundary if the attempt dies here."""
+        if planned_crash is stage:
+            raise TaskCrashError(task.task_id, stage)
+        deadline = self.retry_policy.task_deadline
+        if deadline is not None and self.sim.now - attempt_start > deadline:
+            raise TaskDeadlineError(task.task_id, deadline)
+
+    def _handle_failure(
+        self,
+        task: Task,
+        failure: FaultError,
+        attempt: int,
+        level: int,
+        task_on_gpu: bool,
+    ) -> None:
+        """Recovery decision after a failed attempt: retry or give up."""
+        policy = self.retry_policy
+        if policy.gpu_fallback_to_cpu and task_on_gpu:
+            if isinstance(failure, InjectedGpuOomError):
+                self._forced_cpu.add(task.task_id)
+            elif isinstance(failure, NodeFailureError) and not any(
+                node.alive and node.gpus.capacity > 0
+                for node in self.cluster.nodes
+            ):
+                # The last GPU-bearing node is gone: degrade to CPU.
+                self._forced_cpu.add(task.task_id)
+        if attempt < policy.max_attempts:
+            rng = (
+                self.fault_plan.rng_for("backoff", task.task_id, attempt)
+                if self.fault_plan is not None
+                else None
+            )
+            delay = policy.backoff_delay(attempt, rng)
+            Process(
+                self.sim,
+                self._requeue_after(task, delay, attempt, level),
+                name=f"retry{task.task_id}",
+            )
+        else:
+            self._fail_permanently(task)
+
+    def _requeue_after(
+        self, task: Task, delay: float, failed_attempt: int, level: int
+    ) -> Generator:
+        """Master-side backoff, then put the task back on the ready queue."""
+        start = self.sim.now
+        if delay > 0:
+            yield Timeout(delay)
+            # The wait occupies no core; node/core -1 marks it master-side.
+            self.trace.add_stage(
+                StageRecord(
+                    task_id=task.task_id,
+                    task_type=task.name,
+                    stage=Stage.RETRY_WAIT,
+                    start=start,
+                    end=self.sim.now,
+                    node=-1,
+                    core=-1,
+                    level=level,
+                    used_gpu=False,
+                    attempt=failed_attempt,
+                )
+            )
+        bisect.insort(self._ready, task.task_id)
+        self._wake_dispatcher()
+
+    def _fail_permanently(self, task: Task) -> None:
+        """Mark a task and every transitive dependent as failed."""
+        stack = [task.task_id]
+        while stack:
+            task_id = stack.pop()
+            if task_id in self._failed:
+                continue
+            self._failed.add(task_id)
+            position = bisect.bisect_left(self._ready, task_id)
+            if position < len(self._ready) and self._ready[position] == task_id:
+                del self._ready[position]
+            for successor in self._graph.successors(task_id):
+                stack.append(successor.task_id)
+        self._wake_dispatcher()
 
     # -------------------------------------------------------- task process
     def _run_task(
@@ -347,7 +549,117 @@ class SimulatedExecutor:
         node = self.cluster.nodes[node_index]
         cost = task.cost or _ZERO_COST
         level = self._levels[task.task_id]
+        attempt = self._attempt_counts.get(task.task_id, 0) + 1
+        self._attempt_counts[task.task_id] = attempt
         task_start = self.sim.now
+        failure: FaultError | None = None
+        try:
+            if not node.alive:
+                # Dispatched in the same instant the node died.
+                raise NodeFailureError(node_index)
+            yield from self._attempt_stages(
+                task, node, core_slot, task_on_gpu, attempt, task_start
+            )
+        except FaultError as error:
+            failure = error
+
+        # --- resource bookkeeping (both outcomes) -----------------------
+        self._running.pop(task.task_id, None)
+        self._free_cores[node_index].append(core_slot)
+        node.cores.release(1 if task_on_gpu else self.cpu_threads)
+        node.release_ram(cost.host_memory_bytes if task.cost else 0)
+        if task_on_gpu:
+            node.gpus.release(1)
+
+        if failure is None:
+            for ref in task.outputs:
+                ref.home_node = node_index
+            self.trace.add_task(
+                TaskRecord(
+                    task_id=task.task_id,
+                    task_type=task.name,
+                    start=task_start,
+                    end=self.sim.now,
+                    node=node_index,
+                    core=core_slot,
+                    level=level,
+                    used_gpu=task_on_gpu,
+                    attempt=attempt,
+                )
+            )
+            if self.fault_plan is not None:
+                self.trace.add_attempt(
+                    TaskAttempt(
+                        task_id=task.task_id,
+                        task_type=task.name,
+                        attempt=attempt,
+                        start=task_start,
+                        end=self.sim.now,
+                        node=node_index,
+                        core=core_slot,
+                        level=level,
+                        used_gpu=task_on_gpu,
+                        outcome=ATTEMPT_OK,
+                    )
+                )
+            self._on_task_done(task)
+        else:
+            now = self.sim.now
+            self.trace.add_stage(
+                StageRecord(
+                    task_id=task.task_id,
+                    task_type=task.name,
+                    stage=Stage.FAILURE,
+                    start=now,
+                    end=now,
+                    node=node_index,
+                    core=core_slot,
+                    level=level,
+                    used_gpu=task_on_gpu,
+                    attempt=attempt,
+                )
+            )
+            if self.fault_plan is not None:
+                self.trace.add_attempt(
+                    TaskAttempt(
+                        task_id=task.task_id,
+                        task_type=task.name,
+                        attempt=attempt,
+                        start=task_start,
+                        end=now,
+                        node=node_index,
+                        core=core_slot,
+                        level=level,
+                        used_gpu=task_on_gpu,
+                        outcome=failure.kind,
+                    )
+                )
+            self._handle_failure(task, failure, attempt, level, task_on_gpu)
+
+    def _attempt_stages(
+        self,
+        task: Task,
+        node,
+        core_slot: int,
+        task_on_gpu: bool,
+        attempt: int,
+        attempt_start: float,
+    ) -> Generator:
+        """One attempt's walk through the Figure-4 stages."""
+        node_index = node.index
+        cost = task.cost or _ZERO_COST
+        level = self._levels[task.task_id]
+        plan = self.fault_plan
+        planned_crash = (
+            plan.crash_stage_for(task.task_id, task.name, attempt)
+            if plan is not None
+            else None
+        )
+        straggle = (
+            plan.straggler_factor(task.name, node_index)
+            if plan is not None
+            else 1.0
+        )
 
         def record(stage: Stage, start: float) -> None:
             self.trace.add_stage(
@@ -361,8 +673,12 @@ class SimulatedExecutor:
                     core=core_slot,
                     level=level,
                     used_gpu=task_on_gpu,
+                    attempt=attempt,
                 )
             )
+
+        def checkpoint(stage: Stage) -> None:
+            self._check_fault(task, attempt, stage, planned_crash, attempt_start)
 
         # --- warm-up: first task on a core loads modules / compiles -----
         if self.warmup_overhead > 0 and (node_index, core_slot) not in self._warmed_cores:
@@ -380,22 +696,31 @@ class SimulatedExecutor:
             if decode > 0:
                 yield Timeout(decode)
             record(Stage.DESERIALIZATION, start)
+            checkpoint(Stage.DESERIALIZATION)
 
         # --- serial fraction --------------------------------------------
-        serial = self._jitter(self.cost_model.serial_fraction_time(cost))
+        serial = self._jitter(self.cost_model.serial_fraction_time(cost)) * straggle
         if serial > 0:
             start = self.sim.now
             yield Timeout(serial)
             record(Stage.SERIAL_FRACTION, start)
+        checkpoint(Stage.SERIAL_FRACTION)
 
         # --- parallel fraction (+ CPU-GPU communication on GPU) ---------
         if task_on_gpu:
+            if plan is not None and plan.gpu_oom_for(
+                task.task_id, task.name, attempt
+            ):
+                raise InjectedGpuOomError(task.task_id)
             device = node.claim_gpu()
             device.allocate(cost.gpu_memory_bytes)
             try:
                 d2h = min(cost.output_bytes, cost.host_device_bytes)
                 h2d = cost.host_device_bytes - d2h
-                pf = self._jitter(self.cost_model.parallel_fraction_time_gpu(cost))
+                pf = (
+                    self._jitter(self.cost_model.parallel_fraction_time_gpu(cost))
+                    * straggle
+                )
                 if self.comm_overlap and h2d > 0 and pf > 0:
                     yield from self._overlapped_gpu_phase(node, h2d, pf, record)
                 else:
@@ -414,13 +739,17 @@ class SimulatedExecutor:
             finally:
                 device.release(cost.gpu_memory_bytes)
         else:
-            pf = self._jitter(
-                self.cost_model.parallel_fraction_time_cpu(cost, self.cpu_threads)
+            pf = (
+                self._jitter(
+                    self.cost_model.parallel_fraction_time_cpu(cost, self.cpu_threads)
+                )
+                * straggle
             )
             if pf > 0:
                 start = self.sim.now
                 yield Timeout(pf)
                 record(Stage.PARALLEL_FRACTION, start)
+        checkpoint(Stage.PARALLEL_FRACTION)
 
         # --- serialization: CPU-side encode + storage write --------------
         if not self._no_distribution:
@@ -431,28 +760,7 @@ class SimulatedExecutor:
             if cost.output_bytes > 0:
                 yield from self._write_output(node_index, cost.output_bytes)
             record(Stage.SERIALIZATION, start)
-        for ref in task.outputs:
-            ref.home_node = node_index
-
-        # --- bookkeeping --------------------------------------------------
-        self.trace.add_task(
-            TaskRecord(
-                task_id=task.task_id,
-                task_type=task.name,
-                start=task_start,
-                end=self.sim.now,
-                node=node_index,
-                core=core_slot,
-                level=level,
-                used_gpu=task_on_gpu,
-            )
-        )
-        self._free_cores[node_index].append(core_slot)
-        node.cores.release(1 if task_on_gpu else self.cpu_threads)
-        node.release_ram(cost.host_memory_bytes if task.cost else 0)
-        if task_on_gpu:
-            node.gpus.release(1)
-        self._on_task_done(task)
+            checkpoint(Stage.SERIALIZATION)
 
     def _overlapped_gpu_phase(self, node, h2d: int, pf: float, record) -> Generator:
         """Staged-pipeline host-to-device transfer overlapping the kernel.

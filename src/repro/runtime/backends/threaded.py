@@ -39,6 +39,16 @@ class ThreadedExecutor:
         trace = Trace()
         levels = graph.levels()
         lock = threading.Lock()
+        # Stable worker-thread -> core-slot mapping, so concurrent tasks
+        # are stamped on distinct cores and the per-core non-overlap
+        # trace invariant holds for this backend too.
+        core_of_thread: dict[int, int] = {}
+
+        def core_slot_locked() -> int:
+            ident = threading.get_ident()
+            if ident not in core_of_thread:
+                core_of_thread[ident] = len(core_of_thread)
+            return core_of_thread[ident]
         indegree = {
             t.task_id: len(graph.predecessors(t.task_id)) for t in graph.tasks()
         }
@@ -83,6 +93,7 @@ class ThreadedExecutor:
                         task.outputs, result, data, task.name
                     )
                     level = levels[task.task_id]
+                    core = core_slot_locked()
                     trace.add_stage(
                         StageRecord(
                             task_id=task.task_id,
@@ -91,7 +102,7 @@ class ThreadedExecutor:
                             start=started,
                             end=ended,
                             node=0,
-                            core=0,
+                            core=core,
                             level=level,
                             used_gpu=False,
                         )
@@ -103,7 +114,7 @@ class ThreadedExecutor:
                             start=started,
                             end=ended,
                             node=0,
-                            core=0,
+                            core=core,
                             level=level,
                             used_gpu=False,
                         )

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.faults import FaultPlan, RetryPolicy
 from repro.hardware import ClusterSpec, StorageKind, minotauro
 from repro.perfmodel import TaskCost
 from repro.runtime.backends.inprocess import InProcessExecutor
@@ -80,6 +81,16 @@ class RuntimeConfig:
     gpu_overflow_to_cpu: bool = False
     #: Worker threads of the THREADED backend.
     thread_workers: int = 4
+    #: Injected failures for resilience experiments (simulated backend
+    #: only): task crashes, node failures, runtime GPU OOM, stragglers.
+    #: ``None`` runs fault-free and keeps the trace bit-identical to
+    #: earlier releases.
+    fault_plan: FaultPlan | None = None
+    #: Recovery rules applied when a fault plan injects failures: retry
+    #: budget, exponential backoff, GPU-to-CPU fallback, and failed-node
+    #: blacklisting.  ``None`` uses :class:`~repro.faults.RetryPolicy`'s
+    #: defaults.
+    retry_policy: RetryPolicy | None = None
     #: Run the static analyzer (:mod:`repro.analysis`) before dispatch and
     #: raise :class:`~repro.analysis.WorkflowValidationError` on
     #: error-severity findings (predicted OOM, broken DAG, ...).
@@ -95,11 +106,32 @@ class WorkflowResult:
     config: RuntimeConfig
     #: Ref-id -> value bindings (in-process backend only).
     data: dict[int, Any] = field(default_factory=dict)
+    #: Whether any task failed permanently (retries exhausted or
+    #: dependencies lost); only a fault plan can make this True.
+    failed: bool = False
+    #: Ids of the permanently failed tasks (includes descendants of a
+    #: task whose retries were exhausted).
+    failed_task_ids: tuple[int, ...] = ()
 
     @property
     def makespan(self) -> float:
         """Wall time of the whole workflow."""
         return self.trace.makespan
+
+    @property
+    def attempts(self) -> dict[int, int]:
+        """Attempts per task id (1 for every task in a fault-free run)."""
+        return self.trace.attempt_counts()
+
+    @property
+    def recovered_makespan(self) -> float:
+        """Wall time including failed attempts and retry backoff.
+
+        Equals :attr:`makespan` in a fault-free run; with faults it spans
+        wasted attempts and master-side backoff waits as well, so the
+        difference is the cost of recovery.
+        """
+        return self.trace.recovered_span
 
     def value_of(self, ref: DataRef) -> Any:
         """The real value bound to a ref (in-process backend only)."""
@@ -256,6 +288,14 @@ class Runtime:
             jitter_seed=self.config.jitter_seed,
             warmup_overhead=self.config.warmup_overhead,
             gpu_overflow=self.config.gpu_overflow_to_cpu,
+            fault_plan=self.config.fault_plan,
+            retry_policy=self.config.retry_policy,
         )
         trace = executor.execute(self.graph)
-        return WorkflowResult(trace=trace, graph=self.graph, config=self.config)
+        return WorkflowResult(
+            trace=trace,
+            graph=self.graph,
+            config=self.config,
+            failed=bool(executor.failed_task_ids),
+            failed_task_ids=executor.failed_task_ids,
+        )

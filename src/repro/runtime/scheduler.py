@@ -55,13 +55,33 @@ class SchedulingPolicy(str, enum.Enum):
 
 
 class ClusterView(Protocol):
-    """What a scheduler may observe about the cluster."""
+    """What a scheduler may observe about the cluster.
+
+    Views may additionally expose ``is_blacklisted(node) -> bool`` when
+    recovery has excluded failed nodes from scheduling; policies consult
+    it through :func:`node_usable`, and views without it (e.g. test
+    stubs) are treated as having no blacklist.
+    """
 
     def num_nodes(self) -> int:
         """Number of nodes."""
 
     def has_free_slot(self, node: int, needs_gpu: bool, ram_bytes: int = 0) -> bool:
         """Whether ``node`` can start one more task right now."""
+
+
+def node_usable(
+    cluster: ClusterView, node: int, needs_gpu: bool, ram_bytes: int = 0
+) -> bool:
+    """Whether a policy may place a task on ``node`` right now.
+
+    Combines the resource check with the recovery blacklist, when the
+    view exposes one.
+    """
+    is_blacklisted = getattr(cluster, "is_blacklisted", None)
+    if is_blacklisted is not None and is_blacklisted(node):
+        return False
+    return cluster.has_free_slot(node, needs_gpu, ram_bytes)
 
 
 @dataclass(frozen=True)
@@ -114,7 +134,7 @@ class GenerationOrderScheduler(Scheduler):
         n = cluster.num_nodes()
         for offset in range(n):
             node = (self._next_node + offset) % n
-            if cluster.has_free_slot(node, requires_gpu(task), task_ram_bytes(task)):
+            if node_usable(cluster, node, requires_gpu(task), task_ram_bytes(task)):
                 self._next_node = (node + 1) % n
                 return Assignment(task=task, node=node)
         return None
@@ -140,7 +160,7 @@ class LifoScheduler(Scheduler):
         n = cluster.num_nodes()
         for offset in range(n):
             node = (self._next_node + offset) % n
-            if cluster.has_free_slot(node, requires_gpu(task), task_ram_bytes(task)):
+            if node_usable(cluster, node, requires_gpu(task), task_ram_bytes(task)):
                 self._next_node = (node + 1) % n
                 return Assignment(task=task, node=node)
         return None
@@ -150,10 +170,17 @@ class DataLocalityScheduler(Scheduler):
     """Prefer the node owning the most input bytes of the head task.
 
     Falls back to the free node with the best locality score, so tasks
-    never starve when their preferred node is busy.
+    never starve when their preferred node is busy.  Ties — common when a
+    task's inputs live on no candidate node at all — are broken round-
+    robin rather than always picking node 0, so locality scheduling
+    degrades to generation-order spreading instead of piling tie tasks
+    onto the first node.
     """
 
     policy = SchedulingPolicy.DATA_LOCALITY
+
+    def __init__(self) -> None:
+        self._next_node = 0
 
     def select(
         self,
@@ -161,11 +188,18 @@ class DataLocalityScheduler(Scheduler):
         cluster: ClusterView,
         requires_gpu: GpuPredicate,
     ) -> Assignment | None:
+        n = cluster.num_nodes()
         for task in ready:
             best_node: int | None = None
             best_bytes = -1
-            for node in range(cluster.num_nodes()):
-                if not cluster.has_free_slot(node, requires_gpu(task), task_ram_bytes(task)):
+            for offset in range(n):
+                # Scanning from the round-robin cursor with a strict ">"
+                # makes the first usable node win ties, rotating tied
+                # placements across the cluster.
+                node = (self._next_node + offset) % n
+                if not node_usable(
+                    cluster, node, requires_gpu(task), task_ram_bytes(task)
+                ):
                     continue
                 local_bytes = sum(
                     ref.size_bytes for ref in task.inputs if ref.home_node == node
@@ -174,6 +208,7 @@ class DataLocalityScheduler(Scheduler):
                     best_bytes = local_bytes
                     best_node = node
             if best_node is not None:
+                self._next_node = (best_node + 1) % n
                 return Assignment(task=task, node=best_node)
         return None
 

@@ -15,6 +15,17 @@ Supported commands:
 
 A process finishing (or raising) fires its ``done`` event, so processes can
 wait on one another.
+
+Processes can also be **interrupted**: :meth:`Process.interrupt` throws an
+exception into the generator at its current suspension point (modelling
+e.g. a node failure killing a resident task).  The command the process was
+waiting on is abandoned — a pending :class:`Timeout` is cancelled, and the
+completion callback of an in-flight :class:`Transfer`/:class:`Acquire`/
+:class:`WaitEvent` is ignored when it later fires.  Note that abandoning
+an :class:`Acquire` this way leaks the granted slots (the grant arrives
+after the process stopped caring); interrupt-safe code should reserve
+capacity with ``try_request`` instead, the way the simulated executor
+does.
 """
 
 from __future__ import annotations
@@ -104,9 +115,44 @@ class Process:
         self._generator = generator
         self.name = name
         self.done = SimEvent(name=f"{name}.done")
-        sim.schedule(0.0, self._resume, None)
+        #: Monotonic counter identifying the currently-awaited command;
+        #: completion callbacks from superseded commands (after an
+        #: interrupt) carry a stale epoch and are ignored.
+        self._epoch = 0
+        self._pending = sim.schedule(0.0, self._resume, None)
+
+    @property
+    def started(self) -> bool:
+        """Whether the generator has run to its first suspension point.
+
+        Interrupting a process that never started would throw into a
+        fresh generator, skipping its body entirely; callers that need
+        cleanup semantics (e.g. the node killer) should skip unstarted
+        processes and let the process's own liveness checks handle the
+        condition when it first runs.
+        """
+        return self._epoch > 0
+
+    def interrupt(self, error: BaseException) -> None:
+        """Throw ``error`` into the process at its suspension point.
+
+        The command the process was waiting on is abandoned (see module
+        docstring for the Acquire caveat).  Interrupting a finished
+        process is a no-op; the throw is delivered as a zero-delay event
+        so the interrupter's own callback completes first.
+        """
+        if self.done.fired:
+            return
+        self._epoch += 1
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._sim.schedule(0.0, self._throw, error)
 
     def _resume(self, value: Any) -> None:
+        if self.done.fired:
+            return
+        self._pending = None
         try:
             command = self._generator.send(value)
         except StopIteration as stop:
@@ -118,6 +164,9 @@ class Process:
         self._dispatch(command)
 
     def _throw(self, error: BaseException) -> None:
+        if self.done.fired:
+            return
+        self._pending = None
         try:
             command = self._generator.throw(error)
         except StopIteration as stop:
@@ -128,32 +177,46 @@ class Process:
             return
         self._dispatch(command)
 
+    def _guarded_resume(self, epoch: int, value: Any) -> None:
+        if epoch == self._epoch:
+            self._resume(value)
+
     def _dispatch(self, command: Command) -> None:
+        self._epoch += 1
+        epoch = self._epoch
         if isinstance(command, Timeout):
-            self._sim.schedule(command.delay, self._resume, None)
+            self._pending = self._sim.schedule(command.delay, self._resume, None)
         elif isinstance(command, Acquire):
-            command.resource.request(command.amount, lambda: self._resume(None))
+            command.resource.request(
+                command.amount, lambda: self._guarded_resume(epoch, None)
+            )
         elif isinstance(command, Release):
             command.resource.release(command.amount)
-            self._sim.schedule(0.0, self._resume, None)
+            self._pending = self._sim.schedule(0.0, self._resume, None)
         elif isinstance(command, Transfer):
-            command.resource.submit(command.nbytes, lambda: self._resume(None))
+            command.resource.submit(
+                command.nbytes, lambda: self._guarded_resume(epoch, None)
+            )
         elif isinstance(command, WaitEvent):
-            command.event.add_callback(self._on_event)
+            command.event.add_callback(
+                lambda event: self._on_event(epoch, event)
+            )
         elif isinstance(command, AllOf):
-            self._wait_all(command.events)
+            self._wait_all(epoch, command.events)
         else:
             self._throw(SimulationError(f"unknown command: {command!r}"))
 
-    def _on_event(self, event: SimEvent) -> None:
+    def _on_event(self, epoch: int, event: SimEvent) -> None:
+        if epoch != self._epoch:
+            return
         if event.error is not None:
             self._throw(event.error)
         else:
             self._resume(event.value)
 
-    def _wait_all(self, events: list[SimEvent]) -> None:
+    def _wait_all(self, epoch: int, events: list[SimEvent]) -> None:
         if not events:
-            self._sim.schedule(0.0, self._resume, [])
+            self._pending = self._sim.schedule(0.0, self._resume, [])
             return
         pending = {"count": len(events)}
         first_error: list[BaseException] = []
@@ -162,7 +225,7 @@ class Process:
             if event.error is not None and not first_error:
                 first_error.append(event.error)
             pending["count"] -= 1
-            if pending["count"] == 0:
+            if pending["count"] == 0 and epoch == self._epoch:
                 if first_error:
                     self._throw(first_error[0])
                 else:

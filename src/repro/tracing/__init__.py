@@ -10,26 +10,39 @@ type, per-core, and per-DAG-level metrics the figures are built from.
 
 from repro.tracing.aggregate import (
     DataMovementMetrics,
+    FaultMetrics,
     ParallelTaskMetrics,
     UserCodeMetrics,
     data_movement_metrics,
+    fault_metrics,
     parallel_task_metrics,
     user_code_metrics,
 )
 from repro.tracing.decompose import OverheadBreakdown, decompose_overheads
 from repro.tracing.export import dump_trace, gantt, load_trace
-from repro.tracing.trace import Stage, StageRecord, TaskRecord, Trace
+from repro.tracing.trace import (
+    ATTEMPT_OK,
+    Stage,
+    StageRecord,
+    TaskAttempt,
+    TaskRecord,
+    Trace,
+)
 
 __all__ = [
+    "ATTEMPT_OK",
     "DataMovementMetrics",
+    "FaultMetrics",
     "OverheadBreakdown",
     "ParallelTaskMetrics",
     "Stage",
     "decompose_overheads",
     "dump_trace",
+    "fault_metrics",
     "gantt",
     "load_trace",
     "StageRecord",
+    "TaskAttempt",
     "TaskRecord",
     "Trace",
     "UserCodeMetrics",

@@ -9,6 +9,9 @@ Three metric families:
 * **Task-level metrics** — parallel-task execution time per DAG level
   (wall time of each level, averaged over the levels that contain
   parallel-eligible tasks, i.e. one value per "algorithm iteration").
+* **Fault metrics** — goodput vs. wasted work of a fault-injected
+  execution: core-seconds spent in successful attempts against
+  core-seconds burned in failed attempts and retry backoff.
 """
 
 from __future__ import annotations
@@ -67,6 +70,64 @@ class ParallelTaskMetrics:
     def total_time(self) -> float:
         """Sum of all level wall times (lower bound on the makespan)."""
         return sum(self.level_wall_times.values())
+
+
+@dataclass(frozen=True)
+class FaultMetrics:
+    """Goodput vs. wasted work of one (possibly fault-injected) run."""
+
+    #: Attempts across all tasks (equals task count for fault-free runs).
+    num_attempts: int
+    #: Attempts that died (crash, node failure, GPU OOM, timeout).
+    num_failures: int
+    #: Tasks that needed more than one attempt.
+    retried_tasks: int
+    #: Core-seconds spent in attempts that completed their task.
+    goodput_seconds: float
+    #: Core-seconds burned in failed attempts.
+    wasted_seconds: float
+    #: Simulated seconds spent in retry backoff (master-side, off-core).
+    retry_wait_seconds: float
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Share of attempt core-seconds that produced committed work."""
+        busy = self.goodput_seconds + self.wasted_seconds
+        if busy <= 0.0:
+            return 1.0
+        return self.goodput_seconds / busy
+
+
+def fault_metrics(trace: Trace) -> FaultMetrics:
+    """Aggregate goodput and wasted work from a trace.
+
+    Fault-free traces (no attempt records) report their task records as
+    one successful attempt each, so the metric is defined for every
+    execution.
+    """
+    retry_wait = sum(
+        r.duration for r in trace.stages if r.stage is Stage.RETRY_WAIT
+    )
+    if not trace.attempts:
+        return FaultMetrics(
+            num_attempts=len(trace.tasks),
+            num_failures=0,
+            retried_tasks=0,
+            goodput_seconds=sum(t.duration for t in trace.tasks),
+            wasted_seconds=0.0,
+            retry_wait_seconds=retry_wait,
+        )
+    failures = [a for a in trace.attempts if not a.ok]
+    successes = [a for a in trace.attempts if a.ok]
+    retried = {a.task_id for a in trace.attempts if a.attempt > 1}
+    return FaultMetrics(
+        num_attempts=len(trace.attempts),
+        num_failures=len(failures),
+        retried_tasks=len(retried),
+        goodput_seconds=sum(a.duration for a in successes),
+        wasted_seconds=sum(a.duration for a in failures),
+        retry_wait_seconds=retry_wait,
+    )
 
 
 def _mean_per_task(records: list[StageRecord], num_tasks: int) -> float:

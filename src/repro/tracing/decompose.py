@@ -46,6 +46,10 @@ class OverheadBreakdown:
 
 _COMPUTE_STAGES = {Stage.SERIAL_FRACTION, Stage.PARALLEL_FRACTION}
 _MOVEMENT_STAGES = {Stage.DESERIALIZATION, Stage.SERIALIZATION}
+#: Fault-path records (zero-duration failure markers and master-side
+#: retry backoff) do not occupy a core and are excluded from the busy
+#: time and the core census.
+_OFF_CORE_STAGES = {Stage.FAILURE, Stage.RETRY_WAIT}
 
 
 def decompose_overheads(trace: Trace) -> OverheadBreakdown:
@@ -67,10 +71,11 @@ def decompose_overheads(trace: Trace) -> OverheadBreakdown:
             idle_share=0.0,
         )
     makespan = trace.makespan
-    cores = {(r.node, r.core) for r in trace.stages}
+    on_core = [r for r in trace.stages if r.stage not in _OFF_CORE_STAGES]
+    cores = {(r.node, r.core) for r in on_core}
     budget = makespan * len(cores)
     sums = {stage: 0.0 for stage in Stage}
-    for record in trace.stages:
+    for record in on_core:
         sums[record.stage] += record.duration
     compute = sum(sums[s] for s in _COMPUTE_STAGES)
     movement = sum(sums[s] for s in _MOVEMENT_STAGES)

@@ -13,7 +13,7 @@ import json
 from pathlib import Path
 from typing import IO
 
-from repro.tracing.trace import Stage, StageRecord, TaskRecord, Trace
+from repro.tracing.trace import Stage, StageRecord, TaskAttempt, TaskRecord, Trace
 
 #: One-character glyphs per stage for the Gantt rendering.
 _STAGE_GLYPHS = {
@@ -23,13 +23,16 @@ _STAGE_GLYPHS = {
     Stage.PARALLEL_FRACTION: "P",
     Stage.CPU_GPU_COMM: "c",
     Stage.SERIALIZATION: "w",
+    Stage.FAILURE: "x",
+    Stage.RETRY_WAIT: "r",
 }
 
 
 def dump_trace(trace: Trace, target: IO[str] | str | Path) -> None:
     """Write a trace as JSON Lines (one record per line).
 
-    Stage records carry ``kind: "stage"``; task records ``kind: "task"``.
+    Stage records carry ``kind: "stage"``, task records ``kind: "task"``,
+    attempt records ``kind: "attempt"``.
     """
     if isinstance(target, (str, Path)):
         with open(target, "w", encoding="utf-8") as handle:
@@ -47,6 +50,7 @@ def dump_trace(trace: Trace, target: IO[str] | str | Path) -> None:
             "core": record.core,
             "level": record.level,
             "used_gpu": record.used_gpu,
+            "attempt": record.attempt,
         }
         target.write(json.dumps(payload) + "\n")
     for task in trace.tasks:
@@ -60,6 +64,22 @@ def dump_trace(trace: Trace, target: IO[str] | str | Path) -> None:
             "core": task.core,
             "level": task.level,
             "used_gpu": task.used_gpu,
+            "attempt": task.attempt,
+        }
+        target.write(json.dumps(payload) + "\n")
+    for attempt in trace.attempts:
+        payload = {
+            "kind": "attempt",
+            "task_id": attempt.task_id,
+            "task_type": attempt.task_type,
+            "attempt": attempt.attempt,
+            "start": attempt.start,
+            "end": attempt.end,
+            "node": attempt.node,
+            "core": attempt.core,
+            "level": attempt.level,
+            "used_gpu": attempt.used_gpu,
+            "outcome": attempt.outcome,
         }
         target.write(json.dumps(payload) + "\n")
 
@@ -81,6 +101,8 @@ def load_trace(source: IO[str] | str | Path) -> Trace:
             trace.add_stage(StageRecord(**payload))
         elif kind == "task":
             trace.add_task(TaskRecord(**payload))
+        elif kind == "attempt":
+            trace.add_attempt(TaskAttempt(**payload))
         else:
             raise ValueError(f"line {line_number}: unknown record kind {kind!r}")
     return trace

@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 
 
 class Stage(str, enum.Enum):
-    """Task-processing stages (Figure 4 of the paper)."""
+    """Task-processing stages (Figure 4 of the paper).
+
+    ``FAILURE`` and ``RETRY_WAIT`` extend the figure with the fault path
+    of :mod:`repro.faults`: a zero-duration failure marker at the instant
+    an attempt dies, and the master-side backoff before the task is
+    re-queued.
+    """
 
     SCHEDULING = "scheduling"
     DESERIALIZATION = "deserialization"
@@ -21,11 +27,13 @@ class Stage(str, enum.Enum):
     PARALLEL_FRACTION = "parallel_fraction"
     CPU_GPU_COMM = "cpu_gpu_comm"
     SERIALIZATION = "serialization"
+    FAILURE = "failure"
+    RETRY_WAIT = "retry_wait"
 
 
 @dataclass(frozen=True)
 class StageRecord:
-    """One stage of one task."""
+    """One stage of one task attempt."""
 
     task_id: int
     task_type: str
@@ -36,6 +44,8 @@ class StageRecord:
     core: int
     level: int
     used_gpu: bool
+    #: 1-based attempt number the stage belongs to (1 = first try).
+    attempt: int = 1
 
     def __post_init__(self) -> None:
         if self.end < self.start:
@@ -51,7 +61,7 @@ class StageRecord:
 
 @dataclass(frozen=True)
 class TaskRecord:
-    """Whole-task summary."""
+    """Whole-task summary (the successful attempt)."""
 
     task_id: int
     task_type: str
@@ -61,6 +71,8 @@ class TaskRecord:
     core: int
     level: int
     used_gpu: bool
+    #: 1-based number of the attempt that succeeded (1 = no retries).
+    attempt: int = 1
 
     @property
     def duration(self) -> float:
@@ -68,12 +80,58 @@ class TaskRecord:
         return self.end - self.start
 
 
+#: Outcome label of a successful attempt; failures carry the fault kind
+#: ("crash", "node_failure", "gpu_oom", "timeout").
+ATTEMPT_OK = "success"
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One try of one task, successful or not.
+
+    Attempt records are emitted only by fault-injecting executions (a
+    fault-free trace carries the same information in its task records);
+    ``outcome`` is :data:`ATTEMPT_OK` or the failure kind.
+    """
+
+    task_id: int
+    task_type: str
+    attempt: int
+    start: float
+    end: float
+    node: int
+    core: int
+    level: int
+    used_gpu: bool
+    outcome: str
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"attempt {self.attempt} of task {self.task_id} "
+                "ends before it starts"
+            )
+        if self.attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+
+    @property
+    def ok(self) -> bool:
+        """Whether the attempt completed the task."""
+        return self.outcome == ATTEMPT_OK
+
+    @property
+    def duration(self) -> float:
+        """Attempt duration in seconds."""
+        return self.end - self.start
+
+
 @dataclass
 class Trace:
-    """An append-only collection of stage and task records."""
+    """An append-only collection of stage, task, and attempt records."""
 
     stages: list[StageRecord] = field(default_factory=list)
     tasks: list[TaskRecord] = field(default_factory=list)
+    attempts: list[TaskAttempt] = field(default_factory=list)
 
     def add_stage(self, record: StageRecord) -> None:
         """Append a stage record."""
@@ -83,12 +141,61 @@ class Trace:
         """Append a whole-task record."""
         self.tasks.append(record)
 
+    def add_attempt(self, record: TaskAttempt) -> None:
+        """Append a task-attempt record."""
+        self.attempts.append(record)
+
     @property
     def makespan(self) -> float:
-        """Wall time from the first task start to the last task end."""
+        """Wall time from the first task start to the last task end.
+
+        Counts successful tasks only; :attr:`recovered_span` additionally
+        covers failed attempts and retry waits.
+        """
         if not self.tasks:
             return 0.0
         return max(t.end for t in self.tasks) - min(t.start for t in self.tasks)
+
+    @property
+    def recovered_span(self) -> float:
+        """Wall time including failed attempts and retry backoff.
+
+        Equals :attr:`makespan` for fault-free traces; for a run that
+        failed permanently (no successful record of some task) this is
+        the only span covering the work actually performed.
+        """
+        points = [(t.start, t.end) for t in self.tasks]
+        points += [(a.start, a.end) for a in self.attempts]
+        points += [
+            (r.start, r.end)
+            for r in self.stages
+            if r.stage in (Stage.FAILURE, Stage.RETRY_WAIT)
+        ]
+        if not points:
+            return 0.0
+        return max(end for _, end in points) - min(start for start, _ in points)
+
+    def attempts_of(self, task_id: int) -> list["TaskAttempt"]:
+        """All attempts of one task, ordered by attempt number."""
+        return sorted(
+            (a for a in self.attempts if a.task_id == task_id),
+            key=lambda a: a.attempt,
+        )
+
+    def attempt_counts(self) -> dict[int, int]:
+        """Tries per task id.
+
+        Falls back to the task records (one attempt each) when the trace
+        carries no attempt records — i.e. for fault-free executions.
+        """
+        if not self.attempts:
+            return {t.task_id: 1 for t in self.tasks}
+        counts: dict[int, int] = {}
+        for attempt in self.attempts:
+            counts[attempt.task_id] = max(
+                counts.get(attempt.task_id, 0), attempt.attempt
+            )
+        return counts
 
     def stages_of(self, stage: Stage) -> list[StageRecord]:
         """All records of one stage kind."""

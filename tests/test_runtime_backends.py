@@ -201,3 +201,16 @@ class TestSimulatedExecutor:
         (out,) = rt.submit(name="w", inputs=[ref], cost=_cost())
         rt.run()
         assert 0 <= out.home_node < 8
+
+    def test_trace_invariants_hold(self):
+        from tests.trace_invariants import assert_trace_invariants
+
+        result = self._run(n_tasks=40)
+        assert_trace_invariants(result.trace)
+
+    def test_trace_invariants_hold_on_gpu(self):
+        from tests.trace_invariants import assert_trace_invariants
+
+        cost = _cost(parallel=1e10, items=1e6, gpu_mem=10**6)
+        result = self._run(n_tasks=40, use_gpu=True, cost=cost)
+        assert_trace_invariants(result.trace)

@@ -107,6 +107,18 @@ class TestConcurrency:
         assert len(result.trace.tasks) == rt.graph.num_tasks
         assert len({t.task_id for t in result.trace.tasks}) == rt.graph.num_tasks
 
+    def test_trace_invariants_hold(self):
+        # Concurrent tasks are stamped on per-worker cores, so the shared
+        # per-core non-overlap invariant applies to this backend too.
+        from tests.trace_invariants import assert_trace_invariants
+
+        dataset = DatasetSpec("thr_inv", rows=48, cols=48)
+        rt = _threaded(workers=4)
+        MatmulWorkflow(dataset, grid=4).build(rt, materialize=True)
+        result = rt.run()
+        assert_trace_invariants(result.trace)
+        assert {t.core for t in result.trace.tasks} <= set(range(4))
+
 
 class TestErrors:
     def test_task_error_propagates(self):

@@ -1,0 +1,217 @@
+"""Property-based tests for the scheduling policies.
+
+Rather than enumerating cluster states by hand, Hypothesis generates
+random ready queues, node capacities, and blacklists, and asserts the
+contracts every policy must honour:
+
+* an :class:`Assignment` always targets a node with a free slot;
+* a blacklisted node is never chosen, whatever the policy;
+* ``GenerationOrderScheduler`` always dispatches the head of the queue;
+* round-robin node choice wraps around and spreads consecutive picks;
+* ``DataLocalityScheduler`` breaks all-zero locality ties round-robin
+  instead of piling every tie onto node 0 (regression for the
+  tie-breaking fix).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import TaskCost
+from repro.runtime import DataRef, SchedulingPolicy, Task
+from repro.runtime.scheduler import (
+    DataLocalityScheduler,
+    GenerationOrderScheduler,
+    LifoScheduler,
+    make_scheduler,
+)
+
+
+class FakeCluster:
+    """A ClusterView stub with per-node availability and a blacklist."""
+
+    def __init__(self, free_cores, free_gpus=None, blacklist=()):
+        self.free_cores = list(free_cores)
+        self.free_gpus = list(free_gpus or [1] * len(free_cores))
+        self.blacklist = set(blacklist)
+
+    def num_nodes(self):
+        return len(self.free_cores)
+
+    def is_blacklisted(self, node):
+        return node in self.blacklist
+
+    def has_free_slot(self, node, needs_gpu, ram_bytes=0):
+        if self.free_cores[node] < 1:
+            return False
+        if needs_gpu and self.free_gpus[node] < 1:
+            return False
+        return True
+
+
+def _task(task_id, input_homes=()):
+    cost = TaskCost(
+        serial_flops=1.0,
+        parallel_flops=0.0,
+        parallel_items=0.0,
+        arithmetic_intensity=1.0,
+        input_bytes=100,
+        output_bytes=10,
+        host_device_bytes=0,
+        gpu_memory_bytes=0,
+    )
+    return Task(
+        task_id=task_id,
+        name=f"t{task_id}",
+        inputs=tuple(DataRef(size_bytes=100, home_node=h) for h in input_homes),
+        outputs=(DataRef(size_bytes=10),),
+        cost=cost,
+    )
+
+
+def _never_gpu(task):
+    return False
+
+
+@st.composite
+def cluster_and_ready(draw):
+    """A random cluster state plus a random ready queue."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    free_cores = draw(
+        st.lists(st.integers(0, 3), min_size=n, max_size=n)
+    )
+    free_gpus = draw(st.lists(st.integers(0, 2), min_size=n, max_size=n))
+    blacklist = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    cluster = FakeCluster(free_cores, free_gpus, blacklist)
+    num_ready = draw(st.integers(0, 8))
+    ready = [
+        _task(i, input_homes=draw(st.lists(st.integers(0, n - 1), max_size=3)))
+        for i in range(num_ready)
+    ]
+    return cluster, ready
+
+
+ALL_POLICIES = list(SchedulingPolicy)
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=cluster_and_ready(), policy=st.sampled_from(ALL_POLICIES))
+def test_assignment_targets_free_non_blacklisted_node(state, policy):
+    cluster, ready = state
+    scheduler = make_scheduler(policy)
+    choice = scheduler.select(ready, cluster, _never_gpu)
+    if choice is None:
+        return
+    assert choice.task in ready
+    assert cluster.has_free_slot(choice.node, False)
+    assert not cluster.is_blacklisted(choice.node)
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=cluster_and_ready(), policy=st.sampled_from(ALL_POLICIES))
+def test_none_only_when_no_placement_exists(state, policy):
+    # A scheduler may only give up when every (queue-head, node) pairing
+    # it considers is infeasible; with a uniformly usable node and a
+    # non-empty queue it must place something.
+    cluster, ready = state
+    usable = [
+        node
+        for node in range(cluster.num_nodes())
+        if cluster.has_free_slot(node, False) and not cluster.is_blacklisted(node)
+    ]
+    scheduler = make_scheduler(policy)
+    choice = scheduler.select(ready, cluster, _never_gpu)
+    if ready and usable:
+        assert choice is not None
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=cluster_and_ready())
+def test_generation_order_always_picks_queue_head(state):
+    cluster, ready = state
+    scheduler = GenerationOrderScheduler()
+    choice = scheduler.select(ready, cluster, _never_gpu)
+    if choice is not None:
+        assert choice.task is ready[0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=cluster_and_ready())
+def test_lifo_always_picks_queue_tail(state):
+    cluster, ready = state
+    scheduler = LifoScheduler()
+    choice = scheduler.select(ready, cluster, _never_gpu)
+    if choice is not None:
+        assert choice.task is ready[-1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 6), picks=st.integers(2, 20))
+def test_round_robin_wraps_around(n, picks):
+    # With every node free, consecutive picks cycle 0, 1, ..., n-1, 0, ...
+    scheduler = GenerationOrderScheduler()
+    cluster = FakeCluster([10] * n)
+    nodes = [
+        scheduler.select([_task(i)], cluster, _never_gpu).node
+        for i in range(picks)
+    ]
+    assert nodes == [i % n for i in range(picks)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 6), picks=st.integers(2, 20))
+def test_locality_all_zero_ties_round_robin(n, picks):
+    # Regression: tasks with no local input bytes anywhere used to land on
+    # node 0 every time; ties must now rotate like generation order.
+    scheduler = DataLocalityScheduler()
+    cluster = FakeCluster([10] * n)
+    nodes = [
+        scheduler.select([_task(i)], cluster, _never_gpu).node
+        for i in range(picks)
+    ]
+    assert nodes == [i % n for i in range(picks)]
+    assert len(set(nodes)) == min(n, picks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=cluster_and_ready())
+def test_locality_still_prefers_owner_over_rotation(state):
+    # The tie-break fix must not weaken the policy itself: when one node
+    # holds strictly more of the head task's bytes than all others and is
+    # usable, it wins regardless of the rotation cursor.
+    cluster, ready = state
+    if not ready:
+        return
+    owner = 0
+    if cluster.num_nodes() > 0:
+        task = _task(99, input_homes=[owner, owner])
+        scheduler = DataLocalityScheduler()
+        choice = scheduler.select([task], cluster, _never_gpu)
+        if (
+            cluster.has_free_slot(owner, False)
+            and not cluster.is_blacklisted(owner)
+        ):
+            assert choice is not None and choice.node == owner
+
+
+def test_blacklisted_preferred_owner_falls_back():
+    # Deterministic regression: the owner node is blacklisted, so the
+    # locality policy must place the task elsewhere.
+    scheduler = DataLocalityScheduler()
+    cluster = FakeCluster([1, 1, 1], blacklist={2})
+    choice = scheduler.select([_task(0, input_homes=[2])], cluster, _never_gpu)
+    assert choice is not None
+    assert choice.node != 2
+
+
+def test_stub_without_blacklist_still_works():
+    # ClusterViews that predate the blacklist (plain stubs) keep working.
+    class Bare:
+        def num_nodes(self):
+            return 2
+
+        def has_free_slot(self, node, needs_gpu, ram_bytes=0):
+            return True
+
+    for policy in ALL_POLICIES:
+        choice = make_scheduler(policy).select([_task(0)], Bare(), _never_gpu)
+        assert choice is not None
