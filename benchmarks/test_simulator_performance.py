@@ -1,35 +1,64 @@
 """Meta-benchmark — the simulator's own throughput.
 
-Unlike the figure benches (which measure *simulated* time), this one
+Unlike the figure benches (which measure *simulated* time), this suite
 measures the wall-clock cost of running the discrete-event simulation,
-as a regression guard: the heaviest single configuration in the suite
-(Matmul 16x16, 7936 tasks with full storage contention) must stay fast
-enough that the full evaluation regenerates in minutes.
+as a regression guard over the fast dispatch path.  It runs the same
+fixed three-workload matrix as ``python -m repro bench``
+(:func:`repro.bench.bench_workloads`) and enforces a throughput floor
+per workload:
+
+* ``matmul16`` — the heaviest single configuration in the figure suite
+  (7936 tasks with full storage contention).  The floor sits at 3x the
+  pre-optimisation guard: incremental ready sets + memoized cost-model
+  evaluation must keep paying for themselves.
+* ``kmeans_deep`` — many short levels; guards the completion-event and
+  ready-set churn path.
+* ``wide_dag`` — wide levels under the data-locality policy; guards the
+  indexed O(nodes) placement scoring.
+
+Floors are conservative (CI machines are noisy); an order-of-magnitude
+regression — e.g. locality dispatch sliding back to
+O(ready x nodes x inputs) — still trips them reliably.
 """
 
-import time
+import pytest
 
-from repro.algorithms import MatmulWorkflow
-from repro.data import paper_datasets
-from repro.runtime import Runtime, RuntimeConfig
+from repro.bench import bench_workloads
+
+#: Minimum accepted throughput (tasks per wall-clock second) per workload.
+#: ``matmul16`` ran at ~500 tasks/s before the fast dispatch path landed;
+#: the indexed/memoized simulator clears 3x that with margin to spare.
+RATE_FLOORS = {
+    "matmul16": 1500,
+    "kmeans_deep": 1500,
+    "wide_dag": 1500,
+}
+
+#: Expected task counts — a silent workload change would quietly re-base
+#: the floors, so pin the matrix shape too.
+TASK_COUNTS = {
+    "matmul16": 7936,
+    "kmeans_deep": 520,
+    "wide_dag": 1537,
+}
+
+WORKLOADS = {workload.name: workload for workload in bench_workloads()}
 
 
-def test_simulator_throughput(benchmark):
-    dataset = paper_datasets()["matmul_8gb"]
+def test_matrix_matches_floors():
+    assert sorted(WORKLOADS) == sorted(RATE_FLOORS) == sorted(TASK_COUNTS)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_simulator_throughput(benchmark, name):
+    workload = WORKLOADS[name]
 
     def run():
-        runtime = Runtime(RuntimeConfig(use_gpu=False))
-        MatmulWorkflow(dataset, grid=16).build(runtime)
-        started = time.perf_counter()
-        result = runtime.run()
-        elapsed = time.perf_counter() - started
-        return len(result.trace.tasks), elapsed
+        return workload.run_once()
 
-    tasks, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    tasks, elapsed, _makespan = benchmark.pedantic(run, rounds=1, iterations=1)
     rate = tasks / elapsed
-    print(f"\nsimulated {tasks} tasks in {elapsed:.2f}s wall "
+    print(f"\n{name}: simulated {tasks} tasks in {elapsed:.2f}s wall "
           f"({rate:,.0f} tasks/s)")
-    assert tasks == 7936
-    # Regression guard: the dispatcher fix keeps this configuration in
-    # single-digit seconds; alert if it regresses by an order of magnitude.
-    assert rate > 500
+    assert tasks == TASK_COUNTS[name]
+    assert rate > RATE_FLOORS[name]

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Record (or check) the golden-trace reference fingerprints.
+
+Runs every cell of the golden matrix (``tests/golden_matrix.py``) on the
+current executor and writes the resulting trace fingerprints to
+``tests/golden/simulator_digests.json``.
+
+The checked-in fixtures are the *reference semantics* of the simulated
+executor.  Re-record them only when a change is **meant** to alter
+execution behaviour (a new stage, a scheduling fix, a cost-model change)
+— never to paper over an unexplained digest mismatch:
+
+    PYTHONPATH=src python scripts/record_golden_traces.py
+
+``--check`` verifies instead of writing (used by CI):
+
+    PYTHONPATH=src python scripts/record_golden_traces.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FIXTURE_PATH = REPO_ROOT / "tests" / "golden" / "simulator_digests.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify fixtures instead of rewriting them",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.tracing import trace_fingerprint
+    from tests.golden_matrix import golden_cases
+
+    fingerprints = {}
+    for case in golden_cases():
+        result = case.run()
+        fingerprints[case.key] = trace_fingerprint(
+            result.trace, result.failed_task_ids
+        )
+        print(f"  {case.key}: {fingerprints[case.key]['digest'][:16]}…")
+
+    if args.check:
+        recorded = json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+        mismatched = [
+            key
+            for key, fp in fingerprints.items()
+            if recorded.get(key, {}).get("digest") != fp["digest"]
+        ]
+        missing = sorted(set(recorded) - set(fingerprints))
+        if mismatched or missing:
+            print(f"MISMATCH: {mismatched or '-'} missing: {missing or '-'}")
+            return 1
+        print(f"OK: {len(fingerprints)} cells match {FIXTURE_PATH}")
+        return 0
+
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(
+        json.dumps(fingerprints, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {len(fingerprints)} fingerprints to {FIXTURE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

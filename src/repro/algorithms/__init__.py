@@ -16,6 +16,7 @@ in-process correctness backend) and *annotates every task with a
 :class:`~repro.perfmodel.TaskCost`* (for the simulated backend).
 """
 
+from repro.algorithms.generated import GeneratedDagWorkflow
 from repro.algorithms.kmeans import KMeansWorkflow, kmeans_reference
 from repro.algorithms.linreg import LinearRegressionWorkflow
 from repro.algorithms.matmul import MatmulWorkflow
@@ -23,6 +24,7 @@ from repro.algorithms.matmul_fma import MatmulFmaWorkflow
 from repro.algorithms.synthetic import SyntheticWorkflow
 
 __all__ = [
+    "GeneratedDagWorkflow",
     "KMeansWorkflow",
     "LinearRegressionWorkflow",
     "MatmulFmaWorkflow",

@@ -1,0 +1,162 @@
+"""Simulator throughput benchmark — ``python -m repro bench`` (see ``docs/performance.md``).
+
+The figure experiments measure *simulated* time; this module measures the
+wall-clock cost of producing it, as a regression guard over the fast
+dispatch path (incremental ready sets, the per-node locality index,
+memoized cost-model evaluation).  A fixed three-workload matrix covers
+the hot paths with different shapes:
+
+* ``matmul16`` — Matmul 16x16, the heaviest single configuration of the
+  figure suite (7936 tasks, full storage contention);
+* ``kmeans_deep`` — a deep K-means run (many short levels), stressing
+  the completion-event path and the ready-set churn of iterative DAGs;
+* ``wide_dag`` — a seeded WfBench-style generated DAG with wide levels
+  under the data-locality policy, stressing placement scoring.
+
+``run_bench`` returns a JSON-serialisable report and (optionally) writes
+it to ``BENCH_simulator.json``; ``benchmarks/test_simulator_performance.py``
+enforces per-workload throughput floors on the same matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.algorithms import GeneratedDagWorkflow, KMeansWorkflow, MatmulWorkflow
+from repro.data import paper_datasets
+from repro.runtime import Runtime, RuntimeConfig, SchedulingPolicy
+
+#: Report format version; bump when the JSON layout changes.
+SCHEMA = "repro-bench/1"
+
+#: Default output file name, also uploaded as a CI artifact.
+DEFAULT_OUTPUT = "BENCH_simulator.json"
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """One cell of the fixed benchmark matrix."""
+
+    name: str
+    description: str
+    build: Callable[[Runtime], object]
+    make_config: Callable[[], RuntimeConfig]
+
+    def run_once(self) -> tuple[int, float, float]:
+        """Build and execute once; returns (tasks, wall seconds, makespan).
+
+        DAG construction happens outside the timed region: the benchmark
+        guards the simulation loop, not workflow generation.
+        """
+        runtime = Runtime(self.make_config())
+        self.build(runtime)
+        started = time.perf_counter()
+        result = runtime.run()
+        elapsed = time.perf_counter() - started
+        return len(result.trace.tasks), elapsed, result.makespan
+
+
+def bench_workloads() -> tuple[BenchWorkload, ...]:
+    """The fixed workload matrix, in reporting order."""
+    datasets = paper_datasets()
+
+    def matmul16(runtime: Runtime):
+        return MatmulWorkflow(datasets["matmul_8gb"], grid=16).build(runtime)
+
+    def kmeans_deep(runtime: Runtime):
+        return KMeansWorkflow(
+            datasets["kmeans_10gb"], grid_rows=64, n_clusters=10, iterations=8
+        ).build(runtime)
+
+    def wide_dag(runtime: Runtime):
+        return GeneratedDagWorkflow(
+            width=64, depth=24, fan_in=3, block_mb=4.0, seed=11
+        ).build(runtime)
+
+    return (
+        BenchWorkload(
+            name="matmul16",
+            description="Matmul 16x16 on CPUs with storage contention",
+            build=matmul16,
+            make_config=lambda: RuntimeConfig(use_gpu=False),
+        ),
+        BenchWorkload(
+            name="kmeans_deep",
+            description="K-means 64x1 blocks, 8 iterations, GPU mode",
+            build=kmeans_deep,
+            make_config=lambda: RuntimeConfig(use_gpu=True),
+        ),
+        BenchWorkload(
+            name="wide_dag",
+            description=(
+                "generated 64-wide/24-deep DAG under the data-locality policy"
+            ),
+            build=wide_dag,
+            make_config=lambda: RuntimeConfig(
+                use_gpu=False, scheduling=SchedulingPolicy.DATA_LOCALITY
+            ),
+        ),
+    )
+
+
+def run_bench(
+    repeats: int = 3,
+    workloads: Sequence[BenchWorkload] | None = None,
+    out_path: str | Path | None = None,
+) -> dict:
+    """Run the matrix ``repeats`` times per workload and build the report.
+
+    Rates are computed from the *best* repeat — wall-clock noise only ever
+    slows a run down, so the minimum is the cleanest throughput estimate.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rows = []
+    for workload in workloads if workloads is not None else bench_workloads():
+        walls: list[float] = []
+        num_tasks = 0
+        makespan = 0.0
+        for _ in range(repeats):
+            num_tasks, elapsed, makespan = workload.run_once()
+            walls.append(elapsed)
+        best = min(walls)
+        rows.append(
+            {
+                "name": workload.name,
+                "description": workload.description,
+                "num_tasks": num_tasks,
+                "repeats": repeats,
+                "wall_seconds": [round(w, 6) for w in walls],
+                "best_wall_seconds": round(best, 6),
+                "tasks_per_second": round(num_tasks / best, 1),
+                "simulated_makespan": round(makespan, 6),
+            }
+        )
+    report = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": rows,
+    }
+    if out_path is not None:
+        path = Path(out_path)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a :func:`run_bench` report."""
+    lines = [f"simulator throughput ({report['schema']}, "
+             f"python {report['python']}/{report['machine']})"]
+    for row in report["workloads"]:
+        lines.append(
+            f"  {row['name']:<12} {row['num_tasks']:>6} tasks  "
+            f"{row['best_wall_seconds']:>8.3f}s best of {row['repeats']}  "
+            f"{row['tasks_per_second']:>10,.0f} tasks/s"
+        )
+    return "\n".join(lines)

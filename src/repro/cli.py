@@ -11,6 +11,8 @@ Commands:
 * ``lint`` — statically analyze a workload/preset combination without
   executing it, printing ``WFnnn`` diagnostics (text or JSON) and exiting
   non-zero when errors (e.g. a predicted host OOM) are found;
+* ``bench`` — measure the simulator's own wall-clock throughput over a
+  fixed workload matrix and write ``BENCH_simulator.json``;
 * ``info`` — show the simulated cluster and calibration constants.
 """
 
@@ -123,6 +125,19 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="number of cluster nodes")
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       help="output format")
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure simulator throughput over the fixed workload matrix",
+    )
+    bench.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_simulator.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed runs per workload; the best one counts")
 
     decompose = sub.add_parser(
         "decompose",
@@ -342,6 +357,15 @@ def _cmd_lint(args) -> int:
     return 1 if report.has_errors else 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import render_report, run_bench
+
+    report = run_bench(repeats=args.repeats, out_path=args.out)
+    print(render_report(report))
+    print(f"[saved {args.out}]")
+    return 0
+
+
 def _cmd_info() -> int:
     from repro.perfmodel.calibration import CALIBRATION_NOTES
 
@@ -404,6 +428,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_observations()
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "info":
         return _cmd_info()
     if args.command == "decompose":

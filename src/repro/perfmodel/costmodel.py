@@ -117,13 +117,38 @@ class StageTimes:
         return self.deserialization_cpu + self.user_code + self.serialization_cpu
 
 
+#: Cache-miss sentinel (``None`` is never a stage-times value).
+_MISS = object()
+
+
 class CostModel:
-    """Maps :class:`TaskCost` demands to stage durations on a cluster."""
+    """Maps :class:`TaskCost` demands to stage durations on a cluster.
+
+    Stage evaluation is memoized: :meth:`stage_times` (and everything
+    built on it, e.g. :meth:`user_code_time`) caches its result keyed on
+    ``(TaskCost value, device, threads)``.  Workflows submit thousands of
+    tasks sharing a handful of cost profiles — every Matmul
+    multiplication task of one block shape, say — so a figure sweep
+    evaluates each distinct key once and hits the cache for the rest.
+
+    Invalidation rule: there is none, by construction.  Both sides of
+    every cached entry are immutable — :class:`TaskCost` and the
+    :class:`~repro.hardware.specs.ClusterSpec` constants are frozen
+    dataclasses — so an entry can never go stale within one model
+    instance.  Evaluating against different hardware requires a new
+    ``CostModel`` (the executor builds one per run); :meth:`clear_cache`
+    exists for long-lived models that want to bound memory.
+    """
 
     def __init__(self, cluster: ClusterSpec) -> None:
         self.cluster = cluster
         self.cpu: CpuSpec = cluster.node.cpu
         self.gpu: GpuSpec = cluster.node.gpu
+        self._memo: dict = {}
+
+    def clear_cache(self) -> None:
+        """Drop all memoized stage evaluations."""
+        self._memo.clear()
 
     # ------------------------------------------------------------------ rates
     def cpu_rate(self, arithmetic_intensity: float) -> float:
@@ -212,21 +237,34 @@ class CostModel:
         return cost.output_bytes / self.cpu.serialization_bandwidth
 
     # ------------------------------------------------------------- summaries
-    def stage_times(self, cost: TaskCost, use_gpu: bool) -> StageTimes:
-        """All stage durations for one task on one processor type."""
+    def stage_times(
+        self, cost: TaskCost, use_gpu: bool, threads: int = 1
+    ) -> StageTimes:
+        """All stage durations for one task on one processor type.
+
+        ``threads`` only affects the CPU parallel fraction (multi-threaded
+        tasks of the over-subscription micro-benchmark); it is part of the
+        memoization key regardless, so mixed-mode runs never collide.
+        """
+        key = (cost, use_gpu, threads)
+        cached = self._memo.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
         if use_gpu:
             parallel = self.parallel_fraction_time_gpu(cost)
             comm = self.cpu_gpu_comm_time(cost)
         else:
-            parallel = self.parallel_fraction_time_cpu(cost)
+            parallel = self.parallel_fraction_time_cpu(cost, threads)
             comm = 0.0
-        return StageTimes(
+        times = StageTimes(
             deserialization_cpu=self.deserialization_cpu_time(cost),
             serial_fraction=self.serial_fraction_time(cost),
             parallel_fraction=parallel,
             cpu_gpu_comm=comm,
             serialization_cpu=self.serialization_cpu_time(cost),
         )
+        self._memo[key] = times
+        return times
 
     def user_code_time(self, cost: TaskCost, use_gpu: bool) -> float:
         """Task user code duration (§4.2 metric)."""

@@ -49,6 +49,7 @@ from repro.faults import (
 from repro.hardware import SimulatedCluster, StorageKind
 from repro.perfmodel import CostModel, TaskCost
 from repro.runtime.dag import TaskGraph
+from repro.runtime.locality import LocalityIndex
 from repro.runtime.scheduler import Scheduler, SchedulingPolicy, make_scheduler
 from repro.runtime.task import Task
 from repro.sim import (
@@ -110,8 +111,11 @@ class _ReadyView:
         return graph.task(ready[index])
 
     def __iter__(self):
+        # Policies never mutate the ready queue while selecting, so
+        # iterating the live list directly is safe and avoids an O(ready)
+        # copy on every dispatch round.
         graph = self._executor._graph
-        for task_id in list(self._executor._ready):
+        for task_id in self._executor._ready:
             yield graph.task(task_id)
 
 
@@ -123,10 +127,14 @@ class _ClusterView:
         cluster: SimulatedCluster,
         cpu_cores_per_task: int = 1,
         blacklist: set[int] | None = None,
+        locality_index: LocalityIndex | None = None,
     ) -> None:
         self._cluster = cluster
         self._cpu_cores_per_task = cpu_cores_per_task
         self._blacklist = blacklist if blacklist is not None else set()
+        #: O(1) per-(task, node) locality scores over the ready set; only
+        #: maintained when the data-locality policy is active.
+        self.locality_index = locality_index
 
     def num_nodes(self) -> int:
         return len(self._cluster.nodes)
@@ -134,6 +142,21 @@ class _ClusterView:
     def is_blacklisted(self, node: int) -> bool:
         """Whether recovery has excluded ``node`` from scheduling."""
         return node in self._blacklist
+
+    def resident_node(self, ref) -> int | None:
+        """The node whose local disk currently holds ``ref``'s block.
+
+        ``home_node`` records where the block *landed*; the block stays
+        resident there until the node fails, at which point it is lost
+        (``None``) and must not earn locality credit anymore.  A home
+        outside the cluster (possible when refs were registered against a
+        larger cluster) resolves to ``None`` as well.
+        """
+        node = ref.home_node
+        nodes = self._cluster.nodes
+        if 0 <= node < len(nodes) and nodes[node].alive:
+            return node
+        return None
 
     def has_free_slot(self, node: int, needs_gpu: bool, ram_bytes: int = 0) -> bool:
         n = self._cluster.nodes[node]
@@ -259,11 +282,7 @@ class SimulatedExecutor:
             return True
         gpu_time = self.cost_model.user_code_time(cost, use_gpu=True)
         cpu_time = self.cost_model.user_code_time(cost, use_gpu=False)
-        ready_gpu = sum(
-            1
-            for task_id in self._ready
-            if self._gpu_intended(self._graph.task(task_id))
-        )
+        ready_gpu = self._ready_gpu_intended
         expected_wait = (ready_gpu / max(self.cluster_spec.total_gpus, 1)) * gpu_time
         return gpu_time + expected_wait <= cpu_time
 
@@ -290,16 +309,33 @@ class SimulatedExecutor:
         self.trace = Trace()
         self.scheduler: Scheduler = make_scheduler(self.scheduling)
         self._blacklist: set[int] = set()
-        self._view = _ClusterView(self.cluster, self.cpu_threads, self._blacklist)
+        self._locality_index = (
+            LocalityIndex()
+            if self.scheduling is SchedulingPolicy.DATA_LOCALITY
+            else None
+        )
+        self._view = _ClusterView(
+            self.cluster, self.cpu_threads, self._blacklist, self._locality_index
+        )
         self._levels = graph.levels()
         self._no_distribution = graph.width == 1
         self._graph = graph
         self._indegree = {
             t.task_id: len(graph.predecessors(t.task_id)) for t in graph.tasks()
         }
-        self._ready: list[int] = sorted(
+        #: Device intent is static per task (policy flags only), so the
+        #: GPU-overflow wait estimate can count ready GPU-intended tasks
+        #: with an incrementally maintained counter instead of scanning
+        #: the ready queue on every dispatch decision.
+        self._gpu_intended_ids = {
+            t.task_id for t in graph.tasks() if self._gpu_intended(t)
+        }
+        self._ready: list[int] = []
+        self._ready_gpu_intended = 0
+        for task_id in sorted(
             t.task_id for t in graph.tasks() if self._indegree[t.task_id] == 0
-        )
+        ):
+            self._ready_insert(task_id)
         self._completed = 0
         self._total = graph.num_tasks
         self._wake: SimEvent | None = None
@@ -367,6 +403,36 @@ class SimulatedExecutor:
             if self._gpu_intended(task) and not self.gpu_overflow:
                 self.cost_model.check_gpu_memory(cost)
 
+    # ------------------------------------------------------ ready-set state
+    def _ready_insert(self, task_id: int) -> None:
+        """Add one newly runnable task, maintaining the derived state.
+
+        All derived dispatch state — the GPU-intended counter and the
+        per-node locality-bytes index — is updated here and in
+        :meth:`_ready_remove`, so it always equals a from-scratch
+        recomputation over the ready queue (the equivalence the property
+        tests assert).
+        """
+        bisect.insort(self._ready, task_id)
+        if task_id in self._gpu_intended_ids:
+            self._ready_gpu_intended += 1
+        if self._locality_index is not None:
+            self._locality_index.add(
+                self._graph.task(task_id), self._view.resident_node
+            )
+
+    def _ready_remove(self, task_id: int) -> bool:
+        """Drop a task from the ready queue; ``False`` if it wasn't there."""
+        position = bisect.bisect_left(self._ready, task_id)
+        if position >= len(self._ready) or self._ready[position] != task_id:
+            return False
+        del self._ready[position]
+        if task_id in self._gpu_intended_ids:
+            self._ready_gpu_intended -= 1
+        if self._locality_index is not None:
+            self._locality_index.discard(task_id)
+        return True
+
     # ----------------------------------------------------------- dispatcher
     def _outstanding(self) -> int:
         """Tasks that are neither committed nor permanently failed."""
@@ -397,7 +463,7 @@ class SimulatedExecutor:
                 task_ram = task.cost.host_memory_bytes if task.cost else 0
                 node.reserve_ram(task_ram)
                 core_slot = self._free_cores[node.index].pop()
-                del self._ready[bisect.bisect_left(self._ready, task.task_id)]
+                self._ready_remove(task.task_id)
                 yield Timeout(self._dispatch_latency + self._scan_latency())
                 process = Process(
                     self.sim,
@@ -421,7 +487,7 @@ class SimulatedExecutor:
         for successor in self._graph.successors(task.task_id):
             self._indegree[successor.task_id] -= 1
             if self._indegree[successor.task_id] == 0:
-                bisect.insort(self._ready, successor.task_id)
+                self._ready_insert(successor.task_id)
         self._wake_dispatcher()
 
     # ----------------------------------------------------------- fault path
@@ -438,6 +504,11 @@ class SimulatedExecutor:
         if not node.alive:
             return
         node.fail()
+        if self._locality_index is not None:
+            # Blocks on the dead node are gone: ready tasks must stop
+            # earning locality credit for them (mirrors resident_node
+            # resolving to None for refs homed on a dead node).
+            self._locality_index.drop_node(fault.node)
         if self.retry_policy.blacklist_failed_nodes:
             self._blacklist.add(fault.node)
         for task_id, (process, node_index) in list(self._running.items()):
@@ -520,7 +591,7 @@ class SimulatedExecutor:
                     attempt=failed_attempt,
                 )
             )
-        bisect.insort(self._ready, task.task_id)
+        self._ready_insert(task.task_id)
         self._wake_dispatcher()
 
     def _fail_permanently(self, task: Task) -> None:
@@ -531,9 +602,7 @@ class SimulatedExecutor:
             if task_id in self._failed:
                 continue
             self._failed.add(task_id)
-            position = bisect.bisect_left(self._ready, task_id)
-            if position < len(self._ready) and self._ready[position] == task_id:
-                del self._ready[position]
+            self._ready_remove(task_id)
             for successor in self._graph.successors(task_id):
                 stack.append(successor.task_id)
         self._wake_dispatcher()
@@ -648,6 +717,10 @@ class SimulatedExecutor:
         """One attempt's walk through the Figure-4 stages."""
         node_index = node.index
         cost = task.cost or _ZERO_COST
+        #: One memoized lookup covers every closed-form stage duration of
+        #: this attempt; jitter and straggler factors are applied per
+        #: attempt on top of the cached base values.
+        times = self.cost_model.stage_times(cost, task_on_gpu, self.cpu_threads)
         level = self._levels[task.task_id]
         plan = self.fault_plan
         planned_crash = (
@@ -692,14 +765,14 @@ class SimulatedExecutor:
             start = self.sim.now
             for ref in task.inputs:
                 yield from self._read_input(node_index, ref.home_node, ref.size_bytes)
-            decode = self._jitter(self.cost_model.deserialization_cpu_time(cost))
+            decode = self._jitter(times.deserialization_cpu)
             if decode > 0:
                 yield Timeout(decode)
             record(Stage.DESERIALIZATION, start)
             checkpoint(Stage.DESERIALIZATION)
 
         # --- serial fraction --------------------------------------------
-        serial = self._jitter(self.cost_model.serial_fraction_time(cost)) * straggle
+        serial = self._jitter(times.serial_fraction) * straggle
         if serial > 0:
             start = self.sim.now
             yield Timeout(serial)
@@ -717,10 +790,7 @@ class SimulatedExecutor:
             try:
                 d2h = min(cost.output_bytes, cost.host_device_bytes)
                 h2d = cost.host_device_bytes - d2h
-                pf = (
-                    self._jitter(self.cost_model.parallel_fraction_time_gpu(cost))
-                    * straggle
-                )
+                pf = self._jitter(times.parallel_fraction) * straggle
                 if self.comm_overlap and h2d > 0 and pf > 0:
                     yield from self._overlapped_gpu_phase(node, h2d, pf, record)
                 else:
@@ -739,12 +809,7 @@ class SimulatedExecutor:
             finally:
                 device.release(cost.gpu_memory_bytes)
         else:
-            pf = (
-                self._jitter(
-                    self.cost_model.parallel_fraction_time_cpu(cost, self.cpu_threads)
-                )
-                * straggle
-            )
+            pf = self._jitter(times.parallel_fraction) * straggle
             if pf > 0:
                 start = self.sim.now
                 yield Timeout(pf)
@@ -754,7 +819,7 @@ class SimulatedExecutor:
         # --- serialization: CPU-side encode + storage write --------------
         if not self._no_distribution:
             start = self.sim.now
-            encode = self._jitter(self.cost_model.serialization_cpu_time(cost))
+            encode = self._jitter(times.serialization_cpu)
             if encode > 0:
                 yield Timeout(encode)
             if cost.output_bytes > 0:

@@ -61,6 +61,18 @@ class ClusterView(Protocol):
     recovery has excluded failed nodes from scheduling; policies consult
     it through :func:`node_usable`, and views without it (e.g. test
     stubs) are treated as having no blacklist.
+
+    Two further optional attributes feed the data-locality policy:
+
+    * ``resident_node(ref) -> int | None`` — the node a block currently
+      resides on (``None`` = lost/off-cluster).  Without it, policies
+      fall back to the ref's recorded ``home_node``, which can be stale
+      when the block was since evicted or moved.
+    * ``locality_index`` — a
+      :class:`~repro.runtime.locality.LocalityIndex` over the ready set,
+      making per-``(task, node)`` byte scores O(1) instead of a sum over
+      the task's inputs.  Index scores must equal the resolver-based
+      recomputation; the executor maintains that invariant.
     """
 
     def num_nodes(self) -> int:
@@ -175,6 +187,15 @@ class DataLocalityScheduler(Scheduler):
     robin rather than always picking node 0, so locality scheduling
     degrades to generation-order spreading instead of piling tie tasks
     onto the first node.
+
+    Scoring resolves each input against *current block residency*, not
+    the ref's recorded ``home_node``: a block that was lost with a failed
+    node (or otherwise evicted/moved since the ref was written) must not
+    earn its stale location any locality credit.  Views that maintain a
+    :class:`~repro.runtime.locality.LocalityIndex` over the ready set get
+    O(1) scores per ``(task, node)`` pair; views exposing only a
+    ``resident_node`` resolver get an O(inputs) sum; bare stubs fall back
+    to ``home_node``.
     """
 
     policy = SchedulingPolicy.DATA_LOCALITY
@@ -189,21 +210,35 @@ class DataLocalityScheduler(Scheduler):
         requires_gpu: GpuPredicate,
     ) -> Assignment | None:
         n = cluster.num_nodes()
+        index = getattr(cluster, "locality_index", None)
+        resolve = getattr(cluster, "resident_node", None)
         for task in ready:
             best_node: int | None = None
             best_bytes = -1
+            needs_gpu = requires_gpu(task)
+            ram_bytes = task_ram_bytes(task)
+            by_node = index.bytes_map(task.task_id) if index is not None else None
             for offset in range(n):
                 # Scanning from the round-robin cursor with a strict ">"
                 # makes the first usable node win ties, rotating tied
                 # placements across the cluster.
                 node = (self._next_node + offset) % n
-                if not node_usable(
-                    cluster, node, requires_gpu(task), task_ram_bytes(task)
-                ):
+                if not node_usable(cluster, node, needs_gpu, ram_bytes):
                     continue
-                local_bytes = sum(
-                    ref.size_bytes for ref in task.inputs if ref.home_node == node
-                )
+                if by_node is not None:
+                    local_bytes = by_node.get(node, 0)
+                elif resolve is not None:
+                    local_bytes = sum(
+                        ref.size_bytes
+                        for ref in task.inputs
+                        if resolve(ref) == node
+                    )
+                else:
+                    local_bytes = sum(
+                        ref.size_bytes
+                        for ref in task.inputs
+                        if ref.home_node == node
+                    )
                 if local_bytes > best_bytes:
                     best_bytes = local_bytes
                     best_node = node

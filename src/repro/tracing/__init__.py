@@ -20,6 +20,11 @@ from repro.tracing.aggregate import (
 )
 from repro.tracing.decompose import OverheadBreakdown, decompose_overheads
 from repro.tracing.export import dump_trace, gantt, load_trace
+from repro.tracing.golden import (
+    trace_canonical_lines,
+    trace_digest,
+    trace_fingerprint,
+)
 from repro.tracing.trace import (
     ATTEMPT_OK,
     Stage,
@@ -48,5 +53,8 @@ __all__ = [
     "UserCodeMetrics",
     "data_movement_metrics",
     "parallel_task_metrics",
+    "trace_canonical_lines",
+    "trace_digest",
+    "trace_fingerprint",
     "user_code_metrics",
 ]

@@ -1,0 +1,87 @@
+"""Canonical trace digests for the golden-trace equivalence suite.
+
+The simulator is deterministic: one configuration always yields one
+trace, bit for bit.  That property is what lets hot-path optimisations —
+indexed dispatch, incremental ready sets, cost-model memoization — be
+*proved* behaviour-preserving: record a digest of the reference trace
+once, check it in, and assert every later executor reproduces it.
+
+The digest is a SHA-256 over a canonical text serialisation of the whole
+execution: every stage record, every task record, every attempt record
+(in emission order, which the deterministic event loop fixes), the
+makespan, and the permanently failed task ids.  Floats are rendered with
+:func:`repr`, i.e. the shortest round-tripping decimal form, so digests
+are stable across platforms and Python versions as long as the simulated
+arithmetic itself is IEEE-754 double precision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.tracing.trace import StageRecord, TaskAttempt, TaskRecord, Trace
+
+
+def _stage_line(r: StageRecord) -> str:
+    return (
+        f"S|{r.task_id}|{r.task_type}|{r.stage.value}|{r.start!r}|{r.end!r}"
+        f"|{r.node}|{r.core}|{r.level}|{int(r.used_gpu)}|{r.attempt}"
+    )
+
+
+def _task_line(r: TaskRecord) -> str:
+    return (
+        f"T|{r.task_id}|{r.task_type}|{r.start!r}|{r.end!r}"
+        f"|{r.node}|{r.core}|{r.level}|{int(r.used_gpu)}|{r.attempt}"
+    )
+
+
+def _attempt_line(r: TaskAttempt) -> str:
+    return (
+        f"A|{r.task_id}|{r.task_type}|{r.attempt}|{r.start!r}|{r.end!r}"
+        f"|{r.node}|{r.core}|{r.level}|{int(r.used_gpu)}|{r.outcome}"
+    )
+
+
+def trace_canonical_lines(
+    trace: Trace, failed_task_ids: Iterable[int] = ()
+) -> list[str]:
+    """The digest's canonical serialisation, one record per line.
+
+    Exposed separately from :func:`trace_digest` so a mismatch can be
+    diffed record by record instead of comparing opaque hashes.
+    """
+    lines = [_stage_line(r) for r in trace.stages]
+    lines += [_task_line(r) for r in trace.tasks]
+    lines += [_attempt_line(r) for r in trace.attempts]
+    lines.append(f"M|{trace.makespan!r}")
+    lines.append("F|" + ",".join(str(t) for t in sorted(failed_task_ids)))
+    return lines
+
+
+def trace_digest(trace: Trace, failed_task_ids: Iterable[int] = ()) -> str:
+    """SHA-256 hex digest of the canonical trace serialisation."""
+    payload = "\n".join(trace_canonical_lines(trace, failed_task_ids))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def trace_fingerprint(
+    trace: Trace, failed_task_ids: Iterable[int] = ()
+) -> dict:
+    """Digest plus human-readable context, for checked-in fixtures.
+
+    The extra fields are redundant with the digest but turn a bare hash
+    mismatch into an actionable diff ("same task count, different
+    makespan" vs "different dispatch order").
+    """
+    failed = tuple(sorted(failed_task_ids))
+    return {
+        "digest": trace_digest(trace, failed),
+        "num_tasks": len(trace.tasks),
+        "num_stages": len(trace.stages),
+        "num_attempts": len(trace.attempts),
+        "makespan": repr(trace.makespan),
+        "task_order": [t.task_id for t in trace.tasks[:64]],
+        "failed_task_ids": list(failed),
+    }

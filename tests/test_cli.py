@@ -170,3 +170,22 @@ class TestAdviseMatmul:
         )
         assert code == 0
         assert "recommended:" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_writes_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_simulator.json"
+        code = main(["bench", "--repeats", "1", "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "tasks/s" in stdout
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["schema"] == "repro-bench/1"
+        names = [row["name"] for row in report["workloads"]]
+        assert names == ["matmul16", "kmeans_deep", "wide_dag"]
+        for row in report["workloads"]:
+            assert row["num_tasks"] > 0
+            assert row["tasks_per_second"] > 0
+            assert len(row["wall_seconds"]) == row["repeats"] == 1

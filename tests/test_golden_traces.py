@@ -1,0 +1,85 @@
+"""Golden-trace equivalence suite.
+
+Every cell of the {workload x scheduler x faults} matrix in
+``tests/golden_matrix.py`` must reproduce the reference fingerprint
+checked in at ``tests/golden/simulator_digests.json`` — task dispatch
+order, per-stage times, attempt histories, makespan, and failed-task
+sets, bit for bit.
+
+The fixtures were recorded on the pre-optimisation executor (see
+``scripts/record_golden_traces.py``), so these tests are the proof that
+the fast dispatch path — incremental ready sets, the per-node locality
+index, memoized cost-model evaluation — is behaviour-preserving.  A
+digest mismatch here means execution semantics changed; re-record the
+fixtures only when that change is intentional.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tracing import trace_canonical_lines, trace_digest
+from tests.golden_matrix import golden_cases
+
+FIXTURE_PATH = Path(__file__).parent / "golden" / "simulator_digests.json"
+
+CASES = golden_cases()
+
+
+@pytest.fixture(scope="module")
+def recorded() -> dict:
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+def test_fixture_covers_full_matrix(recorded):
+    assert sorted(recorded) == sorted(case.key for case in CASES)
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.key)
+def test_trace_matches_reference(case, recorded):
+    reference = recorded[case.key]
+    result = case.run()
+    digest = trace_digest(result.trace, result.failed_task_ids)
+    if digest == reference["digest"]:
+        return
+    # Rebuild enough context for an actionable failure message: the
+    # digest alone cannot say *what* diverged.
+    lines = trace_canonical_lines(result.trace, result.failed_task_ids)
+    summary = {
+        "num_tasks": len(result.trace.tasks),
+        "num_stages": len(result.trace.stages),
+        "num_attempts": len(result.trace.attempts),
+        "makespan": repr(result.trace.makespan),
+        "task_order_head": [t.task_id for t in result.trace.tasks[:64]],
+    }
+    expectations = {
+        "num_tasks": reference["num_tasks"],
+        "num_stages": reference["num_stages"],
+        "num_attempts": reference["num_attempts"],
+        "makespan": reference["makespan"],
+        "task_order_head": reference["task_order"],
+    }
+    diverging = {
+        field: (expectations[field], summary[field])
+        for field in summary
+        if summary[field] != expectations[field]
+    }
+    pytest.fail(
+        f"{case.key}: trace digest diverged from the recorded reference\n"
+        f"  expected {reference['digest']}\n"
+        f"  got      {digest}\n"
+        f"  differing summary fields (expected, got): {diverging or 'none — '}"
+        f"{'' if diverging else 'timing-only divergence inside records'}\n"
+        f"  first canonical lines: {lines[:3]}"
+    )
+
+
+def test_faulted_cells_really_inject_failures(recorded):
+    # Guard against the matrix silently degenerating: the faulted cells
+    # must carry attempt records (i.e. the plan actually fired) so the
+    # digests keep covering the recovery path.
+    faulted = [reference for key, reference in recorded.items() if "faults" in key]
+    assert faulted and all(ref["num_attempts"] > 0 for ref in faulted)

@@ -10,14 +10,27 @@ contracts every policy must honour:
 * round-robin node choice wraps around and spreads consecutive picks;
 * ``DataLocalityScheduler`` breaks all-zero locality ties round-robin
   instead of piling every tie onto node 0 (regression for the
-  tie-breaking fix).
+  tie-breaking fix);
+* the fast dispatch path's incrementally maintained state — the ready
+  queue, the GPU-intended counter, and the per-node
+  :class:`~repro.runtime.locality.LocalityIndex` — equals a from-scratch
+  recomputation after **every** ready-set mutation of a full simulated
+  run (random generated DAGs, with and without injected faults);
+* locality scoring resolves input bytes against *current* block
+  residency, so a stale ``home_node`` (block moved or evicted since the
+  ref was written) earns no credit.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.algorithms import GeneratedDagWorkflow
+from repro.faults import FaultPlan, NodeFault, RetryPolicy
+from repro.hardware import StorageKind
 from repro.perfmodel import TaskCost
-from repro.runtime import DataRef, SchedulingPolicy, Task
+from repro.runtime import DataRef, Runtime, RuntimeConfig, SchedulingPolicy, Task
+from repro.runtime.backends.simulated import SimulatedExecutor
+from repro.runtime.locality import LocalityIndex
 from repro.runtime.scheduler import (
     DataLocalityScheduler,
     GenerationOrderScheduler,
@@ -215,3 +228,232 @@ def test_stub_without_blacklist_still_works():
     for policy in ALL_POLICIES:
         choice = make_scheduler(policy).select([_task(0)], Bare(), _never_gpu)
         assert choice is not None
+
+
+# ------------------------------------------------------- residency resolution
+
+
+class ResolvingCluster(FakeCluster):
+    """A view whose ``resident_node`` may disagree with ``ref.home_node``,
+    modelling blocks that moved or were evicted since the ref was written."""
+
+    def __init__(self, free_cores, residency, **kwargs):
+        super().__init__(free_cores, **kwargs)
+        self._residency = residency
+
+    def resident_node(self, ref):
+        return self._residency(ref)
+
+
+def test_locality_scores_against_residency_not_stale_home():
+    # Regression (moved block): the ref still records home_node=1, but the
+    # block now lives on node 2 — the resolver, not the stale home, must
+    # earn the locality credit.
+    scheduler = DataLocalityScheduler()
+    cluster = ResolvingCluster([1, 1, 1], residency=lambda ref: 2)
+    choice = scheduler.select([_task(0, input_homes=[1, 1])], cluster, _never_gpu)
+    assert choice is not None
+    assert choice.node == 2
+
+
+def test_locality_gives_no_credit_for_evicted_blocks():
+    # Regression (evicted block): the resolver reports every input as
+    # off-cluster, so the stale home_node=2 must not attract the task;
+    # an all-zero tie falls back to the round-robin cursor (node 0).
+    scheduler = DataLocalityScheduler()
+    cluster = ResolvingCluster([1, 1, 1], residency=lambda ref: None)
+    choice = scheduler.select([_task(0, input_homes=[2, 2])], cluster, _never_gpu)
+    assert choice is not None
+    assert choice.node == 0
+
+
+def test_index_scores_win_over_both_home_and_resolver():
+    # When the view maintains a LocalityIndex the scheduler must read it
+    # (O(1)) instead of re-resolving; give the three sources three
+    # different answers and check the index one wins.
+    index = LocalityIndex()
+    task = _task(0, input_homes=[1])
+    index.add(task, lambda ref: 2)
+
+    cluster = ResolvingCluster([1, 1, 1], residency=lambda ref: 0)
+    cluster.locality_index = index
+    choice = DataLocalityScheduler().select([task], cluster, _never_gpu)
+    assert choice is not None
+    assert choice.node == 2
+
+
+# ------------------------------------------------- locality-index equivalence
+
+
+@st.composite
+def index_op_sequences(draw):
+    """Random interleavings of add / discard / node-failure operations."""
+    n_nodes = draw(st.integers(1, 4))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("add"),
+                    st.integers(0, 9),
+                    st.lists(st.integers(0, n_nodes - 1), max_size=4),
+                ),
+                st.tuples(st.just("discard"), st.integers(0, 9)),
+                st.tuples(st.just("drop"), st.integers(0, n_nodes - 1)),
+            ),
+            max_size=24,
+        )
+    )
+    return n_nodes, ops
+
+
+@settings(max_examples=80, deadline=None)
+@given(state=index_op_sequences())
+def test_locality_index_equals_recompute_after_every_op(state):
+    # The index's incremental state must equal summing each indexed
+    # task's inputs from scratch against current residency, after every
+    # single mutation — including node failures purging resident bytes.
+    _, ops = state
+    index = LocalityIndex()
+    tasks: dict[int, Task] = {}
+    indexed: set[int] = set()
+    dead: set[int] = set()
+
+    def resolve(ref):
+        return ref.home_node if ref.home_node not in dead else None
+
+    for op in ops:
+        if op[0] == "add":
+            _, task_id, homes = op
+            if task_id in indexed:
+                continue  # ready-set ids are unique at any instant
+            task = _task(task_id, input_homes=homes)
+            tasks[task_id] = task
+            indexed.add(task_id)
+            index.add(task, resolve)
+        elif op[0] == "discard":
+            indexed.discard(op[1])
+            index.discard(op[1])
+        else:
+            dead.add(op[1])
+            index.drop_node(op[1])
+        expected = {
+            task_id: {
+                node: total
+                for node, total in _bytes_by_node(tasks[task_id], resolve).items()
+            }
+            for task_id in indexed
+        }
+        actual = index.snapshot()
+        # A task whose inputs all died keeps an (empty) entry; both sides
+        # score identically, so compare non-empty maps plus membership.
+        assert set(actual) == indexed
+        assert {t: m for t, m in actual.items() if m} == {
+            t: m for t, m in expected.items() if m
+        }
+        for task_id in indexed:
+            for node in range(4):
+                assert index.bytes_for(task_id, node) == expected[task_id].get(
+                    node, 0
+                )
+
+
+def _bytes_by_node(task, resolve):
+    by_node: dict[int, int] = {}
+    for ref in task.inputs:
+        node = resolve(ref)
+        if node is not None:
+            by_node[node] = by_node.get(node, 0) + ref.size_bytes
+    return by_node
+
+
+# ------------------------------------------- executor-level state equivalence
+
+
+class CheckedExecutor(SimulatedExecutor):
+    """Re-derives the fast dispatch path's state from scratch after every
+    ready-set mutation and asserts it matches the incremental version."""
+
+    checks = 0
+
+    def _check_state(self) -> None:
+        self.checks += 1
+        assert self._ready == sorted(set(self._ready))
+        expected_gpu = sum(
+            1 for task_id in self._ready if task_id in self._gpu_intended_ids
+        )
+        assert self._ready_gpu_intended == expected_gpu
+        if self._locality_index is None:
+            return
+        expected = {
+            task_id: _bytes_by_node(
+                self._graph.task(task_id), self._view.resident_node
+            )
+            for task_id in self._ready
+        }
+        actual = self._locality_index.snapshot()
+        assert set(actual) == set(self._ready)
+        assert {t: m for t, m in actual.items() if m} == {
+            t: m for t, m in expected.items() if m
+        }
+
+    def _ready_insert(self, task_id):
+        super()._ready_insert(task_id)
+        self._check_state()
+
+    def _ready_remove(self, task_id):
+        removed = super()._ready_remove(task_id)
+        self._check_state()
+        return removed
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    width=st.integers(2, 5),
+    depth=st.integers(2, 4),
+    fan_in=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+    policy=st.sampled_from(
+        [SchedulingPolicy.DATA_LOCALITY, SchedulingPolicy.GENERATION_ORDER]
+    ),
+    use_gpu=st.booleans(),
+    faults=st.booleans(),
+)
+def test_incremental_dispatch_state_equals_recompute(
+    width, depth, fan_in, seed, policy, use_gpu, faults
+):
+    # Full simulated runs over random generated DAGs: after every
+    # completion event (and every dispatch) the incrementally maintained
+    # ready set, GPU-intended counter, and locality index must equal a
+    # from-scratch recomputation — with faults, that includes node deaths
+    # purging the index mid-run.
+    config = RuntimeConfig(
+        storage=StorageKind.LOCAL,
+        scheduling=policy,
+        use_gpu=use_gpu,
+        fault_plan=(
+            FaultPlan(
+                node_faults=(NodeFault(node=1, at_time=0.05),),
+                crash_probability=0.05,
+                seed=seed % 97,
+            )
+            if faults
+            else None
+        ),
+        retry_policy=(
+            RetryPolicy(max_attempts=2, backoff_base=0.01) if faults else None
+        ),
+    )
+    runtime = Runtime(config)
+    GeneratedDagWorkflow(
+        width=width, depth=depth, fan_in=fan_in, block_mb=1.0, seed=seed
+    ).build(runtime)
+    executor = CheckedExecutor(
+        cluster_spec=config.cluster,
+        storage=config.storage,
+        scheduling=config.scheduling,
+        use_gpu=config.use_gpu,
+        fault_plan=config.fault_plan,
+        retry_policy=config.retry_policy,
+    )
+    executor.execute(runtime.graph)
+    assert executor.checks >= width * depth
