@@ -1,0 +1,72 @@
+"""Meta-benchmark — the sweep engine's cold/warm throughput.
+
+Runs the same fixed cell matrix as ``python -m repro bench --suite
+sweeps`` (:func:`repro.bench.sweep_bench_cells`) and enforces the
+perf-optimisation acceptance criteria:
+
+* the warm pass answers every cell from the content-addressed cache
+  (zero simulated executions),
+* the warm pass is at least 3x faster than the cold pass (in practice
+  it is orders of magnitude faster — cache hits are JSON reads),
+* cold throughput clears a conservative cells-per-second floor, and
+* cold and warm results are byte-identical.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import SWEEP_SCHEMA, run_sweep_bench, sweep_bench_cells
+
+#: Minimum accepted cold-pass throughput.  The 20-cell matrix simulates
+#: in well under a second on a laptop-class core (~25 cells/s observed);
+#: the floor leaves a wide margin for noisy CI machines.
+COLD_CELLS_PER_SECOND_FLOOR = 3.0
+
+#: ISSUE acceptance criterion: warm wall-clock at least 3x better.
+WARM_SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("sweep-bench-cache")
+    out = tmp_path_factory.mktemp("sweep-bench-out") / "BENCH_sweeps.json"
+    result = run_sweep_bench(jobs=1, out_path=out, cache_dir=cache_dir)
+    assert out.is_file()
+    return result
+
+
+def test_matrix_shape_is_pinned():
+    # A silent matrix change would re-base the floors.
+    assert len(sweep_bench_cells()) == 20
+
+
+def test_schema(report):
+    assert report["schema"] == SWEEP_SCHEMA
+    assert report["num_cells"] == 20
+
+
+def test_warm_pass_is_all_hits(report):
+    assert report["warm"]["misses"] == 0
+    assert report["warm"]["hits"] == report["num_cells"]
+
+
+def test_results_byte_identical(report):
+    assert report["byte_identical"] is True
+
+
+def test_warm_speedup_floor(report):
+    assert report["warm_speedup"] >= WARM_SPEEDUP_FLOOR
+
+
+def test_cold_throughput_floor(report):
+    assert report["cold"]["cells_per_second"] >= COLD_CELLS_PER_SECOND_FLOOR
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="needs multiple cores to exercise fan-out"
+)
+def test_parallel_cold_pass_matches(tmp_path):
+    parallel = run_sweep_bench(jobs=2, cache_dir=tmp_path / "par")
+    assert parallel["byte_identical"] is True
+    assert parallel["warm"]["misses"] == 0

@@ -37,6 +37,12 @@ SCHEMA = "repro-bench/1"
 #: Default output file name, also uploaded as a CI artifact.
 DEFAULT_OUTPUT = "BENCH_simulator.json"
 
+#: Sweep-engine suite format version (``--suite sweeps``).
+SWEEP_SCHEMA = "repro-sweeps-bench/1"
+
+#: Default output of the sweeps suite, also uploaded as a CI artifact.
+DEFAULT_SWEEPS_OUTPUT = "BENCH_sweeps.json"
+
 
 @dataclass(frozen=True)
 class BenchWorkload:
@@ -144,8 +150,9 @@ def run_bench(
         "workloads": rows,
     }
     if out_path is not None:
-        path = Path(out_path)
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        from repro.core.persistence import dumps_deterministic
+
+        Path(out_path).write_text(dumps_deterministic(report), encoding="utf-8")
     return report
 
 
@@ -160,3 +167,135 @@ def render_report(report: dict) -> str:
             f"{row['tasks_per_second']:>10,.0f} tasks/s"
         )
     return "\n".join(lines)
+
+
+# --------------------------------------------------------- sweeps suite
+
+
+def sweep_bench_cells() -> list:
+    """The fixed sweeps-suite cell matrix (small figure-subset shapes).
+
+    A scaled-down cross-section of the figure sweeps: both algorithms,
+    several grids, both processors, plus storage / scheduling / cluster
+    variants, all on the small 128 MB / 100 MB datasets so a cold pass
+    stays in CI-friendly territory.
+    """
+    from repro.core.experiments.engine import CellSpec, cells_product
+    from repro.hardware import StorageKind
+    from repro.runtime import SchedulingPolicy
+
+    cells = []
+    cells += cells_product("matmul", (8, 4, 2), dataset_key="matmul_128mb")
+    cells += cells_product(
+        "kmeans", (16, 8, 4), dataset_key="kmeans_100mb", n_clusters=10
+    )
+    cells += cells_product(
+        "matmul", (4,), dataset_key="matmul_128mb", storage=StorageKind.LOCAL
+    )
+    cells += cells_product(
+        "matmul",
+        (4,),
+        dataset_key="matmul_128mb",
+        scheduling=SchedulingPolicy.DATA_LOCALITY,
+    )
+    cells += cells_product(
+        "kmeans", (8,), dataset_key="kmeans_100mb", n_clusters=100
+    )
+    cells.append(
+        CellSpec(algorithm="matmul_fma", grid=4, dataset_key="matmul_128mb")
+    )
+    cells.append(
+        CellSpec(
+            algorithm="matmul_fma", grid=4, dataset_key="matmul_128mb",
+            use_gpu=True,
+        )
+    )
+    return cells
+
+
+def run_sweep_bench(
+    jobs: int | None = None,
+    out_path: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+    cells: Sequence | None = None,
+) -> dict:
+    """Measure sweep-engine throughput: a cold pass, then a warm pass.
+
+    Both passes run the same cell matrix against the same cache
+    directory (a temporary one unless ``cache_dir`` is given).  The cold
+    pass simulates everything; the warm pass must answer 100% from the
+    cache.  The report records cells/second for both, the warm-over-cold
+    speedup, and whether the two passes produced identical results.
+    """
+    import tempfile
+
+    from repro.core.experiments.cache import metrics_to_record
+    from repro.core.experiments.engine import SweepEngine
+
+    cells = list(cells) if cells is not None else sweep_bench_cells()
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(cache_dir) if cache_dir is not None else Path(scratch)
+
+        cold_engine = SweepEngine(jobs=jobs, cache_dir=root)
+        started = time.perf_counter()
+        cold_results = cold_engine.run_cells(cells)
+        cold_wall = time.perf_counter() - started
+
+        warm_engine = SweepEngine(jobs=jobs, cache_dir=root)
+        started = time.perf_counter()
+        warm_results = warm_engine.run_cells(cells)
+        warm_wall = time.perf_counter() - started
+
+    cold_records = [metrics_to_record(m) for m in cold_results]
+    warm_records = [metrics_to_record(m) for m in warm_results]
+    byte_identical = json.dumps(cold_records, sort_keys=True) == json.dumps(
+        warm_records, sort_keys=True
+    )
+    report = {
+        "schema": SWEEP_SCHEMA,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "jobs": cold_engine.jobs,
+        "num_cells": len(cells),
+        "cold": {
+            "wall_seconds": round(cold_wall, 6),
+            "cells_per_second": round(len(cells) / cold_wall, 2),
+            "hits": cold_engine.stats.hits,
+            "misses": cold_engine.stats.misses,
+        },
+        "warm": {
+            "wall_seconds": round(warm_wall, 6),
+            "cells_per_second": round(len(cells) / warm_wall, 2),
+            "hits": warm_engine.stats.hits,
+            "misses": warm_engine.stats.misses,
+        },
+        "warm_speedup": round(cold_wall / warm_wall, 2) if warm_wall > 0 else None,
+        "byte_identical": byte_identical,
+    }
+    if out_path is not None:
+        from repro.core.persistence import dumps_deterministic
+
+        Path(out_path).write_text(dumps_deterministic(report), encoding="utf-8")
+    return report
+
+
+def render_sweep_report(report: dict) -> str:
+    """Human-readable summary of a :func:`run_sweep_bench` report."""
+    cold, warm = report["cold"], report["warm"]
+    return "\n".join(
+        [
+            f"sweep-engine throughput ({report['schema']}, "
+            f"python {report['python']}/{report['machine']}, "
+            f"jobs={report['jobs']})",
+            f"  cold  {report['num_cells']:>4} cells  "
+            f"{cold['wall_seconds']:>8.3f}s  "
+            f"{cold['cells_per_second']:>8.2f} cells/s  "
+            f"(hits={cold['hits']} misses={cold['misses']})",
+            f"  warm  {report['num_cells']:>4} cells  "
+            f"{warm['wall_seconds']:>8.3f}s  "
+            f"{warm['cells_per_second']:>8.2f} cells/s  "
+            f"(hits={warm['hits']} misses={warm['misses']})",
+            f"  warm speedup {report['warm_speedup']}x, results identical: "
+            f"{report['byte_identical']}",
+        ]
+    )

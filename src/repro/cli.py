@@ -59,6 +59,24 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write each result as JSON into this directory",
     )
+    figures.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep cells (default: CPU count)",
+    )
+    figures.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="sweep result cache location (default: ~/.cache/repro/sweeps)",
+    )
+    figures.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk sweep result cache",
+    )
 
     run = sub.add_parser("run", help="execute one workflow configuration")
     run.add_argument("--algorithm", choices=("matmul", "matmul_fma", "kmeans"),
@@ -131,13 +149,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="measure simulator throughput over the fixed workload matrix",
     )
     bench.add_argument(
+        "--suite",
+        choices=("simulator", "sweeps"),
+        default="simulator",
+        help="simulator: raw dispatch throughput; sweeps: engine "
+             "cold/warm cells-per-second (default: %(default)s)",
+    )
+    bench.add_argument(
         "--out",
         metavar="FILE",
-        default="BENCH_simulator.json",
-        help="where to write the JSON report (default: %(default)s)",
+        default=None,
+        help="where to write the JSON report "
+             "(default: BENCH_simulator.json / BENCH_sweeps.json per suite)",
     )
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed runs per workload; the best one counts")
+    bench.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the sweeps suite")
 
     decompose = sub.add_parser(
         "decompose",
@@ -169,20 +197,29 @@ def _make_workflow(args) -> object:
     )
 
 
-def _cmd_figures(which: str, save_dir: str | None = None) -> int:
+def _cmd_figures(
+    which: str,
+    save_dir: str | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    no_cache: bool = False,
+) -> int:
     from repro.core import factors_table
     from repro.core import experiments as exp
 
+    # One engine for the whole invocation: cells shared between figures
+    # (e.g. Figure 11's base design repeating Figures 7/9a/10) simulate once.
+    engine = exp.SweepEngine(jobs=jobs, cache_dir=cache_dir, cache=not no_cache)
     runners = {
-        "fig1": exp.run_fig1,
+        "fig1": lambda: exp.run_fig1(engine=engine),
         "fig6": exp.run_fig6,
-        "fig7": exp.run_fig7,
-        "fig8": exp.run_fig8,
-        "fig9a": exp.run_fig9a,
-        "fig9b": exp.run_fig9b,
-        "fig10": exp.run_fig10,
-        "fig11": exp.run_fig11,
-        "fig12": exp.run_fig12,
+        "fig7": lambda: exp.run_fig7(engine=engine),
+        "fig8": lambda: exp.run_fig8(engine=engine),
+        "fig9a": lambda: exp.run_fig9a(engine=engine),
+        "fig9b": lambda: exp.run_fig9b(engine=engine),
+        "fig10": lambda: exp.run_fig10(engine=engine),
+        "fig11": lambda: exp.run_fig11(engine=engine),
+        "fig12": lambda: exp.run_fig12(engine=engine),
         "table1": factors_table,
     }
     targets = _FIGURES if which == "all" else (which,)
@@ -204,6 +241,7 @@ def _cmd_figures(which: str, save_dir: str | None = None) -> int:
                 metadata={"figure": target},
             )
             print(f"[saved {path}]")
+    print(engine.stats.line())
     return 0
 
 
@@ -358,11 +396,19 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.bench import render_report, run_bench
+    if args.suite == "sweeps":
+        from repro.bench import DEFAULT_SWEEPS_OUTPUT, render_sweep_report, run_sweep_bench
 
-    report = run_bench(repeats=args.repeats, out_path=args.out)
-    print(render_report(report))
-    print(f"[saved {args.out}]")
+        out = args.out or DEFAULT_SWEEPS_OUTPUT
+        report = run_sweep_bench(jobs=args.jobs, out_path=out)
+        print(render_sweep_report(report))
+    else:
+        from repro.bench import DEFAULT_OUTPUT, render_report, run_bench
+
+        out = args.out or DEFAULT_OUTPUT
+        report = run_bench(repeats=args.repeats, out_path=out)
+        print(render_report(report))
+    print(f"[saved {out}]")
     return 0
 
 
@@ -419,7 +465,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "figures":
-        return _cmd_figures(args.which, args.save)
+        return _cmd_figures(
+            args.which,
+            args.save,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+        )
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "advise":

@@ -7,6 +7,14 @@ runners; EXPERIMENTS.md records the paper-vs-measured comparison.
 """
 
 from repro.core.experiments.runners import RunMetrics, run_workflow
+from repro.core.experiments.engine import (
+    CellSpec,
+    SweepEngine,
+    SweepStats,
+    cell_digest,
+    cells_product,
+    model_fingerprint,
+)
 from repro.core.experiments.fig1 import Fig1Result, run_fig1
 from repro.core.experiments.fig6 import Fig6Result, run_fig6
 from repro.core.experiments.fig7 import Fig7Result, run_fig7, run_fig7_for
@@ -27,8 +35,14 @@ from repro.core.experiments.ext_parallel_ratio import (
 from repro.core.experiments.protocol import ProtocolResult, run_with_protocol
 
 __all__ = [
+    "CellSpec",
     "ParallelRatioResult",
     "ProtocolResult",
+    "SweepEngine",
+    "SweepStats",
+    "cell_digest",
+    "cells_product",
+    "model_fingerprint",
     "run_with_protocol",
     "Fig1Result",
     "Fig6Result",

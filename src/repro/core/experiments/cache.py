@@ -1,0 +1,214 @@
+"""Content-addressed on-disk cache for sweep-cell results (docs/sweeps.md).
+
+One cache entry is one JSON file named after the cell's content digest
+(:func:`repro.core.experiments.engine.cell_digest`), which covers both
+the canonicalized :class:`~repro.core.experiments.engine.CellSpec` and the
+model-version fingerprint.  Because the fingerprint is part of the key,
+entries written against an older cost model or calibration are never
+*hit* — they simply become unreachable, and :meth:`SweepCache.prune`
+deletes them (the engine's "evictions" stat).
+
+Records are written with sorted keys and stable separators so a cache
+directory diffs cleanly between runs, and atomically (temp file +
+``os.replace``) so parallel workers and concurrent invocations never
+observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.experiments.runners import RunMetrics
+from repro.hardware import StorageKind
+from repro.runtime import SchedulingPolicy
+from repro.tracing import DataMovementMetrics, UserCodeMetrics
+
+#: Record format version; bump when the record layout changes.  Records
+#: with a foreign schema are treated as misses (and pruned as stale).
+SCHEMA = "repro-sweep-cache/1"
+
+
+def default_cache_dir() -> Path:
+    """Where sweep results live unless ``--cache-dir`` overrides it.
+
+    Honours ``REPRO_SWEEP_CACHE_DIR`` (used by the test suite to stay
+    hermetic) and ``XDG_CACHE_HOME`` before falling back to
+    ``~/.cache/repro/sweeps``.
+    """
+    override = os.environ.get("REPRO_SWEEP_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "sweeps"
+
+
+def metrics_to_record(metrics: RunMetrics) -> dict[str, Any]:
+    """Serialise one :class:`RunMetrics` into JSON-compatible data."""
+    return {
+        "status": metrics.status,
+        "use_gpu": metrics.use_gpu,
+        "storage": metrics.storage.value,
+        "scheduling": metrics.scheduling.value,
+        "makespan": metrics.makespan,
+        "user_code": {
+            task_type: {
+                "task_type": uc.task_type,
+                "num_tasks": uc.num_tasks,
+                "serial_fraction": uc.serial_fraction,
+                "parallel_fraction": uc.parallel_fraction,
+                "cpu_gpu_comm": uc.cpu_gpu_comm,
+            }
+            for task_type, uc in sorted(metrics.user_code.items())
+        },
+        "movement": (
+            None
+            if metrics.movement is None
+            else {
+                "num_cores": metrics.movement.num_cores,
+                "deserialization_per_core": (
+                    metrics.movement.deserialization_per_core
+                ),
+                "serialization_per_core": metrics.movement.serialization_per_core,
+            }
+        ),
+        "parallel_task_time": metrics.parallel_task_time,
+        "dag_width": metrics.dag_width,
+        "dag_height": metrics.dag_height,
+        "num_tasks": metrics.num_tasks,
+        "error": metrics.error,
+        "trace_digest": metrics.trace_digest,
+    }
+
+
+def metrics_from_record(record: dict[str, Any]) -> RunMetrics:
+    """Rebuild a :class:`RunMetrics` from :func:`metrics_to_record` data.
+
+    JSON round-trips Python floats exactly (shortest-repr encoding), so
+    the reconstruction is value-identical to the freshly executed object —
+    the property the byte-equivalence suite locks down.
+    """
+    movement = record.get("movement")
+    return RunMetrics(
+        status=record["status"],
+        use_gpu=record["use_gpu"],
+        storage=StorageKind(record["storage"]),
+        scheduling=SchedulingPolicy(record["scheduling"]),
+        makespan=record["makespan"],
+        user_code={
+            task_type: UserCodeMetrics(
+                task_type=uc["task_type"],
+                num_tasks=uc["num_tasks"],
+                serial_fraction=uc["serial_fraction"],
+                parallel_fraction=uc["parallel_fraction"],
+                cpu_gpu_comm=uc["cpu_gpu_comm"],
+            )
+            for task_type, uc in record["user_code"].items()
+        },
+        movement=(
+            None
+            if movement is None
+            else DataMovementMetrics(
+                num_cores=movement["num_cores"],
+                deserialization_per_core=movement["deserialization_per_core"],
+                serialization_per_core=movement["serialization_per_core"],
+            )
+        ),
+        parallel_task_time=record["parallel_task_time"],
+        dag_width=record["dag_width"],
+        dag_height=record["dag_height"],
+        num_tasks=record["num_tasks"],
+        error=record["error"],
+        trace_digest=record.get("trace_digest", ""),
+    )
+
+
+class SweepCache:
+    """Digest-keyed JSON records under one root directory.
+
+    Entries are sharded by the first two digest characters
+    (``<root>/ab/<digest>.json``) so even large caches keep directories
+    small.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        """The record file path of one cell digest."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> dict[str, Any] | None:
+        """Load one record, or ``None`` on miss/corruption/schema change."""
+        path = self.path_for(digest)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("schema") != SCHEMA:
+            return None
+        return record
+
+    def put(self, digest: str, record: dict[str, Any]) -> Path:
+        """Atomically write one record (last writer wins on races)."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"schema": SCHEMA, **record}, sort_keys=True, separators=(",", ":")
+        )
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{digest[:8]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(payload)
+            os.replace(handle.name, path)
+        except OSError:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+        return path
+
+    def discard(self, digest: str) -> None:
+        """Remove one record if present."""
+        self.path_for(digest).unlink(missing_ok=True)
+
+    def iter_paths(self):
+        """All record files currently in the cache."""
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_paths())
+
+    def prune(self, fingerprint: str) -> int:
+        """Delete records not written by ``fingerprint``; return the count.
+
+        Stale entries can never be hit (the fingerprint is baked into the
+        digest key), so pruning only reclaims disk — it cannot change any
+        result.
+        """
+        evicted = 0
+        for path in self.iter_paths():
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                stale = (
+                    not isinstance(record, dict)
+                    or record.get("schema") != SCHEMA
+                    or record.get("fingerprint") != fingerprint
+                )
+            except (OSError, ValueError):
+                stale = True
+            if stale:
+                path.unlink(missing_ok=True)
+                evicted += 1
+        return evicted

@@ -1,0 +1,384 @@
+"""Parallel sweep engine for the experiment layer (docs/sweeps.md).
+
+Every figure of the paper's evaluation is a *sweep*: dozens of
+independent ``(workflow, configuration)`` executions whose results are
+assembled into tables.  This module turns each execution into a
+declarative, picklable :class:`CellSpec` and executes batches of them
+through one :class:`SweepEngine`, which
+
+* **deduplicates** identical cells within one invocation (Figure 11's
+  base design repeats the Figure 7/8 configurations verbatim),
+* **fans out** cache misses over a :class:`ProcessPoolExecutor`
+  (``--jobs N``, default ``os.cpu_count()``), and
+* **memoises** results in a content-addressed on-disk cache
+  (:mod:`repro.core.experiments.cache`) keyed by a SHA-256 digest of the
+  canonicalized cell spec plus a model-version fingerprint, so entries
+  self-invalidate whenever the calibration constants or the cost-model /
+  scheduler / simulator sources change.
+
+The simulator is deterministic, so the engine guarantees strict
+equivalence: serial, parallel, cold-cache, and warm-cache execution all
+yield value-identical :class:`~repro.core.experiments.runners.RunMetrics`
+(and therefore byte-identical rendered tables).  Both the fresh and the
+cached path round-trip metrics through the same JSON record encoding to
+keep that property structural rather than accidental.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.algorithms import (
+    KMeansWorkflow,
+    MatmulFmaWorkflow,
+    MatmulWorkflow,
+    SyntheticWorkflow,
+)
+from repro.core.experiments.cache import (
+    SweepCache,
+    default_cache_dir,
+    metrics_from_record,
+    metrics_to_record,
+)
+from repro.core.experiments.runners import RunMetrics, run_workflow
+from repro.core.persistence import to_jsonable
+from repro.data import DatasetSpec, paper_datasets
+from repro.hardware import ClusterSpec, StorageKind
+from repro.runtime import SchedulingPolicy
+
+#: Algorithms a cell can name; each maps to one workflow constructor.
+ALGORITHMS = ("matmul", "matmul_fma", "kmeans", "synthetic")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One executable sweep cell: workload plus configuration.
+
+    Fully declarative and picklable, so a cell can be shipped to a worker
+    process, canonicalized into a digest, and reconstructed from either.
+    The dataset is named by ``dataset_key`` (a
+    :func:`repro.data.paper_datasets` key) or carried inline as
+    ``dataset_spec`` (for skew variants and synthetic sweeps); ``cluster``
+    is ``None`` for the default Minotauro model or an inline
+    :class:`~repro.hardware.ClusterSpec` for resource-sensitivity sweeps.
+    """
+
+    algorithm: str
+    grid: int
+    dataset_key: str | None = None
+    dataset_spec: DatasetSpec | None = None
+    n_clusters: int = 0
+    iterations: int = 3
+    parallel_ratio: float = 1.0
+    use_gpu: bool = False
+    storage: StorageKind = StorageKind.SHARED
+    scheduling: SchedulingPolicy = SchedulingPolicy.GENERATION_ORDER
+    cluster: ClusterSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if (self.dataset_key is None) == (self.dataset_spec is None):
+            raise ValueError(
+                "exactly one of dataset_key / dataset_spec must be given"
+            )
+
+    def dataset(self) -> DatasetSpec:
+        """Resolve the cell's dataset specification."""
+        if self.dataset_spec is not None:
+            return self.dataset_spec
+        return paper_datasets()[self.dataset_key]
+
+
+def build_workflow(spec: CellSpec):
+    """Construct the cell's workflow object (also used for metadata)."""
+    dataset = spec.dataset()
+    if spec.algorithm == "matmul":
+        return MatmulWorkflow(dataset, grid=spec.grid)
+    if spec.algorithm == "matmul_fma":
+        return MatmulFmaWorkflow(dataset, grid=spec.grid)
+    if spec.algorithm == "kmeans":
+        return KMeansWorkflow(
+            dataset,
+            grid_rows=spec.grid,
+            n_clusters=spec.n_clusters,
+            iterations=spec.iterations,
+        )
+    return SyntheticWorkflow(
+        dataset, spec.grid, parallel_ratio=spec.parallel_ratio
+    )
+
+
+def execute_cell(spec: CellSpec) -> RunMetrics:
+    """Run one cell on the simulated backend (the engine's unit of work)."""
+    return run_workflow(
+        build_workflow(spec),
+        use_gpu=spec.use_gpu,
+        storage=spec.storage,
+        scheduling=spec.scheduling,
+        cluster=spec.cluster,
+        with_trace_digest=True,
+    )
+
+
+# --------------------------------------------------------------- digests
+
+#: Modules whose source defines what a simulated result *means*.  Their
+#: bytes are hashed into the model fingerprint, so editing the cost
+#: model, a scheduler, or the event engine invalidates every cache entry.
+_MODEL_MODULES = (
+    "repro.perfmodel.costmodel",
+    "repro.perfmodel.amdahl",
+    "repro.perfmodel.calibration",
+    "repro.hardware.specs",
+    "repro.runtime.scheduler",
+    "repro.runtime.locality",
+    "repro.runtime.backends.simulated",
+    "repro.sim.engine",
+    "repro.sim.process",
+    "repro.sim.resources",
+)
+
+_SOURCE_HASH: str | None = None
+
+
+def _model_source_hash() -> str:
+    """Hash of the model-defining module sources (cached per process)."""
+    global _SOURCE_HASH
+    if _SOURCE_HASH is None:
+        digest = hashlib.sha256()
+        for name in _MODEL_MODULES:
+            module = importlib.import_module(name)
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(Path(module.__file__).read_bytes())
+        _SOURCE_HASH = digest.hexdigest()
+    return _SOURCE_HASH
+
+
+def model_fingerprint() -> str:
+    """Version stamp of the performance model behind every cached result.
+
+    Combines the module-source hash with the *live* calibration constants
+    (:data:`repro.perfmodel.calibration.CALIBRATION_NOTES`), so both a
+    source edit and a runtime perturbation of a constant change the
+    fingerprint — and with it every cell digest.
+    """
+    from repro.perfmodel.calibration import CALIBRATION_NOTES
+
+    constants = {key: value for key, (value, _why) in CALIBRATION_NOTES.items()}
+    digest = hashlib.sha256()
+    digest.update(_model_source_hash().encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(json.dumps(constants, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def canonical_cell(spec: CellSpec) -> str:
+    """Canonical JSON form of one cell (sorted keys, compact separators)."""
+    return json.dumps(to_jsonable(spec), sort_keys=True, separators=(",", ":"))
+
+
+def cell_digest(spec: CellSpec, fingerprint: str | None = None) -> str:
+    """Content address of one cell under one model version."""
+    digest = hashlib.sha256()
+    digest.update((fingerprint or model_fingerprint()).encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(canonical_cell(spec).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------- engine
+
+
+def _execute_recorded(spec: CellSpec) -> tuple[dict[str, Any], float]:
+    """Pool worker: execute one cell, return (record, wall seconds)."""
+    started = time.perf_counter()
+    metrics = execute_cell(spec)
+    return metrics_to_record(metrics), time.perf_counter() - started
+
+
+@dataclass
+class SweepStats:
+    """Counters of one engine's lifetime, rendered as the CLI stats line."""
+
+    cells: int = 0
+    executed: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    evictions: int = 0
+    #: Wall-clock the cache hits originally cost to compute.
+    wall_saved: float = 0.0
+    #: Wall-clock spent executing misses (sum over workers).
+    executed_wall: float = 0.0
+
+    @property
+    def misses(self) -> int:
+        """Cells that had to be simulated."""
+        return self.executed
+
+    @property
+    def hits(self) -> int:
+        """Cells answered without simulating (cache + in-run dedup)."""
+        return self.cache_hits + self.memo_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of submitted cells answered without simulating."""
+        return self.hits / self.cells if self.cells else 0.0
+
+    def line(self) -> str:
+        """The one-line summary printed by ``repro figures``."""
+        return (
+            f"[sweep] cells={self.cells} hits={self.cache_hits} "
+            f"dedup={self.memo_hits} misses={self.misses} "
+            f"evictions={self.evictions} hit_rate={self.hit_rate:.0%} "
+            f"saved={self.wall_saved:.1f}s wall={self.executed_wall:.1f}s"
+        )
+
+
+class SweepEngine:
+    """Executes batches of cells with dedup, caching, and fan-out.
+
+    One engine instance is meant to span one logical invocation (e.g. the
+    whole of ``repro figures all``): its in-memory memo deduplicates
+    cells shared between figures, and its stats accumulate across every
+    :meth:`run_cells` call.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_dir: str | Path | None = None,
+        cache: bool = True,
+    ) -> None:
+        self.jobs = jobs if jobs is not None and jobs > 0 else (os.cpu_count() or 1)
+        self.stats = SweepStats()
+        self._fingerprint = model_fingerprint()
+        self._memo: dict[str, RunMetrics] = {}
+        self._cache: SweepCache | None = None
+        if cache:
+            self._cache = SweepCache(
+                Path(cache_dir) if cache_dir is not None else default_cache_dir()
+            )
+            self.stats.evictions += self._cache.prune(self._fingerprint)
+
+    @classmethod
+    def serial(cls) -> "SweepEngine":
+        """A plain in-process engine: one worker, no on-disk cache.
+
+        This is the default the figure runners fall back to, so calling a
+        runner without an engine behaves exactly like the pre-engine code
+        (pure computation, no filesystem writes) — just deduplicated.
+        """
+        return cls(jobs=1, cache=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """The model-version fingerprint baked into this engine's digests."""
+        return self._fingerprint
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """Where results are persisted (``None`` when caching is off)."""
+        return self._cache.root if self._cache is not None else None
+
+    def run_cell(self, spec: CellSpec) -> RunMetrics:
+        """Execute (or recall) a single cell."""
+        return self.run_cells([spec])[0]
+
+    def run_cells(self, specs: Sequence[CellSpec]) -> list[RunMetrics]:
+        """Execute a batch of cells; results align with the input order.
+
+        Duplicate specs (within the batch or across earlier calls on the
+        same engine) are simulated once; cache hits are loaded from disk;
+        the remaining misses run in parallel when ``jobs > 1``.
+        """
+        specs = list(specs)
+        digests = [cell_digest(spec, self._fingerprint) for spec in specs]
+        self.stats.cells += len(specs)
+
+        pending: dict[str, CellSpec] = {}
+        for spec, digest in zip(specs, digests):
+            if digest in self._memo:
+                self.stats.memo_hits += 1
+                continue
+            if digest in pending:
+                self.stats.memo_hits += 1
+                continue
+            record = self._cache.get(digest) if self._cache is not None else None
+            if record is not None and record.get("fingerprint") == self._fingerprint:
+                self._memo[digest] = metrics_from_record(record["metrics"])
+                self.stats.cache_hits += 1
+                self.stats.wall_saved += float(record.get("wall_seconds", 0.0))
+                continue
+            pending[digest] = spec
+
+        if pending:
+            items = list(pending.items())
+            if self.jobs > 1 and len(items) > 1:
+                workers = min(self.jobs, len(items))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(
+                        pool.map(
+                            _execute_recorded,
+                            [spec for _digest, spec in items],
+                            chunksize=1,
+                        )
+                    )
+            else:
+                outcomes = [_execute_recorded(spec) for _digest, spec in items]
+            for (digest, spec), (record, wall) in zip(items, outcomes):
+                # The fresh path round-trips through the same record
+                # encoding as a cache hit, so both are value-identical.
+                self._memo[digest] = metrics_from_record(record)
+                self.stats.executed += 1
+                self.stats.executed_wall += wall
+                if self._cache is not None:
+                    self._cache.put(
+                        digest,
+                        {
+                            "digest": digest,
+                            "fingerprint": self._fingerprint,
+                            "spec": to_jsonable(spec),
+                            "wall_seconds": round(wall, 6),
+                            "metrics": record,
+                        },
+                    )
+
+        return [self._memo[digest] for digest in digests]
+
+
+def cells_product(
+    algorithm: str,
+    grids: Sequence[int],
+    dataset_key: str | None = None,
+    dataset_spec: DatasetSpec | None = None,
+    processors: Sequence[bool] = (False, True),
+    **common: Any,
+) -> list[CellSpec]:
+    """The common sweep shape: ``grids x processors`` for one workload.
+
+    Cells are ordered grid-major, CPU before GPU — the iteration order the
+    figure runners pair results back up with.
+    """
+    return [
+        CellSpec(
+            algorithm=algorithm,
+            grid=grid,
+            dataset_key=dataset_key,
+            dataset_spec=dataset_spec,
+            use_gpu=use_gpu,
+            **common,
+        )
+        for grid in grids
+        for use_gpu in processors
+    ]

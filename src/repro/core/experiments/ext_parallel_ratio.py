@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algorithms import SyntheticWorkflow
-from repro.core.experiments.runners import run_workflow, speedup
+from repro.core.experiments.engine import SweepEngine, cells_product
+from repro.core.experiments.runners import speedup
 from repro.core.report import Table, format_speedup
 from repro.data import DatasetSpec
 from repro.hardware import minotauro
@@ -93,26 +94,32 @@ def run_parallel_ratio_sweep(
     rows: int = 2_000_000,
     cols: int = 100,
     grid_rows: int = 64,
+    engine: SweepEngine | None = None,
 ) -> ParallelRatioResult:
     """Sweep the parallel/serial split and compare measured vs analytic."""
+    engine = engine if engine is not None else SweepEngine.serial()
     dataset = DatasetSpec("synthetic_sweep", rows=rows, cols=cols)
     model = CostModel(minotauro())
     result = ParallelRatioResult(dataset=dataset.name, grid_rows=grid_rows)
+    cells = []
     for ratio in ratios:
+        cells.extend(
+            cells_product(
+                "synthetic",
+                (grid_rows,),
+                dataset_spec=dataset,
+                parallel_ratio=ratio,
+            )
+        )
+    results = engine.run_cells(cells)
+    for index, ratio in enumerate(ratios):
         workflow = SyntheticWorkflow(dataset, grid_rows, parallel_ratio=ratio)
         cost = workflow.task_costs()["synthetic_stage"]
         if cost.parallel_flops > 0:
             predicted = predict(cost, model).user_code_speedup
         else:
             predicted = None
-        cpu = run_workflow(
-            SyntheticWorkflow(dataset, grid_rows, parallel_ratio=ratio),
-            use_gpu=False,
-        )
-        gpu = run_workflow(
-            SyntheticWorkflow(dataset, grid_rows, parallel_ratio=ratio),
-            use_gpu=True,
-        )
+        cpu, gpu = results[2 * index], results[2 * index + 1]
         measured = None
         if cpu.ok and gpu.ok and "synthetic_stage" in gpu.user_code:
             measured = speedup(

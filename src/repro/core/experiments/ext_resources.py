@@ -15,10 +15,9 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.algorithms import KMeansWorkflow, MatmulWorkflow
-from repro.core.experiments.runners import RunMetrics, run_workflow
+from repro.core.experiments.engine import CellSpec, SweepEngine
+from repro.core.experiments.runners import RunMetrics
 from repro.core.report import Table, format_seconds
-from repro.data import paper_datasets
 from repro.hardware import ClusterSpec, minotauro
 
 GIB = 1024**3
@@ -156,31 +155,50 @@ def run_resource_sensitivity(
     matmul_grid: int = 8,
     kmeans_grid: int = 128,
     parameters: tuple[str, ...] | None = None,
+    engine: SweepEngine | None = None,
 ) -> ResourceSensitivityResult:
     """Sweep the deferred resource parameters on both workloads (GPU mode)."""
-    datasets = paper_datasets()
+    engine = engine if engine is not None else SweepEngine.serial()
     result = ResourceSensitivityResult()
     base = minotauro()
     selected = parameters or tuple(SWEEPS)
+    cells = []
+    meta = []
     for parameter in selected:
         values, build, fmt = SWEEPS[parameter]
         for value in values:
             cluster = build(base, value)
-            for workload, factory in (
-                ("matmul", lambda: MatmulWorkflow(datasets["matmul_8gb"],
-                                                  grid=matmul_grid)),
-                ("kmeans", lambda: KMeansWorkflow(datasets["kmeans_10gb"],
-                                                  grid_rows=kmeans_grid,
-                                                  n_clusters=100,
-                                                  iterations=3)),
-            ):
-                metrics = run_workflow(factory(), use_gpu=True, cluster=cluster)
-                result.points.append(
-                    SensitivityPoint(
-                        parameter=parameter,
-                        value_label=fmt(value),
-                        workload=workload,
-                        metrics=metrics,
+            for workload in ("matmul", "kmeans"):
+                if workload == "matmul":
+                    cells.append(
+                        CellSpec(
+                            algorithm="matmul",
+                            grid=matmul_grid,
+                            dataset_key="matmul_8gb",
+                            use_gpu=True,
+                            cluster=cluster,
+                        )
                     )
-                )
+                else:
+                    cells.append(
+                        CellSpec(
+                            algorithm="kmeans",
+                            grid=kmeans_grid,
+                            dataset_key="kmeans_10gb",
+                            n_clusters=100,
+                            use_gpu=True,
+                            cluster=cluster,
+                        )
+                    )
+                meta.append((parameter, fmt(value), workload))
+    results = engine.run_cells(cells)
+    for (parameter, value_label, workload), metrics in zip(meta, results):
+        result.points.append(
+            SensitivityPoint(
+                parameter=parameter,
+                value_label=value_label,
+                workload=workload,
+                metrics=metrics,
+            )
+        )
     return result

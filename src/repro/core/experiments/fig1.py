@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.algorithms import KMeansWorkflow
-from repro.core.experiments.runners import RunMetrics, run_workflow, speedup
+from repro.core.experiments.engine import SweepEngine, cells_product
+from repro.core.experiments.runners import RunMetrics, speedup
 from repro.core.report import Table, format_seconds, format_speedup
-from repro.data import paper_datasets
 
 
 @dataclass
@@ -79,18 +78,19 @@ class Fig1Result:
         return table.render()
 
 
-def run_fig1(grid_rows: int = 256, n_clusters: int = 10) -> Fig1Result:
+def run_fig1(
+    grid_rows: int = 256,
+    n_clusters: int = 10,
+    engine: SweepEngine | None = None,
+) -> Fig1Result:
     """Run the motivating experiment at the paper's operating point."""
-    datasets = paper_datasets()
-
-    def workflow() -> KMeansWorkflow:
-        return KMeansWorkflow(
-            datasets["kmeans_10gb"],
-            grid_rows=grid_rows,
+    engine = engine if engine is not None else SweepEngine.serial()
+    cpu, gpu = engine.run_cells(
+        cells_product(
+            "kmeans",
+            (grid_rows,),
+            dataset_key="kmeans_10gb",
             n_clusters=n_clusters,
-            iterations=3,
         )
-
-    cpu = run_workflow(workflow(), use_gpu=False)
-    gpu = run_workflow(workflow(), use_gpu=True)
+    )
     return Fig1Result(cpu=cpu, gpu=gpu)

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algorithms import KMeansWorkflow, MatmulWorkflow
-from repro.core.experiments.runners import RunMetrics, run_workflow
+from repro.core.experiments.engine import CellSpec, SweepEngine
+from repro.core.experiments.runners import RunMetrics
 from repro.core.report import Table, format_seconds
 from repro.data import paper_datasets
 from repro.hardware import StorageKind
@@ -129,8 +130,10 @@ def run_fig10_for(
     dataset_key: str,
     grids: tuple[int, ...],
     combos: tuple[tuple[StorageKind, SchedulingPolicy], ...] = _COMBOS,
+    engine: SweepEngine | None = None,
 ) -> Fig10Result:
     """Sweep one algorithm over the storage x scheduler combinations."""
+    engine = engine if engine is not None else SweepEngine.serial()
     dataset = paper_datasets()[dataset_key]
 
     def make(grid: int):
@@ -138,33 +141,47 @@ def run_fig10_for(
             return MatmulWorkflow(dataset, grid=grid)
         return KMeansWorkflow(dataset, grid_rows=grid, n_clusters=10, iterations=3)
 
+    # Blocking metadata once per grid; executions rebuild from the spec.
+    block_mbs = {grid: make(grid).block_mb for grid in grids}
     result = Fig10Result(algorithm=algorithm, dataset=dataset_key)
+    cells = []
+    meta = []
     for storage, policy in combos:
         for grid in grids:
-            workflow = make(grid)
             for use_gpu in (False, True):
-                metrics = run_workflow(
-                    make(grid),
-                    use_gpu=use_gpu,
-                    storage=storage,
-                    scheduling=policy,
-                )
-                result.cells.append(
-                    Fig10Cell(
+                cells.append(
+                    CellSpec(
+                        algorithm=algorithm,
+                        grid=grid,
+                        dataset_key=dataset_key,
+                        n_clusters=10 if algorithm == "kmeans" else 0,
+                        use_gpu=use_gpu,
                         storage=storage,
                         scheduling=policy,
-                        grid=grid,
-                        block_mb=workflow.block_mb,
-                        use_gpu=use_gpu,
-                        metrics=metrics,
                     )
                 )
+                meta.append((storage, policy, grid, use_gpu))
+    results = engine.run_cells(cells)
+    for (storage, policy, grid, use_gpu), metrics in zip(meta, results):
+        result.cells.append(
+            Fig10Cell(
+                storage=storage,
+                scheduling=policy,
+                grid=grid,
+                block_mb=block_mbs[grid],
+                use_gpu=use_gpu,
+                metrics=metrics,
+            )
+        )
     return result
 
 
-def run_fig10() -> tuple[Fig10Result, Fig10Result]:
+def run_fig10(
+    engine: SweepEngine | None = None,
+) -> tuple[Fig10Result, Fig10Result]:
     """Both Figure 10 panels: (Matmul 8 GB, K-means 10 GB)."""
+    engine = engine if engine is not None else SweepEngine.serial()
     return (
-        run_fig10_for("matmul", "matmul_8gb", MATMUL_GRIDS),
-        run_fig10_for("kmeans", "kmeans_10gb", KMEANS_GRIDS),
+        run_fig10_for("matmul", "matmul_8gb", MATMUL_GRIDS, engine=engine),
+        run_fig10_for("kmeans", "kmeans_10gb", KMEANS_GRIDS, engine=engine),
     )

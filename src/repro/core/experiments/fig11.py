@@ -33,7 +33,7 @@ from typing import Sequence
 
 from repro.algorithms import KMeansWorkflow, MatmulWorkflow
 from repro.core.correlation import CorrelationMatrix, spearman_matrix
-from repro.core.experiments.runners import run_workflow
+from repro.core.experiments.engine import CellSpec, SweepEngine
 from repro.core.report import Table
 from repro.data import paper_datasets
 from repro.hardware import StorageKind
@@ -174,20 +174,37 @@ def _make_workflow(plan: SamplePlan, datasets) -> object:
     )
 
 
-def run_fig11(plans: Sequence[SamplePlan] | None = None) -> Fig11Result:
+def plan_cell(plan: SamplePlan) -> CellSpec:
+    """The sweep-engine cell equivalent of one sample plan.
+
+    The mapping is exact: base-design plans produce the same cells as the
+    Figure 7/9a/10 sweeps, so a shared engine dedupes them for free.
+    """
+    return CellSpec(
+        algorithm=plan.algorithm,
+        grid=plan.grid,
+        dataset_key=plan.dataset_key,
+        n_clusters=plan.n_clusters,
+        use_gpu=plan.use_gpu,
+        storage=plan.storage,
+        scheduling=plan.scheduling,
+    )
+
+
+def run_fig11(
+    plans: Sequence[SamplePlan] | None = None,
+    engine: SweepEngine | None = None,
+) -> Fig11Result:
     """Execute the factorial design and build the Spearman matrix."""
+    engine = engine if engine is not None else SweepEngine.serial()
     datasets = paper_datasets()
     plans = list(plans) if plans is not None else default_design()
     columns: dict[str, list[float]] = {feature: [] for feature in FEATURES}
     n_oom = 0
-    for plan in plans:
+    results = engine.run_cells([plan_cell(plan) for plan in plans])
+    for plan, metrics in zip(plans, results):
+        # One workflow per plan, for blocking/cost metadata only.
         workflow = _make_workflow(plan, datasets)
-        metrics = run_workflow(
-            _make_workflow(plan, datasets),
-            use_gpu=plan.use_gpu,
-            storage=plan.storage,
-            scheduling=plan.scheduling,
-        )
         if not metrics.ok:
             n_oom += 1
             continue

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algorithms import MatmulFmaWorkflow
-from repro.core.experiments.runners import RunMetrics, run_workflow, speedup
+from repro.core.experiments.engine import SweepEngine, cells_product
+from repro.core.experiments.runners import RunMetrics, speedup
 from repro.core.report import Table, format_seconds, format_speedup
 from repro.data import paper_datasets
 
@@ -92,16 +93,25 @@ class Fig12Result:
 
 
 def run_fig12(
-    dataset_key: str = "matmul_8gb", grids: tuple[int, ...] = FIG12_GRIDS
+    dataset_key: str = "matmul_8gb",
+    grids: tuple[int, ...] = FIG12_GRIDS,
+    engine: SweepEngine | None = None,
 ) -> Fig12Result:
     """Sweep Matmul FMA block sizes with the Figure 8 parameters."""
+    engine = engine if engine is not None else SweepEngine.serial()
     dataset = paper_datasets()[dataset_key]
     result = Fig12Result(dataset=dataset_key)
-    for grid in grids:
-        workflow = MatmulFmaWorkflow(dataset, grid=grid)
-        cpu = run_workflow(MatmulFmaWorkflow(dataset, grid=grid), use_gpu=False)
-        gpu = run_workflow(MatmulFmaWorkflow(dataset, grid=grid), use_gpu=True)
+    block_mbs = [MatmulFmaWorkflow(dataset, grid=grid).block_mb for grid in grids]
+    results = engine.run_cells(
+        cells_product("matmul_fma", grids, dataset_key=dataset_key)
+    )
+    for index, (grid, block_mb) in enumerate(zip(grids, block_mbs)):
         result.points.append(
-            Fig12Point(block_mb=workflow.block_mb, grid=grid, cpu=cpu, gpu=gpu)
+            Fig12Point(
+                block_mb=block_mb,
+                grid=grid,
+                cpu=results[2 * index],
+                gpu=results[2 * index + 1],
+            )
         )
     return result

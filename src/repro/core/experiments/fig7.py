@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algorithms import KMeansWorkflow, MatmulWorkflow
-from repro.core.experiments.runners import RunMetrics, run_workflow, speedup
+from repro.core.experiments.engine import SweepEngine, cells_product
+from repro.core.experiments.runners import RunMetrics, speedup
 from repro.core.report import Table, format_seconds, format_speedup
 from repro.data import paper_datasets
 
@@ -180,20 +181,32 @@ def run_fig7_for(
     algorithm: str,
     dataset_key: str,
     grids: tuple[int, ...],
+    engine: SweepEngine | None = None,
 ) -> Fig7Series:
     """Sweep one (algorithm, dataset) panel.
 
     ``algorithm`` is ``"matmul"`` or ``"kmeans"``; ``dataset_key`` indexes
-    :func:`repro.data.paper_datasets`.
+    :func:`repro.data.paper_datasets`.  Cells are submitted through the
+    sweep ``engine`` (a private serial engine when ``None``).
     """
+    engine = engine if engine is not None else SweepEngine.serial()
     datasets = paper_datasets()
     dataset = datasets[dataset_key]
     make = _matmul_workflow if algorithm == "matmul" else _kmeans_workflow
     series = Fig7Series(algorithm=algorithm, dataset=dataset_key)
-    for grid in grids:
-        workflow = make(dataset, grid)
-        cpu = run_workflow(make(dataset, grid), use_gpu=False)
-        gpu = run_workflow(make(dataset, grid), use_gpu=True)
+    # One workflow per grid point, built solely for its blocking metadata;
+    # the executions themselves reconstruct it from the cell spec.
+    workflows = [make(dataset, grid) for grid in grids]
+    results = engine.run_cells(
+        cells_product(
+            algorithm,
+            grids,
+            dataset_key=dataset_key,
+            n_clusters=10 if algorithm == "kmeans" else 0,
+        )
+    )
+    for index, (grid, workflow) in enumerate(zip(grids, workflows)):
+        cpu, gpu = results[2 * index], results[2 * index + 1]
         grid_label = (
             f"{grid} x {grid}" if algorithm == "matmul" else f"{grid} x 1"
         )
@@ -210,12 +223,13 @@ def run_fig7_for(
     return series
 
 
-def run_fig7() -> Fig7Result:
+def run_fig7(engine: SweepEngine | None = None) -> Fig7Result:
     """The full Figure 7: both algorithms, both dataset sizes."""
+    engine = engine if engine is not None else SweepEngine.serial()
     panels = [
-        run_fig7_for("matmul", "matmul_8gb", MATMUL_GRIDS),
-        run_fig7_for("matmul", "matmul_32gb", MATMUL_GRIDS),
-        run_fig7_for("kmeans", "kmeans_10gb", KMEANS_GRIDS),
-        run_fig7_for("kmeans", "kmeans_100gb", KMEANS_GRIDS),
+        run_fig7_for("matmul", "matmul_8gb", MATMUL_GRIDS, engine=engine),
+        run_fig7_for("matmul", "matmul_32gb", MATMUL_GRIDS, engine=engine),
+        run_fig7_for("kmeans", "kmeans_10gb", KMEANS_GRIDS, engine=engine),
+        run_fig7_for("kmeans", "kmeans_100gb", KMEANS_GRIDS, engine=engine),
     ]
     return Fig7Result(panels=panels)

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algorithms import MatmulWorkflow
-from repro.core.experiments.runners import RunMetrics, run_workflow, speedup
+from repro.core.experiments.engine import SweepEngine, cells_product
+from repro.core.experiments.runners import RunMetrics, speedup
 from repro.core.report import Table, format_seconds, format_speedup
 from repro.data import paper_datasets
 
@@ -116,16 +117,25 @@ class Fig8Result:
 
 
 def run_fig8(
-    dataset_key: str = "matmul_8gb", grids: tuple[int, ...] = FIG8_GRIDS
+    dataset_key: str = "matmul_8gb",
+    grids: tuple[int, ...] = FIG8_GRIDS,
+    engine: SweepEngine | None = None,
 ) -> Fig8Result:
     """Sweep Matmul block sizes and profile both task types."""
+    engine = engine if engine is not None else SweepEngine.serial()
     dataset = paper_datasets()[dataset_key]
     result = Fig8Result(dataset=dataset_key)
-    for grid in grids:
-        workflow = MatmulWorkflow(dataset, grid=grid)
-        cpu = run_workflow(MatmulWorkflow(dataset, grid=grid), use_gpu=False)
-        gpu = run_workflow(MatmulWorkflow(dataset, grid=grid), use_gpu=True)
+    block_mbs = [MatmulWorkflow(dataset, grid=grid).block_mb for grid in grids]
+    results = engine.run_cells(
+        cells_product("matmul", grids, dataset_key=dataset_key)
+    )
+    for index, (grid, block_mb) in enumerate(zip(grids, block_mbs)):
         result.points.append(
-            Fig8Point(block_mb=workflow.block_mb, grid=grid, cpu=cpu, gpu=gpu)
+            Fig8Point(
+                block_mb=block_mb,
+                grid=grid,
+                cpu=results[2 * index],
+                gpu=results[2 * index + 1],
+            )
         )
     return result

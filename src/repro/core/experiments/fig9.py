@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.algorithms import KMeansWorkflow, MatmulWorkflow
-from repro.core.experiments.runners import RunMetrics, run_workflow, speedup
+from repro.algorithms import KMeansWorkflow
+from repro.core.experiments.engine import SweepEngine, cells_product
+from repro.core.experiments.runners import RunMetrics, speedup
 from repro.core.report import Table, format_seconds, format_speedup
 from repro.data import DatasetSpec, paper_datasets
 
@@ -131,36 +132,38 @@ def run_fig9a(
     dataset_key: str = "kmeans_10gb",
     clusters: tuple[int, ...] = FIG9A_CLUSTERS,
     grids: tuple[int, ...] = FIG9A_GRIDS,
+    engine: SweepEngine | None = None,
 ) -> Fig9aResult:
     """Sweep cluster counts and block sizes for panel (a)."""
+    engine = engine if engine is not None else SweepEngine.serial()
     dataset = paper_datasets()[dataset_key]
     result = Fig9aResult(dataset=dataset_key)
+    cells = []
+    meta = []
     for n_clusters in clusters:
-        for grid in grids:
-            workflow = KMeansWorkflow(
+        block_mbs = {
+            grid: KMeansWorkflow(
                 dataset, grid_rows=grid, n_clusters=n_clusters, iterations=3
+            ).block_mb
+            for grid in grids
+        }
+        cells.extend(
+            cells_product(
+                "kmeans", grids, dataset_key=dataset_key, n_clusters=n_clusters
             )
-            cpu = run_workflow(
-                KMeansWorkflow(
-                    dataset, grid_rows=grid, n_clusters=n_clusters, iterations=3
-                ),
-                use_gpu=False,
+        )
+        meta.extend((n_clusters, grid, block_mbs[grid]) for grid in grids)
+    results = engine.run_cells(cells)
+    for index, (n_clusters, grid, block_mb) in enumerate(meta):
+        result.points.append(
+            Fig9aPoint(
+                n_clusters=n_clusters,
+                block_mb=block_mb,
+                grid=grid,
+                cpu=results[2 * index],
+                gpu=results[2 * index + 1],
             )
-            gpu = run_workflow(
-                KMeansWorkflow(
-                    dataset, grid_rows=grid, n_clusters=n_clusters, iterations=3
-                ),
-                use_gpu=True,
-            )
-            result.points.append(
-                Fig9aPoint(
-                    n_clusters=n_clusters,
-                    block_mb=workflow.block_mb,
-                    grid=grid,
-                    cpu=cpu,
-                    gpu=gpu,
-                )
-            )
+        )
     return result
 
 
@@ -218,36 +221,34 @@ def _skew_variants(base: DatasetSpec) -> list[DatasetSpec]:
     ]
 
 
-def run_fig9b(grid: int = 8) -> Fig9bResult:
+def run_fig9b(grid: int = 8, engine: SweepEngine | None = None) -> Fig9bResult:
     """Compare uniform vs 50%-skewed datasets for both algorithms."""
+    engine = engine if engine is not None else SweepEngine.serial()
     datasets = paper_datasets()
     result = Fig9bResult()
+    cells = []
+    meta = []
     for variant in _skew_variants(datasets["matmul_2gb"]):
-        cpu = run_workflow(MatmulWorkflow(variant, grid=grid), use_gpu=False)
-        gpu = run_workflow(MatmulWorkflow(variant, grid=grid), use_gpu=True)
-        result.points.append(
-            Fig9bPoint(
-                algorithm="matmul",
-                skew=variant.skew,
-                cpu_user_code=cpu.user_code["matmul_func"].user_code,
-                gpu_user_code=gpu.user_code["matmul_func"].user_code,
+        cells.extend(
+            cells_product("matmul", (grid,), dataset_spec=variant)
+        )
+        meta.append(("matmul", variant.skew, "matmul_func"))
+    for variant in _skew_variants(datasets["kmeans_1gb"]):
+        cells.extend(
+            cells_product(
+                "kmeans", (grid,), dataset_spec=variant, n_clusters=10
             )
         )
-    for variant in _skew_variants(datasets["kmeans_1gb"]):
-        cpu = run_workflow(
-            KMeansWorkflow(variant, grid_rows=grid, n_clusters=10, iterations=3),
-            use_gpu=False,
-        )
-        gpu = run_workflow(
-            KMeansWorkflow(variant, grid_rows=grid, n_clusters=10, iterations=3),
-            use_gpu=True,
-        )
+        meta.append(("kmeans", variant.skew, "partial_sum"))
+    results = engine.run_cells(cells)
+    for index, (algorithm, skew, task_type) in enumerate(meta):
+        cpu, gpu = results[2 * index], results[2 * index + 1]
         result.points.append(
             Fig9bPoint(
-                algorithm="kmeans",
-                skew=variant.skew,
-                cpu_user_code=cpu.user_code["partial_sum"].user_code,
-                gpu_user_code=gpu.user_code["partial_sum"].user_code,
+                algorithm=algorithm,
+                skew=skew,
+                cpu_user_code=cpu.user_code[task_type].user_code,
+                gpu_user_code=gpu.user_code[task_type].user_code,
             )
         )
     return result

@@ -24,6 +24,7 @@ from repro.tracing import (
     UserCodeMetrics,
     data_movement_metrics,
     parallel_task_metrics,
+    trace_digest,
     user_code_metrics,
 )
 
@@ -62,6 +63,10 @@ class RunMetrics:
     dag_height: int = 0
     num_tasks: int = 0
     error: str = ""
+    #: Canonical digest of the execution trace (``repro.tracing.golden``),
+    #: recorded when the run goes through the sweep engine so cached
+    #: results carry provable provenance.  Empty for plain direct runs.
+    trace_digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -75,8 +80,14 @@ def run_workflow(
     storage: StorageKind = StorageKind.SHARED,
     scheduling: SchedulingPolicy = SchedulingPolicy.GENERATION_ORDER,
     cluster: ClusterSpec | None = None,
+    with_trace_digest: bool = False,
 ) -> RunMetrics:
-    """Execute one workflow on the simulated backend and collect metrics."""
+    """Execute one workflow on the simulated backend and collect metrics.
+
+    ``with_trace_digest`` additionally records the canonical golden-trace
+    digest on the returned metrics (used by the sweep engine so cache
+    records are verifiable against a fresh execution).
+    """
     config = RuntimeConfig(
         cluster=cluster or minotauro(),
         storage=storage,
@@ -110,6 +121,8 @@ def run_workflow(
     metrics.parallel_task_time = parallel_task_metrics(
         result.trace, set(workflow.parallel_task_types)
     ).average_parallel_time
+    if with_trace_digest:
+        metrics.trace_digest = trace_digest(result.trace)
     return metrics
 
 

@@ -50,15 +50,33 @@ def to_jsonable(value: Any) -> Any:
     raise TypeError(f"cannot serialise {type(value).__name__} to JSON")
 
 
+def dumps_deterministic(payload: Any) -> str:
+    """Byte-stable JSON encoding for on-disk records.
+
+    Keys are sorted, separators fixed, and a trailing newline appended,
+    so the same payload always serialises to the same bytes regardless of
+    insertion order — a prerequisite for diffing saved figures and for
+    the sweep-cache equivalence guarantees.
+    """
+    return (
+        json.dumps(payload, indent=2, sort_keys=True, separators=(",", ": "))
+        + "\n"
+    )
+
+
 def save_result(result: Any, path: str | Path, metadata: dict | None = None) -> Path:
-    """Write one experiment result (plus optional metadata) as JSON."""
+    """Write one experiment result (plus optional metadata) as JSON.
+
+    The encoding is deterministic (:func:`dumps_deterministic`): saving
+    the same result twice yields byte-identical files.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "metadata": to_jsonable(metadata or {}),
         "result": to_jsonable(result),
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    path.write_text(dumps_deterministic(payload))
     return path
 
 

@@ -1,0 +1,12 @@
+"""Shared test fixtures.
+
+Points the sweep-engine result cache at a per-session temporary
+directory so tests never read from or write into the user's real
+``~/.cache/repro/sweeps`` (and never see stale entries from one).
+"""
+
+import os
+import tempfile
+
+_SWEEP_CACHE_SCRATCH = tempfile.TemporaryDirectory(prefix="repro-test-sweeps-")
+os.environ.setdefault("REPRO_SWEEP_CACHE_DIR", _SWEEP_CACHE_SCRATCH.name)

@@ -189,3 +189,17 @@ class TestBench:
             assert row["num_tasks"] > 0
             assert row["tasks_per_second"] > 0
             assert len(row["wall_seconds"]) == row["repeats"] == 1
+
+    def test_bench_sweeps_suite_writes_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_sweeps.json"
+        code = main(["bench", "--suite", "sweeps", "--jobs", "1",
+                     "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "cells/s" in stdout
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["schema"] == "repro-sweeps-bench/1"
+        assert report["warm"]["misses"] == 0
+        assert report["byte_identical"] is True

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core.experiments import run_fig6, run_fig8
-from repro.core.persistence import diff_scalars, load_result, save_result, to_jsonable
+from repro.core.persistence import (
+    diff_scalars,
+    dumps_deterministic,
+    load_result,
+    save_result,
+    to_jsonable,
+)
 from repro.hardware import StorageKind
 
 
@@ -84,3 +90,27 @@ class TestDiff:
         a = to_jsonable(run_fig6())
         b = to_jsonable(run_fig6())
         assert diff_scalars(a, b) == []
+
+
+class TestDeterministicEncoding:
+    def test_key_order_is_irrelevant(self):
+        assert dumps_deterministic({"b": 1, "a": 2}) == dumps_deterministic(
+            {"a": 2, "b": 1}
+        )
+
+    def test_ends_with_newline(self):
+        assert dumps_deterministic({}).endswith("\n")
+
+    def test_save_result_is_byte_stable(self, tmp_path):
+        result = run_fig8(dataset_key="matmul_128mb", grids=(4, 2))
+        first = save_result(result, tmp_path / "a.json").read_bytes()
+        second = save_result(result, tmp_path / "b.json").read_bytes()
+        assert first == second
+
+    def test_save_result_stable_across_runs(self, tmp_path):
+        """Two independent executions of the same figure serialise to the
+        same bytes — what ``repro figures --save`` relies on."""
+        kwargs = dict(dataset_key="matmul_128mb", grids=(4, 2))
+        first = save_result(run_fig8(**kwargs), tmp_path / "a.json").read_bytes()
+        second = save_result(run_fig8(**kwargs), tmp_path / "b.json").read_bytes()
+        assert first == second

@@ -19,8 +19,11 @@ def readme() -> str:
 class TestReadme:
     def test_mentions_every_benchmark_file(self, readme):
         for path in sorted((REPO / "benchmarks").glob("test_*.py")):
-            if path.name == "test_simulator_performance.py":
-                continue  # meta-benchmark, not a paper artefact
+            if path.name in (
+                "test_simulator_performance.py",
+                "test_sweep_performance.py",
+            ):
+                continue  # meta-benchmarks, not paper artefacts
             assert path.name in readme, f"README does not mention {path.name}"
 
     def test_mentions_every_example(self, readme):

@@ -2,10 +2,15 @@
 
 import pytest
 
+from repro.core.experiments import SweepEngine
+from repro.core.experiments.fig7 import run_fig7_for
 from repro.core.experiments.fig11 import (
     FEATURES,
     PAPER_REFERENCE,
+    SamplePlan,
     default_design,
+    plan_cell,
+    run_fig11,
 )
 from repro.hardware import StorageKind
 from repro.runtime import SchedulingPolicy
@@ -95,3 +100,53 @@ class TestFeatureSchema:
         # parallel-fraction time (trend (d)).
         assert PAPER_REFERENCE[("block_size", "grid_dimension")] < 0
         assert PAPER_REFERENCE[("gpu", "parallel_fraction")] < 0
+
+
+def small_plans() -> list[SamplePlan]:
+    """A base-design subset matching the Figure 7 kmeans_100mb sweep."""
+    return [
+        SamplePlan(
+            "kmeans", "kmeans_100mb", grid, 10, gpu,
+            StorageKind.SHARED, SchedulingPolicy.GENERATION_ORDER,
+        )
+        for grid in (8, 4)
+        for gpu in (False, True)
+    ]
+
+
+class TestEngineReuse:
+    def test_base_plans_map_to_figure7_cells(self, design):
+        """The §5.4 base sweeps are exactly the Figure 7 cell shapes."""
+        from repro.core.experiments.engine import cell_digest, cells_product
+
+        fig7_digests = {
+            cell_digest(cell)
+            for cell in cells_product(
+                "kmeans", (256, 128, 64), dataset_key="kmeans_10gb",
+                n_clusters=10,
+            )
+        }
+        design_digests = {cell_digest(plan_cell(plan)) for plan in design}
+        assert fig7_digests <= design_digests
+
+    def test_fig11_reuses_deduplicated_cells(self):
+        """Running Figure 11 after Figure 7 on a shared engine must not
+        re-simulate the shared configurations."""
+        engine = SweepEngine.serial()
+        run_fig7_for("kmeans", "kmeans_100mb", (8, 4), engine=engine)
+        executed_before = engine.stats.executed
+        result = run_fig11(plans=small_plans(), engine=engine)
+        assert engine.stats.executed == executed_before
+        assert engine.stats.memo_hits >= len(small_plans())
+        assert result.n_planned == len(small_plans())
+
+    def test_reused_cells_leave_correlation_inputs_unchanged(self):
+        """Deduplication is invisible to the analysis: the feature columns
+        match a fresh, engine-free run exactly."""
+        fresh = run_fig11(plans=small_plans())
+        shared_engine = SweepEngine.serial()
+        run_fig7_for("kmeans", "kmeans_100mb", (8, 4), engine=shared_engine)
+        reused = run_fig11(plans=small_plans(), engine=shared_engine)
+        assert reused.columns == fresh.columns
+        assert reused.n_samples == fresh.n_samples
+        assert reused.n_oom == fresh.n_oom

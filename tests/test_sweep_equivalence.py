@@ -1,0 +1,84 @@
+"""Strict equivalence of serial, parallel, cold-cache, and warm-cache runs.
+
+The tentpole guarantee of the sweep engine: fan-out and caching are pure
+performance optimisations.  Rendered figure output must be byte-identical
+no matter which path produced the metrics.
+"""
+
+from repro.core.experiments import SweepEngine
+from repro.core.experiments.fig7 import run_fig7_for
+from repro.core.experiments.fig8 import run_fig8
+
+FIG7_ARGS = ("kmeans", "kmeans_100mb", (8, 4))
+FIG8_ARGS = dict(dataset_key="matmul_128mb", grids=(4, 2))
+
+
+class TestFig7Equivalence:
+    def test_all_paths_byte_identical(self, tmp_path):
+        serial = run_fig7_for(*FIG7_ARGS, engine=SweepEngine.serial())
+        reference = serial.render()
+
+        parallel = run_fig7_for(
+            *FIG7_ARGS, engine=SweepEngine(jobs=4, cache=False)
+        )
+        assert parallel.render() == reference
+
+        cold_engine = SweepEngine(jobs=4, cache_dir=tmp_path)
+        cold = run_fig7_for(*FIG7_ARGS, engine=cold_engine)
+        assert cold.render() == reference
+        assert cold_engine.stats.executed == 4
+
+        warm_engine = SweepEngine(jobs=4, cache_dir=tmp_path)
+        warm = run_fig7_for(*FIG7_ARGS, engine=warm_engine)
+        assert warm.render() == reference
+        assert warm_engine.stats.misses == 0
+        assert warm_engine.stats.cache_hits == 4
+
+
+class TestFig8Equivalence:
+    def test_all_paths_byte_identical(self, tmp_path):
+        reference = run_fig8(**FIG8_ARGS, engine=SweepEngine.serial()).render()
+
+        parallel = run_fig8(**FIG8_ARGS, engine=SweepEngine(jobs=4, cache=False))
+        assert parallel.render() == reference
+
+        cold = run_fig8(**FIG8_ARGS, engine=SweepEngine(jobs=4, cache_dir=tmp_path))
+        assert cold.render() == reference
+
+        warm_engine = SweepEngine(jobs=4, cache_dir=tmp_path)
+        warm = run_fig8(**FIG8_ARGS, engine=warm_engine)
+        assert warm.render() == reference
+        assert warm_engine.stats.misses == 0
+
+
+class TestCliEquivalence:
+    def _figures(self, argv, capsys):
+        from repro.cli import main
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        table = "\n".join(
+            line for line in out.splitlines() if not line.startswith("[sweep]")
+        )
+        stats = next(
+            line for line in out.splitlines() if line.startswith("[sweep]")
+        )
+        return table, stats
+
+    def test_second_cli_run_is_all_hits(self, tmp_path, capsys):
+        argv = ["figures", "fig9b", "--jobs", "2", "--cache-dir", str(tmp_path)]
+        first_table, first_stats = self._figures(argv, capsys)
+        assert "misses=8" in first_stats
+        second_table, second_stats = self._figures(argv, capsys)
+        assert "misses=0" in second_stats
+        assert "hits=8" in second_stats
+        assert second_table == first_table
+
+    def test_no_cache_flag_skips_the_cache(self, tmp_path, capsys):
+        argv = [
+            "figures", "fig9b", "--jobs", "1",
+            "--cache-dir", str(tmp_path), "--no-cache",
+        ]
+        _table, stats = self._figures(argv, capsys)
+        assert "misses=8" in stats
+        assert not any(tmp_path.iterdir())
