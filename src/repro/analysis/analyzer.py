@@ -67,6 +67,7 @@ def analyze(
     returned: Any = None,
     fault_plan: Any = None,
     retry_policy: Any = None,
+    checkpoint_policy: Any = None,
     options: AnalysisOptions | None = None,
 ) -> AnalysisReport:
     """Run all diagnostic rules over a built task graph.
@@ -89,10 +90,10 @@ def analyze(
         dead-task rule knows terminal outputs are wanted.  ``None`` means
         unknown: final-level tasks are then given the benefit of the
         doubt.
-    fault_plan / retry_policy:
-        The fault-injection plan and recovery policy the run would use,
-        for the ``WF3xx`` resilience rules; both default to ``None``
-        (fault-free execution).
+    fault_plan / retry_policy / checkpoint_policy:
+        The fault-injection plan and the recovery/checkpoint policies the
+        run would use, for the ``WF3xx`` resilience rules; all default to
+        ``None`` (fault-free execution, no checkpoints).
     """
     backend_name = getattr(backend, "value", backend)
     context = RuleContext(
@@ -104,6 +105,7 @@ def analyze(
         returned_ref_ids=None if returned is None else collect_ref_ids(returned),
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        checkpoint_policy=checkpoint_policy,
         options=options or AnalysisOptions(),
     )
     report = AnalysisReport(
@@ -135,5 +137,6 @@ def analyze_runtime(
         returned=returned,
         fault_plan=getattr(config, "fault_plan", None),
         retry_policy=getattr(config, "retry_policy", None),
+        checkpoint_policy=getattr(config, "checkpoint_policy", None),
         options=options,
     )

@@ -57,6 +57,9 @@ CODES: dict[str, str] = {
     "WF203": "DAG width far below the cluster's parallel slot count",
     "WF301": "fault plan injects failures but the retry policy allows no retries",
     "WF302": "fault plan targets a node outside the cluster",
+    "WF303": "node faults can destroy the only replica of a barrier output "
+    "(no checkpoint policy)",
+    "WF304": "speculative re-execution configured on a single-node cluster",
 }
 
 

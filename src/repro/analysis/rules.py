@@ -67,6 +67,9 @@ class RuleContext:
     #: Recovery policy the run would apply; ``None`` means the executor's
     #: default (which does retry).
     retry_policy: object | None = None
+    #: Checkpoint policy the run would apply (``None`` = no checkpoints),
+    #: for the lineage-depth rule WF303.
+    checkpoint_policy: object | None = None
     options: AnalysisOptions = field(default_factory=AnalysisOptions)
 
 
@@ -578,5 +581,92 @@ def check_fault_nodes_exist(ctx: RuleContext) -> list[Diagnostic]:
             ),
             hint="point node faults at existing node indices or grow "
             "the cluster (num_nodes=)",
+        )
+    ]
+
+
+@rule("WF303")
+def check_unprotected_barriers(ctx: RuleContext) -> list[Diagnostic]:
+    """WF303 — node faults can destroy the only replica of a barrier output.
+
+    A barrier task (a single-task DAG level whose outputs feed later
+    work) produces blocks with exactly one replica, on whichever node ran
+    it.  With node faults planned and no checkpoint policy, losing that
+    node either fails every dependent (recovery off) or forces lineage
+    recomputation to walk back through the barrier and re-run everything
+    behind it (recovery on).  A checkpoint at the barrier bounds both.
+    """
+    plan = ctx.fault_plan
+    if plan is None or getattr(plan, "is_empty", True):
+        return []
+    if not getattr(plan, "node_faults", ()):
+        return []
+    if ctx.checkpoint_policy is not None:
+        return []
+    graph = ctx.graph
+    try:
+        levels = graph.levels()
+    except CycleError:
+        return []  # WF001 already covers an unschedulable graph
+    if not levels:
+        return []
+    max_level = max(levels.values())
+    width_of: dict[int, int] = {}
+    for task_id, level in levels.items():
+        width_of[level] = width_of.get(level, 0) + 1
+    consumed = {ref.ref_id for task in graph.tasks() for ref in task.inputs}
+    barriers = [
+        task
+        for task in graph.tasks()
+        if width_of[levels[task.task_id]] == 1
+        and levels[task.task_id] < max_level
+        and any(ref.ref_id in consumed for ref in task.outputs)
+    ]
+    if not barriers:
+        return []
+    return [
+        Diagnostic(
+            code="WF303",
+            severity=Severity.WARNING,
+            message=(
+                f"the fault plan kills node(s) while {len(barriers)} barrier "
+                "task(s) (single-task DAG levels) produce the only replica "
+                "of blocks that later levels consume; losing that node "
+                "fails the dependents or forces recomputation past the "
+                "barrier"
+            ),
+            task_ids=_ids(barriers),
+            hint="set checkpoint_policy (e.g. CheckpointPolicy("
+            "task_types={...}) naming the barrier types) so recovery "
+            "restarts from shared storage instead",
+        )
+    ]
+
+
+@rule("WF304")
+def check_speculation_needs_nodes(ctx: RuleContext) -> list[Diagnostic]:
+    """WF304 — speculative re-execution needs a second node.
+
+    Backup attempts always launch on a *different* node than the watched
+    primary, so on a single-node cluster the speculation knobs are dead
+    configuration: the watchdog arms, finds no other node, and never
+    launches anything.
+    """
+    policy = ctx.retry_policy
+    if policy is None or getattr(policy, "speculation_factor", None) is None:
+        return []
+    if ctx.cluster is None or ctx.cluster.num_nodes > 1:
+        return []
+    return [
+        Diagnostic(
+            code="WF304",
+            severity=Severity.WARNING,
+            message=(
+                "speculation_factor is set but the cluster has a single "
+                "node; speculative backups must run on a different node "
+                "than the primary, so no backup can ever launch"
+            ),
+            hint="grow the cluster (num_nodes >= 2) or drop "
+            "speculation_factor",
         )
     ]

@@ -43,6 +43,12 @@ SWEEP_SCHEMA = "repro-sweeps-bench/1"
 #: Default output of the sweeps suite, also uploaded as a CI artifact.
 DEFAULT_SWEEPS_OUTPUT = "BENCH_sweeps.json"
 
+#: Fault-recovery suite format version (``--suite faults``).
+FAULTS_SCHEMA = "repro-faults-bench/1"
+
+#: Default output of the faults suite, also uploaded as a CI artifact.
+DEFAULT_FAULTS_OUTPUT = "BENCH_faults.json"
+
 
 @dataclass(frozen=True)
 class BenchWorkload:
@@ -277,6 +283,91 @@ def run_sweep_bench(
 
         Path(out_path).write_text(dumps_deterministic(report), encoding="utf-8")
     return report
+
+
+# --------------------------------------------------------- faults suite
+
+
+def run_fault_bench(
+    workloads: Sequence[BenchWorkload] | None = None,
+    out_path: str | Path | None = None,
+    at_fraction: float = 0.25,
+) -> dict:
+    """Measure fault-recovery cost on the fixed workload matrix.
+
+    Each workload runs twice: once fault-free to establish the clean
+    makespan, then again with one node killed at ``at_fraction`` of that
+    makespan and lineage recovery enabled.  The report records whether
+    the faulted run completed, how many tasks were resurrected, and the
+    makespan overhead the recovery cost (faulted over clean).
+    """
+    import dataclasses
+
+    from repro.faults import FaultPlan, NodeFault, RetryPolicy
+
+    rows = []
+    for workload in workloads if workloads is not None else bench_workloads():
+        runtime = Runtime(workload.make_config())
+        workload.build(runtime)
+        clean = runtime.run()
+
+        plan = FaultPlan(
+            node_faults=(
+                NodeFault(node=1, at_time=at_fraction * clean.makespan),
+            )
+        )
+        config = dataclasses.replace(
+            workload.make_config(),
+            fault_plan=plan,
+            retry_policy=RetryPolicy(recover_lost_blocks=True, max_attempts=3),
+        )
+        runtime = Runtime(config)
+        workload.build(runtime)
+        faulted = runtime.run()
+        metrics = faulted.recovery_metrics
+        rows.append(
+            {
+                "name": workload.name,
+                "description": workload.description,
+                "num_tasks": len(clean.trace.tasks),
+                "clean_makespan": round(clean.makespan, 6),
+                "fault_at": round(at_fraction * clean.makespan, 6),
+                "faulted_makespan": round(faulted.makespan, 6),
+                "recovery_overhead": round(
+                    faulted.makespan / clean.makespan, 4
+                ),
+                "failed": faulted.failed,
+                "blocks_lost": metrics.blocks_lost,
+                "tasks_resurrected": metrics.tasks_resurrected,
+                "recompute_seconds": round(metrics.recompute_seconds, 6),
+            }
+        )
+    report = {
+        "schema": FAULTS_SCHEMA,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": rows,
+    }
+    if out_path is not None:
+        from repro.core.persistence import dumps_deterministic
+
+        Path(out_path).write_text(dumps_deterministic(report), encoding="utf-8")
+    return report
+
+
+def render_fault_report(report: dict) -> str:
+    """Human-readable summary of a :func:`run_fault_bench` report."""
+    lines = [f"fault recovery ({report['schema']}, "
+             f"python {report['python']}/{report['machine']})"]
+    for row in report["workloads"]:
+        status = "FAILED" if row["failed"] else "recovered"
+        lines.append(
+            f"  {row['name']:<12} {row['num_tasks']:>6} tasks  "
+            f"{status:<9}  {row['blocks_lost']:>4} blocks lost  "
+            f"{row['tasks_resurrected']:>4} resurrected  "
+            f"{row['recovery_overhead']:>6.2f}x overhead"
+        )
+    return "\n".join(lines)
 
 
 def render_sweep_report(report: dict) -> str:

@@ -107,6 +107,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=3,
         help="retry budget per task when --faults is given",
     )
+    run.add_argument(
+        "--recover",
+        action="store_true",
+        help="recompute blocks lost to node failures via DAG lineage",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint task outputs to shared storage every N DAG levels",
+    )
+    run.add_argument(
+        "--speculate",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="launch a backup copy of any attempt running FACTOR x the "
+             "median duration of its task type",
+    )
 
     advise = sub.add_parser("advise", help="recommend a configuration")
     advise.add_argument("--algorithm", choices=("matmul", "kmeans"),
@@ -150,17 +170,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("simulator", "sweeps"),
+        choices=("simulator", "sweeps", "faults"),
         default="simulator",
         help="simulator: raw dispatch throughput; sweeps: engine "
-             "cold/warm cells-per-second (default: %(default)s)",
+             "cold/warm cells-per-second; faults: node-loss recovery "
+             "cost per workload (default: %(default)s)",
     )
     bench.add_argument(
         "--out",
         metavar="FILE",
         default=None,
-        help="where to write the JSON report "
-             "(default: BENCH_simulator.json / BENCH_sweeps.json per suite)",
+        help="where to write the JSON report (default: "
+             "BENCH_simulator.json / BENCH_sweeps.json / BENCH_faults.json "
+             "per suite)",
     )
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed runs per workload; the best one counts")
@@ -257,7 +279,7 @@ def _load_fault_plan(spec: str):
 
 def _cmd_run(args) -> int:
     from repro.core.experiments.runners import run_workflow
-    from repro.faults import RetryPolicy
+    from repro.faults import CheckpointPolicy, RetryPolicy
     from repro.runtime import Runtime, RuntimeConfig
     from repro.tracing import (
         data_movement_metrics,
@@ -271,14 +293,28 @@ def _cmd_run(args) -> int:
     storage = StorageKind.LOCAL if args.storage == "local" else StorageKind.SHARED
     policy = SchedulingPolicy(args.policy)
     fault_plan = _load_fault_plan(args.faults) if args.faults else None
+    wants_policy = fault_plan is not None or args.recover or args.speculate
+    retry_policy = (
+        RetryPolicy(
+            max_attempts=args.max_attempts,
+            recover_lost_blocks=args.recover,
+            speculation_factor=args.speculate,
+        )
+        if wants_policy
+        else None
+    )
+    checkpoint_policy = (
+        CheckpointPolicy(every_levels=args.checkpoint_every)
+        if args.checkpoint_every is not None
+        else None
+    )
     config = RuntimeConfig(
         storage=storage,
         scheduling=policy,
         use_gpu=args.gpu,
         fault_plan=fault_plan,
-        retry_policy=(
-            RetryPolicy(max_attempts=args.max_attempts) if fault_plan else None
-        ),
+        retry_policy=retry_policy,
+        checkpoint_policy=checkpoint_policy,
     )
     runtime = Runtime(config)
     workflow.build(runtime)
@@ -296,6 +332,20 @@ def _cmd_run(args) -> int:
         if result.failed:
             shown = ", ".join(f"#{t}" for t in result.failed_task_ids[:10])
             print(f"failed tasks: {shown}")
+    recovery = result.recovery_metrics
+    if (
+        recovery.tasks_resurrected
+        or recovery.checkpoint_writes
+        or recovery.speculative_launches
+    ):
+        print(
+            f"recovery: {recovery.blocks_lost} block(s) lost, "
+            f"{recovery.tasks_resurrected} task(s) resurrected "
+            f"({format_seconds(recovery.recompute_seconds)} recompute), "
+            f"{recovery.checkpoint_writes} checkpoint write(s), "
+            f"speculation {recovery.speculation_wins} win(s) / "
+            f"{recovery.speculation_losses} loss(es)"
+        )
 
     table = Table(
         title="Task user code metrics (per-task averages)",
@@ -402,6 +452,12 @@ def _cmd_bench(args) -> int:
         out = args.out or DEFAULT_SWEEPS_OUTPUT
         report = run_sweep_bench(jobs=args.jobs, out_path=out)
         print(render_sweep_report(report))
+    elif args.suite == "faults":
+        from repro.bench import DEFAULT_FAULTS_OUTPUT, render_fault_report, run_fault_bench
+
+        out = args.out or DEFAULT_FAULTS_OUTPUT
+        report = run_fault_bench(out_path=out)
+        print(render_fault_report(report))
     else:
         from repro.bench import DEFAULT_OUTPUT, render_report, run_bench
 

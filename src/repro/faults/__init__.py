@@ -4,10 +4,16 @@ A :class:`FaultPlan` describes deterministic, seed-driven failures — task
 crashes at Figure-4 stages, node loss at a simulated timestamp, runtime
 GPU OOM, stragglers — and a :class:`RetryPolicy` governs recovery: retry
 with exponential backoff and jitter, per-attempt deadlines, GPU-to-CPU
-fallback, and failed-node blacklisting.  Wire both into
-:class:`~repro.runtime.RuntimeConfig` (``fault_plan=``, ``retry_policy=``)
-and read the outcome off :class:`~repro.runtime.WorkflowResult`
-(``failed``, ``attempts``, ``recovered_makespan``) and the trace's
+fallback, and failed-node blacklisting (optionally with a reboot
+cooldown).  :mod:`repro.faults.recovery` extends the retry path with
+lineage-based recovery — recompute blocks lost with a dead node
+(``RetryPolicy(recover_lost_blocks=True)``), bound the recomputation
+depth with a :class:`CheckpointPolicy`, and neutralize stragglers with
+speculative re-execution (``speculation_factor=``).  Wire everything
+into :class:`~repro.runtime.RuntimeConfig` (``fault_plan=``,
+``retry_policy=``, ``checkpoint_policy=``) and read the outcome off
+:class:`~repro.runtime.WorkflowResult` (``failed``, ``attempts``,
+``recovered_makespan``, ``recovery_metrics``) and the trace's
 :class:`~repro.tracing.TaskAttempt` records.  See ``docs/faults.md``.
 """
 
@@ -24,15 +30,23 @@ from repro.faults.plan import (
     TaskDeadlineError,
 )
 from repro.faults.policy import RetryPolicy
+from repro.faults.recovery import (
+    CheckpointPolicy,
+    RecoveryMetrics,
+    SpeculationCancelledError,
+)
 
 __all__ = [
+    "CheckpointPolicy",
     "FaultError",
     "FaultPlan",
     "GpuOomFault",
     "InjectedGpuOomError",
     "NodeFault",
     "NodeFailureError",
+    "RecoveryMetrics",
     "RetryPolicy",
+    "SpeculationCancelledError",
     "Straggler",
     "TaskCrash",
     "TaskCrashError",

@@ -45,6 +45,25 @@ class RetryPolicy:
     gpu_fallback_to_cpu: bool = True
     #: Exclude failed nodes from every scheduling decision.
     blacklist_failed_nodes: bool = True
+    #: Simulated seconds after which a blacklisted node reboots and
+    #: re-enters scheduling (``None`` = blacklisted forever).  Without a
+    #: cooldown a run can strand once every GPU-bearing node has faulted;
+    #: blocks the node held stay lost across the reboot.
+    blacklist_cooldown: float | None = None
+    #: Lineage-based recovery: when a task's input block was lost with a
+    #: failed node, resurrect the minimal set of committed ancestors that
+    #: can recompute it instead of failing the consumer (off by default;
+    #: the pre-recovery "dependencies lost" behaviour is preserved
+    #: bit-for-bit when disabled).
+    recover_lost_blocks: bool = False
+    #: Speculative re-execution: when a running attempt exceeds this
+    #: factor times the running median duration of its task type, launch
+    #: a backup attempt on another node and take the first finisher
+    #: (``None`` = no speculation).
+    speculation_factor: float | None = None
+    #: Committed durations of a task type needed before its running
+    #: median is trusted for speculation decisions.
+    speculation_min_samples: int = 3
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -59,11 +78,22 @@ class RetryPolicy:
             raise ValueError("backoff_jitter must be within [0, 1)")
         if self.task_deadline is not None and self.task_deadline <= 0:
             raise ValueError("task_deadline must be positive")
+        if self.blacklist_cooldown is not None and self.blacklist_cooldown <= 0:
+            raise ValueError("blacklist_cooldown must be positive")
+        if self.speculation_factor is not None and self.speculation_factor <= 1:
+            raise ValueError("speculation_factor must be > 1")
+        if self.speculation_min_samples < 1:
+            raise ValueError("speculation_min_samples must be >= 1")
 
     @property
     def retries_enabled(self) -> bool:
         """Whether a failed attempt gets another try at all."""
         return self.max_attempts > 1
+
+    @property
+    def speculation_enabled(self) -> bool:
+        """Whether straggling attempts get speculative backups."""
+        return self.speculation_factor is not None
 
     def backoff_delay(
         self,

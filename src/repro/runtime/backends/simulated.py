@@ -29,6 +29,21 @@ compute stages.  A :class:`~repro.faults.RetryPolicy` governs recovery —
 re-queueing with exponential backoff, GPU-to-CPU fallback, failed-node
 blacklisting — and every try is recorded as a
 :class:`~repro.tracing.TaskAttempt`.
+
+With ``RetryPolicy(recover_lost_blocks=True)`` the failure path grows
+lineage-based recovery: a node failure marks the blocks it held as lost,
+and when the dispatcher selects a task whose inputs are lost it walks the
+DAG backwards, resurrects the minimal set of committed ancestors that can
+recompute them, and re-enqueues those before the consumer runs.  The
+authoritative copy of a block lives with its producer node (matching the
+locality model); workflow inputs and refs persisted by a
+:class:`~repro.faults.CheckpointPolicy` are durable and terminate the
+lineage walk.  A :attr:`~repro.faults.RetryPolicy.speculation_factor`
+additionally launches backup attempts for stragglers, and a
+:attr:`~repro.faults.RetryPolicy.blacklist_cooldown` reboots blacklisted
+nodes back into scheduling.  All of it is opt-in: with the recovery knobs
+at their defaults the schedule and trace are bit-identical to the
+pre-recovery executor.
 """
 
 from __future__ import annotations
@@ -38,11 +53,14 @@ from dataclasses import dataclass
 from typing import Generator
 
 from repro.faults import (
+    CheckpointPolicy,
     FaultError,
     FaultPlan,
     InjectedGpuOomError,
     NodeFailureError,
+    RecoveryMetrics,
     RetryPolicy,
+    SpeculationCancelledError,
     TaskCrashError,
     TaskDeadlineError,
 )
@@ -128,6 +146,7 @@ class _ClusterView:
         cpu_cores_per_task: int = 1,
         blacklist: set[int] | None = None,
         locality_index: LocalityIndex | None = None,
+        lost_refs: set[int] | None = None,
     ) -> None:
         self._cluster = cluster
         self._cpu_cores_per_task = cpu_cores_per_task
@@ -135,6 +154,9 @@ class _ClusterView:
         #: O(1) per-(task, node) locality scores over the ready set; only
         #: maintained when the data-locality policy is active.
         self.locality_index = locality_index
+        #: Ref ids whose blocks died with a node; shared with the executor
+        #: so locality credit stops even if the node later reboots.
+        self._lost_refs = lost_refs if lost_refs is not None else set()
 
     def num_nodes(self) -> int:
         return len(self._cluster.nodes)
@@ -148,13 +170,19 @@ class _ClusterView:
 
         ``home_node`` records where the block *landed*; the block stays
         resident there until the node fails, at which point it is lost
-        (``None``) and must not earn locality credit anymore.  A home
+        (``None``) and must not earn locality credit anymore — including
+        after a :attr:`~repro.faults.RetryPolicy.blacklist_cooldown`
+        reboot, because a rebooted node never resurrects data.  A home
         outside the cluster (possible when refs were registered against a
         larger cluster) resolves to ``None`` as well.
         """
         node = ref.home_node
         nodes = self._cluster.nodes
-        if 0 <= node < len(nodes) and nodes[node].alive:
+        if (
+            0 <= node < len(nodes)
+            and nodes[node].alive
+            and ref.ref_id not in self._lost_refs
+        ):
             return node
         return None
 
@@ -193,6 +221,7 @@ class SimulatedExecutor:
         gpu_overflow: bool = False,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
     ) -> None:
         if cpu_threads < 1:
             raise ValueError("cpu_threads must be >= 1")
@@ -232,6 +261,12 @@ class SimulatedExecutor:
         self.fault_plan = fault_plan
         #: Recovery rules; defaults to :class:`~repro.faults.RetryPolicy`.
         self.retry_policy = retry_policy or RetryPolicy()
+        #: Barrier checkpointing of task outputs to shared storage
+        #: (``None`` = no checkpoints; lineage recomputation walks all the
+        #: way back to workflow inputs).
+        self.checkpoint_policy = checkpoint_policy
+        #: Recovery cost accounting for the last :meth:`execute` run.
+        self.recovery_metrics = RecoveryMetrics()
         #: Permanently failed task ids (retries exhausted, failed
         #: dependencies, or stranded without schedulable nodes); set by
         #: :meth:`execute`.
@@ -314,8 +349,18 @@ class SimulatedExecutor:
             if self.scheduling is SchedulingPolicy.DATA_LOCALITY
             else None
         )
+        #: Ref ids of blocks destroyed by node failures.  Tracked per ref
+        #: and independently of node liveness: a node rebooted after a
+        #: blacklist cooldown never resurrects the data it lost, and a
+        #: recomputed block leaves the set only when its producer commits
+        #: again (re-homing the ref).
+        self._lost_refs: set[int] = set()
         self._view = _ClusterView(
-            self.cluster, self.cpu_threads, self._blacklist, self._locality_index
+            self.cluster,
+            self.cpu_threads,
+            self._blacklist,
+            self._locality_index,
+            self._lost_refs,
         )
         self._levels = graph.levels()
         self._no_distribution = graph.width == 1
@@ -349,7 +394,34 @@ class SimulatedExecutor:
         self._attempt_counts: dict[int, int] = {}
         self._failed: set[int] = set()
         self._forced_cpu: set[int] = set()
-        self._running: dict[int, tuple[Process, int]] = {}
+        #: task_id -> {attempt -> (process, node)}.  Usually at most one
+        #: attempt per task; speculation races hold two.
+        self._running: dict[int, dict[int, tuple[Process, int]]] = {}
+        policy = self.retry_policy
+        #: Lineage recomputation of lost blocks (opt-in; all recovery
+        #: state below stays empty when disabled, preserving the
+        #: pre-recovery schedule bit-for-bit).
+        self._recovery_on = policy.recover_lost_blocks
+        #: Tasks whose outputs exist (committed exactly like the trace's
+        #: TaskRecord set — until lineage recovery resurrects one).
+        self._committed: set[int] = set()
+        #: Tasks sitting out a retry backoff (must not re-enter the ready
+        #: queue through a predecessor commit while the timer runs).
+        self._backing_off: set[int] = set()
+        #: Ref ids persisted to shared storage by the checkpoint policy;
+        #: durable against node loss, so lineage walks stop there.
+        self._checkpointed_refs: set[int] = set()
+        #: Resurrected tasks whose recomputation has not committed yet
+        #: (their next successful attempt bills recompute_seconds).
+        self._resurrected_dirty: set[int] = set()
+        #: (task_id, attempt) pairs launched as speculative backups.
+        self._speculative_attempts: set[tuple[int, int]] = set()
+        #: Sorted committed durations per task type (speculation medians).
+        self._type_durations: dict[str, list[float]] = {}
+        self.recovery_metrics = RecoveryMetrics()
+        self._record_attempts = (
+            self.fault_plan is not None or policy.speculation_enabled
+        )
         if self.fault_plan is not None:
             for fault in self.fault_plan.node_faults:
                 Process(
@@ -359,11 +431,10 @@ class SimulatedExecutor:
                 )
         Process(self.sim, self._dispatcher(), name="dispatcher")
         self.sim.run()
-        done_ids = {t.task_id for t in self.trace.tasks}
         stranded = [
             t.task_id
             for t in graph.tasks()
-            if t.task_id not in done_ids and t.task_id not in self._failed
+            if t.task_id not in self._committed and t.task_id not in self._failed
         ]
         if stranded:
             if self.fault_plan is None:
@@ -444,6 +515,7 @@ class SimulatedExecutor:
 
     def _dispatcher(self) -> Generator:
         ready_view = _ReadyView(self)
+        policy = self.retry_policy
         while self._outstanding() > 0:
             while True:
                 assignment = self.scheduler.select(
@@ -452,6 +524,16 @@ class SimulatedExecutor:
                 if assignment is None:
                     break
                 task = assignment.task
+                if (
+                    self._recovery_on
+                    and self._lost_refs
+                    and any(r.ref_id in self._lost_refs for r in task.inputs)
+                ):
+                    # An input block died with its node: recover the
+                    # lineage instead of dispatching a task that cannot
+                    # read its inputs.
+                    self._recover_inputs(task)
+                    continue
                 node = self.cluster.nodes[assignment.node]
                 task_on_gpu = self._task_on_gpu(task)
                 cores_needed = 1 if task_on_gpu else self.cpu_threads
@@ -465,12 +547,27 @@ class SimulatedExecutor:
                 core_slot = self._free_cores[node.index].pop()
                 self._ready_remove(task.task_id)
                 yield Timeout(self._dispatch_latency + self._scan_latency())
+                attempt = self._attempt_counts.get(task.task_id, 0) + 1
+                self._attempt_counts[task.task_id] = attempt
                 process = Process(
                     self.sim,
-                    self._run_task(task, node.index, core_slot, task_on_gpu),
+                    self._run_task(task, node.index, core_slot, task_on_gpu, attempt),
                     name=f"task{task.task_id}",
                 )
-                self._running[task.task_id] = (process, node.index)
+                self._running.setdefault(task.task_id, {})[attempt] = (
+                    process,
+                    node.index,
+                )
+                if policy.speculation_enabled:
+                    median = self._median_duration(task.name)
+                    if median is not None:
+                        Process(
+                            self.sim,
+                            self._speculation_watchdog(
+                                task, attempt, median * policy.speculation_factor
+                            ),
+                            name=f"spec{task.task_id}",
+                        )
             if self._outstanding() > 0:
                 self._wake = SimEvent(name="dispatcher.wake")
                 yield WaitEvent(self._wake)
@@ -485,18 +582,211 @@ class SimulatedExecutor:
     def _on_task_done(self, task: Task) -> None:
         self._completed += 1
         for successor in self._graph.successors(task.task_id):
-            self._indegree[successor.task_id] -= 1
-            if self._indegree[successor.task_id] == 0:
-                self._ready_insert(successor.task_id)
+            sid = successor.task_id
+            # The live-indegree invariant — indegree equals the number of
+            # non-committed predecessors — only covers tasks that are
+            # still *waiting*.  Committed, failed, and in-flight
+            # successors (all impossible without lineage recovery) keep
+            # their counters untouched; a recovery pass recomputes them
+            # if they ever matter again.
+            if sid in self._committed or sid in self._failed or sid in self._running:
+                continue
+            self._indegree[sid] -= 1
+            if self._indegree[sid] == 0 and sid not in self._backing_off:
+                self._ready_insert(sid)
         self._wake_dispatcher()
+
+    # ------------------------------------------------------ lineage recovery
+    def _live_indegree(self, task_id: int) -> int:
+        """Predecessors whose outputs do not exist (non-committed)."""
+        return sum(
+            1
+            for predecessor in self._graph.predecessors(task_id)
+            if predecessor.task_id not in self._committed
+        )
+
+    def _recover_inputs(self, consumer: Task) -> None:
+        """Resurrect the lineage that recomputes ``consumer``'s lost inputs.
+
+        Walks producer edges backwards from every lost input ref,
+        collecting committed ancestors whose outputs are gone; the walk
+        terminates at durable refs (workflow inputs, checkpointed blocks,
+        blocks still resident on a live node) and at ancestors that are
+        already pending again from an earlier recovery pass.  The
+        resurrected set leaves ``_committed``, re-enters the dependency
+        accounting, and the ready queue picks it up in task-id order.
+
+        If the walk reaches a permanently failed producer the lineage is
+        unrecoverable and ``consumer`` fails instead (cascading to its
+        dependents) — failing fast beats deadlocking the dispatcher.
+        """
+        graph = self._graph
+        resurrect: set[int] = set()
+        stack = [
+            ref.ref_id for ref in consumer.inputs if ref.ref_id in self._lost_refs
+        ]
+        while stack:
+            ref_id = stack.pop()
+            producer_id = graph.producer_of(ref_id)
+            if producer_id is None:
+                # Workflow input: durable by definition (never lost, but
+                # kept defensive so a bad plan cannot loop the walk).
+                continue
+            if producer_id in self._failed:
+                self._fail_permanently(consumer)
+                return
+            if producer_id in resurrect or producer_id not in self._committed:
+                # Already queued this pass, or already pending again
+                # (ready / running / backing off) from an earlier pass.
+                continue
+            resurrect.add(producer_id)
+            for ref in graph.task(producer_id).inputs:
+                if ref.ref_id in self._lost_refs:
+                    stack.append(ref.ref_id)
+        now = self.sim.now
+        for task_id in sorted(resurrect):
+            self._committed.discard(task_id)
+            self._completed -= 1
+            self._resurrected_dirty.add(task_id)
+            self.recovery_metrics.tasks_resurrected += 1
+            resurrected = graph.task(task_id)
+            # Zero-duration master-side marker: the moment recovery
+            # decided to recompute this task (its re-execution then shows
+            # up as a second TaskRecord with a higher attempt number).
+            self.trace.add_stage(
+                StageRecord(
+                    task_id=task_id,
+                    task_type=resurrected.name,
+                    stage=Stage.RECOMPUTE,
+                    start=now,
+                    end=now,
+                    node=-1,
+                    core=-1,
+                    level=self._levels[task_id],
+                    used_gpu=False,
+                    attempt=self._attempt_counts.get(task_id, 1),
+                )
+            )
+        # Re-establish the live-indegree invariant.  The consumer and the
+        # resurrected tasks are recomputed from scratch; every other
+        # waiting successor of a resurrected task gains one edge per
+        # resurrected predecessor.
+        self._ready_remove(consumer.task_id)
+        self._indegree[consumer.task_id] = self._live_indegree(consumer.task_id)
+        for task_id in resurrect:
+            self._indegree[task_id] = self._live_indegree(task_id)
+            for successor in graph.successors(task_id):
+                sid = successor.task_id
+                if (
+                    sid == consumer.task_id
+                    or sid in resurrect
+                    or sid in self._committed
+                    or sid in self._failed
+                    or sid in self._running
+                ):
+                    continue
+                self._ready_remove(sid)
+                self._indegree[sid] += 1
+        for task_id in sorted(resurrect):
+            if self._indegree[task_id] == 0:
+                self._ready_insert(task_id)
+        self._wake_dispatcher()
+
+    # ---------------------------------------------------------- speculation
+    def _note_duration(self, task_type: str, duration: float) -> None:
+        """Record a committed attempt duration for the running median."""
+        bisect.insort(self._type_durations.setdefault(task_type, []), duration)
+
+    def _median_duration(self, task_type: str) -> float | None:
+        """Running median of committed durations; ``None`` below the
+        ``speculation_min_samples`` threshold (too little evidence to
+        call anything a straggler)."""
+        durations = self._type_durations.get(task_type)
+        if (
+            durations is None
+            or len(durations) < self.retry_policy.speculation_min_samples
+        ):
+            return None
+        mid = len(durations) // 2
+        if len(durations) % 2:
+            return durations[mid]
+        return 0.5 * (durations[mid - 1] + durations[mid])
+
+    def _speculation_watchdog(
+        self, task: Task, primary_attempt: int, delay: float
+    ) -> Generator:
+        """Launch a backup attempt if the primary is still running late.
+
+        Armed at dispatch with ``speculation_factor x`` the running
+        median of the task type; when it fires and the watched attempt is
+        still the only one in flight, a backup launches on the
+        lowest-indexed other node with a free slot.  First finisher wins
+        (``_run_task`` cancels the sibling); no free slot elsewhere means
+        no speculation this round.
+        """
+        yield Timeout(delay)
+        if task.task_id in self._committed or task.task_id in self._failed:
+            return
+        attempts = self._running.get(task.task_id)
+        if attempts is None or set(attempts) != {primary_attempt}:
+            return
+        _process, primary_node = attempts[primary_attempt]
+        task_on_gpu = self._task_on_gpu(task)
+        task_ram = task.cost.host_memory_bytes if task.cost else 0
+        backup_node = None
+        for index in range(len(self.cluster.nodes)):
+            if index == primary_node or self._view.is_blacklisted(index):
+                continue
+            if self._view.has_free_slot(index, task_on_gpu, task_ram):
+                backup_node = index
+                break
+        if backup_node is None:
+            return
+        node = self.cluster.nodes[backup_node]
+        cores_needed = 1 if task_on_gpu else self.cpu_threads
+        if not node.cores.try_request(cores_needed):
+            return
+        if task_on_gpu and not node.gpus.try_request(1):
+            node.cores.release(cores_needed)
+            return
+        node.reserve_ram(task_ram)
+        core_slot = self._free_cores[backup_node].pop()
+        backup_attempt = self._attempt_counts.get(task.task_id, 0) + 1
+        self._attempt_counts[task.task_id] = backup_attempt
+        now = self.sim.now
+        # Zero-duration master-side marker: the speculation decision.
+        self.trace.add_stage(
+            StageRecord(
+                task_id=task.task_id,
+                task_type=task.name,
+                stage=Stage.SPECULATIVE,
+                start=now,
+                end=now,
+                node=-1,
+                core=-1,
+                level=self._levels[task.task_id],
+                used_gpu=task_on_gpu,
+                attempt=backup_attempt,
+            )
+        )
+        self._speculative_attempts.add((task.task_id, backup_attempt))
+        self.recovery_metrics.speculative_launches += 1
+        process = Process(
+            self.sim,
+            self._run_task(task, backup_node, core_slot, task_on_gpu, backup_attempt),
+            name=f"task{task.task_id}b{backup_attempt}",
+        )
+        self._running[task.task_id][backup_attempt] = (process, backup_node)
 
     # ----------------------------------------------------------- fault path
     def _node_killer(self, fault) -> Generator:
         """Fail one node at its planned timestamp.
 
         All resident task processes are interrupted (they fail with a
-        ``node_failure`` outcome and re-enter the retry path) and the node
-        is blacklisted from scheduling when the policy says so.
+        ``node_failure`` outcome and re-enter the retry path), the blocks
+        the node held become lost, and the node is blacklisted from
+        scheduling when the policy says so — permanently, or until a
+        ``blacklist_cooldown`` reboot.
         """
         if fault.at_time > 0:
             yield Timeout(fault.at_time)
@@ -511,13 +801,51 @@ class SimulatedExecutor:
             self._locality_index.drop_node(fault.node)
         if self.retry_policy.blacklist_failed_nodes:
             self._blacklist.add(fault.node)
-        for task_id, (process, node_index) in list(self._running.items()):
-            if (
-                node_index == fault.node
-                and process.started
-                and not process.done.fired
-            ):
-                process.interrupt(NodeFailureError(fault.node))
+        # Every committed output homed here is destroyed, except blocks
+        # the checkpoint policy persisted to shared storage.
+        for task_id in self._committed:
+            for ref in self._graph.task(task_id).outputs:
+                if (
+                    ref.home_node == fault.node
+                    and ref.ref_id not in self._lost_refs
+                    and ref.ref_id not in self._checkpointed_refs
+                ):
+                    self._lost_refs.add(ref.ref_id)
+                    self.recovery_metrics.blocks_lost += 1
+        for attempts in list(self._running.values()):
+            for process, node_index in list(attempts.values()):
+                if (
+                    node_index == fault.node
+                    and process.started
+                    and not process.done.fired
+                ):
+                    process.interrupt(NodeFailureError(fault.node))
+        if self.retry_policy.blacklist_cooldown is not None:
+            Process(
+                self.sim,
+                self._node_rebooter(fault.node),
+                name=f"nodereboot{fault.node}",
+            )
+        self._wake_dispatcher()
+
+    def _node_rebooter(self, node_index: int) -> Generator:
+        """Return a failed node to service after the blacklist cooldown.
+
+        The reboot restores schedulability only: cores and devices come
+        back cold (warm-up overhead applies again) and every block the
+        node held stays in ``_lost_refs``.
+        """
+        yield Timeout(self.retry_policy.blacklist_cooldown)
+        node = self.cluster.nodes[node_index]
+        if node.alive:
+            return
+        node.recover()
+        self._blacklist.discard(node_index)
+        self._warmed_cores = {
+            (warm_node, core)
+            for (warm_node, core) in self._warmed_cores
+            if warm_node != node_index
+        }
         self._wake_dispatcher()
 
     def _check_fault(
@@ -554,6 +882,10 @@ class SimulatedExecutor:
             ):
                 # The last GPU-bearing node is gone: degrade to CPU.
                 self._forced_cpu.add(task.task_id)
+        if task.task_id in self._running:
+            # A concurrent speculative attempt is still in flight; it
+            # carries the task, so this failure needs no retry of its own.
+            return
         if attempt < policy.max_attempts:
             rng = (
                 self.fault_plan.rng_for("backoff", task.task_id, attempt)
@@ -574,6 +906,7 @@ class SimulatedExecutor:
     ) -> Generator:
         """Master-side backoff, then put the task back on the ready queue."""
         start = self.sim.now
+        self._backing_off.add(task.task_id)
         if delay > 0:
             yield Timeout(delay)
             # The wait occupies no core; node/core -1 marks it master-side.
@@ -591,15 +924,31 @@ class SimulatedExecutor:
                     attempt=failed_attempt,
                 )
             )
+        self._backing_off.discard(task.task_id)
+        if task.task_id in self._failed or self._indegree[task.task_id] != 0:
+            # A recovery pass failed this task (lineage unrecoverable) or
+            # resurrected one of its inputs' producers while the backoff
+            # timer ran; the commit path re-inserts it when ready.
+            return
         self._ready_insert(task.task_id)
         self._wake_dispatcher()
 
     def _fail_permanently(self, task: Task) -> None:
-        """Mark a task and every transitive dependent as failed."""
+        """Mark a task and every transitive dependent as failed.
+
+        Dependents that already committed keep their outputs (an
+        in-flight execution holds its inputs, so data they produced is
+        real); dependents still running are spared for the same reason —
+        if their own attempt later fails, their retry path decides.
+        """
         stack = [task.task_id]
         while stack:
             task_id = stack.pop()
-            if task_id in self._failed:
+            if (
+                task_id in self._failed
+                or task_id in self._committed
+                or task_id in self._running
+            ):
                 continue
             self._failed.add(task_id)
             self._ready_remove(task_id)
@@ -614,18 +963,23 @@ class SimulatedExecutor:
         node_index: int,
         core_slot: int,
         task_on_gpu: bool,
+        attempt: int,
     ) -> Generator:
         node = self.cluster.nodes[node_index]
         cost = task.cost or _ZERO_COST
         level = self._levels[task.task_id]
-        attempt = self._attempt_counts.get(task.task_id, 0) + 1
-        self._attempt_counts[task.task_id] = attempt
         task_start = self.sim.now
         failure: FaultError | None = None
         try:
             if not node.alive:
                 # Dispatched in the same instant the node died.
                 raise NodeFailureError(node_index)
+            if task.task_id in self._committed:
+                # A speculative sibling won the race before this attempt
+                # even started (an unstarted process cannot be
+                # interrupted, so the loser cancels itself here and the
+                # normal bookkeeping below returns its resources).
+                raise SpeculationCancelledError(task.task_id)
             yield from self._attempt_stages(
                 task, node, core_slot, task_on_gpu, attempt, task_start
             )
@@ -633,7 +987,11 @@ class SimulatedExecutor:
             failure = error
 
         # --- resource bookkeeping (both outcomes) -----------------------
-        self._running.pop(task.task_id, None)
+        attempts = self._running.get(task.task_id)
+        if attempts is not None:
+            attempts.pop(attempt, None)
+            if not attempts:
+                del self._running[task.task_id]
         self._free_cores[node_index].append(core_slot)
         node.cores.release(1 if task_on_gpu else self.cpu_threads)
         node.release_ram(cost.host_memory_bytes if task.cost else 0)
@@ -641,8 +999,28 @@ class SimulatedExecutor:
             node.gpus.release(1)
 
         if failure is None:
+            siblings = self._running.pop(task.task_id, None)
+            if siblings is not None:
+                # First finisher wins the speculative race: cancel every
+                # still-running sibling attempt (an unstarted one cancels
+                # itself through the committed check above).
+                for process, _sibling_node in siblings.values():
+                    if process.started and not process.done.fired:
+                        process.interrupt(SpeculationCancelledError(task.task_id))
             for ref in task.outputs:
                 ref.home_node = node_index
+            self._committed.add(task.task_id)
+            if self._lost_refs:
+                # A recomputed block exists again, homed on this node.
+                for ref in task.outputs:
+                    self._lost_refs.discard(ref.ref_id)
+            if (task.task_id, attempt) in self._speculative_attempts:
+                self.recovery_metrics.speculation_wins += 1
+            if task.task_id in self._resurrected_dirty:
+                self._resurrected_dirty.discard(task.task_id)
+                self.recovery_metrics.recompute_seconds += self.sim.now - task_start
+            if self.retry_policy.speculation_enabled:
+                self._note_duration(task.name, self.sim.now - task_start)
             self.trace.add_task(
                 TaskRecord(
                     task_id=task.task_id,
@@ -656,7 +1034,7 @@ class SimulatedExecutor:
                     attempt=attempt,
                 )
             )
-            if self.fault_plan is not None:
+            if self._record_attempts:
                 self.trace.add_attempt(
                     TaskAttempt(
                         task_id=task.task_id,
@@ -688,7 +1066,7 @@ class SimulatedExecutor:
                     attempt=attempt,
                 )
             )
-            if self.fault_plan is not None:
+            if self._record_attempts:
                 self.trace.add_attempt(
                     TaskAttempt(
                         task_id=task.task_id,
@@ -703,7 +1081,15 @@ class SimulatedExecutor:
                         outcome=failure.kind,
                     )
                 )
-            self._handle_failure(task, failure, attempt, level, task_on_gpu)
+            if isinstance(failure, SpeculationCancelledError):
+                # Not a real failure: the task committed through a
+                # sibling attempt, so no retry — just hand the freed
+                # resources back to the dispatcher.
+                if (task.task_id, attempt) in self._speculative_attempts:
+                    self.recovery_metrics.speculation_losses += 1
+                self._wake_dispatcher()
+            else:
+                self._handle_failure(task, failure, attempt, level, task_on_gpu)
 
     def _attempt_stages(
         self,
@@ -764,7 +1150,16 @@ class SimulatedExecutor:
         if not self._no_distribution:
             start = self.sim.now
             for ref in task.inputs:
-                yield from self._read_input(node_index, ref.home_node, ref.size_bytes)
+                if ref.ref_id in self._checkpointed_refs and not self._node_alive(
+                    ref.home_node
+                ):
+                    # The producer's copy died with its node; the durable
+                    # checkpoint on shared storage serves the read.
+                    yield from self._read_checkpoint(ref.size_bytes)
+                else:
+                    yield from self._read_input(
+                        node_index, ref.home_node, ref.size_bytes
+                    )
             decode = self._jitter(times.deserialization_cpu)
             if decode > 0:
                 yield Timeout(decode)
@@ -827,6 +1222,25 @@ class SimulatedExecutor:
             record(Stage.SERIALIZATION, start)
             checkpoint(Stage.SERIALIZATION)
 
+        # --- checkpoint write: persist outputs to shared storage ---------
+        if (
+            self.checkpoint_policy is not None
+            and not self._no_distribution
+            and self.checkpoint_policy.applies(task.name, level)
+        ):
+            start = self.sim.now
+            nbytes = sum(ref.size_bytes for ref in task.outputs)
+            if nbytes > 0:
+                # The GPFS round-trip regardless of the working storage
+                # backend: checkpoints exist to survive local-disk loss.
+                yield Transfer(self.cluster.network, nbytes)
+                yield Transfer(self.cluster.shared_disk_write, nbytes)
+            for ref in task.outputs:
+                self._checkpointed_refs.add(ref.ref_id)
+            record(Stage.CHECKPOINT_WRITE, start)
+            self.recovery_metrics.checkpoint_writes += 1
+            self.recovery_metrics.checkpoint_write_seconds += self.sim.now - start
+
     def _overlapped_gpu_phase(self, node, h2d: int, pf: float, record) -> Generator:
         """Staged-pipeline host-to-device transfer overlapping the kernel.
 
@@ -858,6 +1272,17 @@ class SimulatedExecutor:
         yield Transfer(node.pcie, nbytes)
 
     # ------------------------------------------------------------- storage
+    def _node_alive(self, node_index: int) -> bool:
+        nodes = self.cluster.nodes
+        return 0 <= node_index < len(nodes) and nodes[node_index].alive
+
+    def _read_checkpoint(self, nbytes: int) -> Generator:
+        """Read a checkpointed block back from shared storage (GPFS)."""
+        if nbytes <= 0:
+            return
+        yield Transfer(self.cluster.network, nbytes)
+        yield Transfer(self.cluster.shared_disk_read, nbytes)
+
     def _read_input(self, node_index: int, home_node: int, nbytes: int) -> Generator:
         if nbytes <= 0:
             return

@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.faults import FaultPlan, RetryPolicy
+from repro.faults import CheckpointPolicy, FaultPlan, RecoveryMetrics, RetryPolicy
 from repro.hardware import ClusterSpec, StorageKind, minotauro
 from repro.perfmodel import TaskCost
 from repro.runtime.backends.inprocess import InProcessExecutor
@@ -87,10 +87,16 @@ class RuntimeConfig:
     #: earlier releases.
     fault_plan: FaultPlan | None = None
     #: Recovery rules applied when a fault plan injects failures: retry
-    #: budget, exponential backoff, GPU-to-CPU fallback, and failed-node
-    #: blacklisting.  ``None`` uses :class:`~repro.faults.RetryPolicy`'s
+    #: budget, exponential backoff, GPU-to-CPU fallback, failed-node
+    #: blacklisting (optionally with a reboot cooldown), lineage-based
+    #: recomputation of lost blocks, and speculative re-execution of
+    #: stragglers.  ``None`` uses :class:`~repro.faults.RetryPolicy`'s
     #: defaults.
     retry_policy: RetryPolicy | None = None
+    #: Barrier checkpointing of task outputs to shared storage (simulated
+    #: backend only): bounds how deep lineage recomputation must walk at
+    #: the price of modeled GPFS write time.  ``None`` = no checkpoints.
+    checkpoint_policy: CheckpointPolicy | None = None
     #: Run the static analyzer (:mod:`repro.analysis`) before dispatch and
     #: raise :class:`~repro.analysis.WorkflowValidationError` on
     #: error-severity findings (predicted OOM, broken DAG, ...).
@@ -107,11 +113,21 @@ class WorkflowResult:
     #: Ref-id -> value bindings (in-process backend only).
     data: dict[int, Any] = field(default_factory=dict)
     #: Whether any task failed permanently (retries exhausted or
-    #: dependencies lost); only a fault plan can make this True.
+    #: dependencies lost); only a fault plan can make this True.  With
+    #: ``RetryPolicy(recover_lost_blocks=True)`` a lost block alone never
+    #: fails the workflow as long as a live replica, a checkpoint, or a
+    #: recomputable lineage exists.
     failed: bool = False
-    #: Ids of the permanently failed tasks (includes descendants of a
-    #: task whose retries were exhausted).
+    #: Ids of the permanently failed tasks, deterministically sorted
+    #: ascending.  Includes every transitive descendant of a task whose
+    #: retries were exhausted — and, with recovery enabled, descendants
+    #: whose lineage proved unrecoverable (a lost input whose producer
+    #: itself failed permanently).
     failed_task_ids: tuple[int, ...] = ()
+    #: What lineage recovery, checkpointing, and speculation cost this
+    #: run; all-zero for a fault-free execution or when the recovery
+    #: features are disabled.
+    recovery_metrics: RecoveryMetrics = field(default_factory=RecoveryMetrics)
 
     @property
     def makespan(self) -> float:
@@ -290,6 +306,7 @@ class Runtime:
             gpu_overflow=self.config.gpu_overflow_to_cpu,
             fault_plan=self.config.fault_plan,
             retry_policy=self.config.retry_policy,
+            checkpoint_policy=self.config.checkpoint_policy,
         )
         trace = executor.execute(self.graph)
         return WorkflowResult(
@@ -298,4 +315,5 @@ class Runtime:
             config=self.config,
             failed=bool(executor.failed_task_ids),
             failed_task_ids=executor.failed_task_ids,
+            recovery_metrics=executor.recovery_metrics,
         )

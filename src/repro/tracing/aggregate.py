@@ -19,7 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from statistics import mean
 
-from repro.tracing.trace import Stage, StageRecord, Trace
+from repro.tracing.trace import (
+    ATTEMPT_SPECULATION_CANCELLED,
+    Stage,
+    StageRecord,
+    Trace,
+)
 
 
 @dataclass(frozen=True)
@@ -84,10 +89,24 @@ class FaultMetrics:
     retried_tasks: int
     #: Core-seconds spent in attempts that completed their task.
     goodput_seconds: float
-    #: Core-seconds burned in failed attempts.
+    #: Core-seconds burned in failed attempts (cancelled speculative
+    #: backups included — losing the race is speculation's cost).
     wasted_seconds: float
     #: Simulated seconds spent in retry backoff (master-side, off-core).
     retry_wait_seconds: float
+    #: Committed tasks resurrected by lineage recovery to recompute
+    #: blocks lost with a dead node.
+    tasks_resurrected: int = 0
+    #: Checkpoint writes the checkpoint policy performed.
+    checkpoint_writes: int = 0
+    #: Simulated seconds spent writing checkpoints to shared storage.
+    checkpoint_write_seconds: float = 0.0
+    #: Speculative backup attempts launched against stragglers.
+    speculative_launches: int = 0
+    #: Races a speculative backup won (the backup committed the task).
+    speculation_wins: int = 0
+    #: Races a speculative backup lost (the backup was cancelled).
+    speculation_losses: int = 0
 
     @property
     def goodput_ratio(self) -> float:
@@ -108,6 +127,13 @@ def fault_metrics(trace: Trace) -> FaultMetrics:
     retry_wait = sum(
         r.duration for r in trace.stages if r.stage is Stage.RETRY_WAIT
     )
+    resurrected = sum(1 for r in trace.stages if r.stage is Stage.RECOMPUTE)
+    checkpoints = [r for r in trace.stages if r.stage is Stage.CHECKPOINT_WRITE]
+    speculative = {
+        (r.task_id, r.attempt)
+        for r in trace.stages
+        if r.stage is Stage.SPECULATIVE
+    }
     if not trace.attempts:
         return FaultMetrics(
             num_attempts=len(trace.tasks),
@@ -116,6 +142,9 @@ def fault_metrics(trace: Trace) -> FaultMetrics:
             goodput_seconds=sum(t.duration for t in trace.tasks),
             wasted_seconds=0.0,
             retry_wait_seconds=retry_wait,
+            tasks_resurrected=resurrected,
+            checkpoint_writes=len(checkpoints),
+            checkpoint_write_seconds=sum(r.duration for r in checkpoints),
         )
     failures = [a for a in trace.attempts if not a.ok]
     successes = [a for a in trace.attempts if a.ok]
@@ -127,6 +156,19 @@ def fault_metrics(trace: Trace) -> FaultMetrics:
         goodput_seconds=sum(a.duration for a in successes),
         wasted_seconds=sum(a.duration for a in failures),
         retry_wait_seconds=retry_wait,
+        tasks_resurrected=resurrected,
+        checkpoint_writes=len(checkpoints),
+        checkpoint_write_seconds=sum(r.duration for r in checkpoints),
+        speculative_launches=len(speculative),
+        speculation_wins=sum(
+            1 for a in successes if (a.task_id, a.attempt) in speculative
+        ),
+        speculation_losses=sum(
+            1
+            for a in failures
+            if a.outcome == ATTEMPT_SPECULATION_CANCELLED
+            and (a.task_id, a.attempt) in speculative
+        ),
     )
 
 

@@ -25,6 +25,9 @@ _STAGE_GLYPHS = {
     Stage.SERIALIZATION: "w",
     Stage.FAILURE: "x",
     Stage.RETRY_WAIT: "r",
+    Stage.RECOMPUTE: "R",
+    Stage.CHECKPOINT_WRITE: "k",
+    Stage.SPECULATIVE: "S",
 }
 
 

@@ -18,7 +18,12 @@ class Stage(str, enum.Enum):
     ``FAILURE`` and ``RETRY_WAIT`` extend the figure with the fault path
     of :mod:`repro.faults`: a zero-duration failure marker at the instant
     an attempt dies, and the master-side backoff before the task is
-    re-queued.
+    re-queued.  The recovery path adds three more: ``RECOMPUTE`` marks a
+    committed task being resurrected because its output blocks were lost
+    with a node, ``CHECKPOINT_WRITE`` is the modeled cost of persisting a
+    task's outputs to shared storage under a
+    :class:`~repro.faults.CheckpointPolicy`, and ``SPECULATIVE`` marks
+    the launch of a speculative backup attempt for a straggling task.
     """
 
     SCHEDULING = "scheduling"
@@ -29,6 +34,9 @@ class Stage(str, enum.Enum):
     SERIALIZATION = "serialization"
     FAILURE = "failure"
     RETRY_WAIT = "retry_wait"
+    RECOMPUTE = "recompute"
+    CHECKPOINT_WRITE = "checkpoint_write"
+    SPECULATIVE = "speculative"
 
 
 @dataclass(frozen=True)
@@ -81,8 +89,14 @@ class TaskRecord:
 
 
 #: Outcome label of a successful attempt; failures carry the fault kind
-#: ("crash", "node_failure", "gpu_oom", "timeout").
+#: ("crash", "node_failure", "gpu_oom", "timeout") and speculative
+#: attempts cancelled after losing the race carry
+#: :data:`ATTEMPT_SPECULATION_CANCELLED`.
 ATTEMPT_OK = "success"
+
+#: Outcome label of a speculative attempt cancelled because a sibling
+#: attempt of the same task committed first.
+ATTEMPT_SPECULATION_CANCELLED = "speculation_cancelled"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,412 @@
+"""Lineage recovery, checkpointing, speculation, and cooldown tests.
+
+Covers the recovery layer end to end:
+
+* unit contracts of :class:`CheckpointPolicy` and the new
+  :class:`RetryPolicy` knobs;
+* lineage recomputation after a node failure (the tentpole), with and
+  without checkpoints bounding the recovery depth;
+* blacklist cooldown reboots, speculative re-execution races, and the
+  executor-vs-trace metrics consistency;
+* the WF303/WF304 analyzer rules;
+* a Hypothesis property — any single node fault on a generated DAG with
+  recovery enabled and a surviving node must complete ``failed=False``;
+* the determinism contract — every golden-matrix cell still reproduces
+  its recorded fingerprint with the recovery machinery switched on but
+  idle (fault-free cells), proving recovery is a strict opt-in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms import GeneratedDagWorkflow
+from repro.analysis import analyze
+from repro.faults import (
+    CheckpointPolicy,
+    FaultPlan,
+    NodeFault,
+    RetryPolicy,
+    Straggler,
+)
+from repro.hardware import minotauro
+from repro.perfmodel import TaskCost
+from repro.runtime import Runtime, RuntimeConfig, SchedulingPolicy
+from repro.tracing import Stage, fault_metrics
+from tests.golden_matrix import golden_cases
+from tests.trace_invariants import assert_result_invariants
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "simulator_digests.json"
+
+RECOVERY = RetryPolicy(max_attempts=3, recover_lost_blocks=True)
+
+
+def _run_generated(
+    plan=None,
+    policy=None,
+    nodes=4,
+    width=8,
+    depth=6,
+    seed=3,
+    **cfg,
+):
+    config = RuntimeConfig(
+        cluster=minotauro(num_nodes=nodes),
+        fault_plan=plan,
+        retry_policy=policy,
+        **cfg,
+    )
+    runtime = Runtime(config)
+    GeneratedDagWorkflow(
+        width=width, depth=depth, fan_in=3, block_mb=4.0, seed=seed
+    ).build(runtime)
+    return runtime.run()
+
+
+def _node_fault_at_fraction(fraction, node=1, **kwargs):
+    """A NodeFault timed relative to the workload's clean makespan."""
+    clean = _run_generated(**kwargs)
+    return clean, FaultPlan(
+        node_faults=(NodeFault(node=node, at_time=fraction * clean.makespan),)
+    )
+
+
+class TestCheckpointPolicy:
+    def test_applies_interval(self):
+        policy = CheckpointPolicy(every_levels=2)
+        assert [policy.applies("t", lvl) for lvl in range(5)] == [
+            False, True, False, True, False,
+        ]
+
+    def test_applies_every_level(self):
+        policy = CheckpointPolicy(every_levels=1)
+        assert all(policy.applies("t", lvl) for lvl in range(4))
+
+    def test_applies_task_types(self):
+        policy = CheckpointPolicy(every_levels=1, task_types={"merge"})
+        assert policy.applies("merge", 0)
+        assert not policy.applies("stage", 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(every_levels=0)
+
+    def test_json_round_trip(self):
+        policy = CheckpointPolicy(every_levels=3, task_types={"b", "a"})
+        clone = CheckpointPolicy.from_json(policy.to_json())
+        assert clone == policy
+        assert json.loads(policy.to_json())["task_types"] == ["a", "b"]
+
+    def test_json_round_trip_all_types(self):
+        policy = CheckpointPolicy(every_levels=2)
+        assert CheckpointPolicy.from_json(policy.to_json()) == policy
+
+
+class TestRetryPolicyKnobs:
+    def test_speculation_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(speculation_factor=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(speculation_min_samples=0)
+
+    def test_cooldown_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(blacklist_cooldown=0.0)
+
+    def test_speculation_enabled(self):
+        assert not RetryPolicy().speculation_enabled
+        assert RetryPolicy(speculation_factor=2.0).speculation_enabled
+
+
+class TestLineageRecovery:
+    def test_node_loss_recovers_without_failure(self):
+        clean, plan = _node_fault_at_fraction(0.4)
+        result = _run_generated(plan=plan, policy=RECOVERY)
+        assert not result.failed
+        assert result.recovery_metrics.blocks_lost > 0
+        assert result.recovery_metrics.tasks_resurrected > 0
+        assert result.recovery_metrics.recompute_seconds > 0
+        # Resurrected tasks commit twice (one record per commit), but the
+        # distinct committed set must match the fault-free run exactly.
+        committed = {t.task_id for t in result.trace.tasks}
+        assert committed == {t.task_id for t in clean.trace.tasks}
+        assert_result_invariants(result)
+
+    def test_recovery_disabled_ignores_block_loss(self):
+        _, plan = _node_fault_at_fraction(0.4)
+        result = _run_generated(
+            plan=plan, policy=RetryPolicy(max_attempts=3)
+        )
+        # Pre-recovery semantics: block loss is not modeled at all —
+        # reads from the dead node's refs still succeed, so nothing is
+        # resurrected and no RECOMPUTE marker may appear.
+        assert result.recovery_metrics.tasks_resurrected == 0
+        assert not any(
+            s.stage is Stage.RECOMPUTE for s in result.trace.stages
+        )
+        assert_result_invariants(result)
+
+    def test_resurrected_tasks_emit_recompute_markers(self):
+        _, plan = _node_fault_at_fraction(0.4)
+        result = _run_generated(plan=plan, policy=RECOVERY)
+        markers = [
+            s for s in result.trace.stages if s.stage is Stage.RECOMPUTE
+        ]
+        assert len(markers) == result.recovery_metrics.tasks_resurrected
+        committed = {t.task_id for t in result.trace.tasks}
+        assert {m.task_id for m in markers} <= committed
+
+    def test_checkpoints_cut_recovery_depth(self):
+        _, plan = _node_fault_at_fraction(0.4)
+        deep = _run_generated(plan=plan, policy=RECOVERY)
+        shallow = _run_generated(
+            plan=plan,
+            policy=RECOVERY,
+            checkpoint_policy=CheckpointPolicy(every_levels=2),
+        )
+        assert not shallow.failed
+        assert shallow.recovery_metrics.checkpoint_writes > 0
+        assert shallow.recovery_metrics.checkpoint_write_seconds > 0
+        assert (
+            shallow.recovery_metrics.tasks_resurrected
+            < deep.recovery_metrics.tasks_resurrected
+        )
+        assert_result_invariants(shallow)
+
+    def test_checkpoint_writes_without_faults_are_pure_overhead(self):
+        clean = _run_generated()
+        checkpointed = _run_generated(
+            checkpoint_policy=CheckpointPolicy(every_levels=1)
+        )
+        assert not checkpointed.failed
+        assert checkpointed.recovery_metrics.checkpoint_writes > 0
+        assert checkpointed.makespan >= clean.makespan
+        assert_result_invariants(checkpointed)
+
+
+class TestBlacklistCooldown:
+    def test_rebooted_node_rejoins_scheduling(self):
+        clean = _run_generated(nodes=2)
+        plan = FaultPlan(
+            node_faults=(NodeFault(node=1, at_time=0.2 * clean.makespan),)
+        )
+        policy = dataclasses.replace(
+            RECOVERY, blacklist_cooldown=0.1 * clean.makespan
+        )
+        result = _run_generated(plan=plan, policy=policy, nodes=2)
+        assert not result.failed
+        reboot_time = 0.2 * clean.makespan + policy.blacklist_cooldown
+        reused = [
+            t
+            for t in result.trace.tasks
+            if t.node == 1 and t.start >= reboot_time
+        ]
+        assert reused, "node 1 never used again after its cooldown reboot"
+        assert_result_invariants(result)
+
+    def test_without_cooldown_node_stays_blacklisted(self):
+        clean = _run_generated(nodes=2)
+        plan = FaultPlan(
+            node_faults=(NodeFault(node=1, at_time=0.2 * clean.makespan),)
+        )
+        result = _run_generated(plan=plan, policy=RECOVERY, nodes=2)
+        fault_at = 0.2 * clean.makespan
+        assert not any(
+            t.node == 1 and t.start > fault_at for t in result.trace.tasks
+        )
+
+
+class TestSpeculation:
+    def _straggler_run(self, factor=1.5):
+        plan = FaultPlan(stragglers=(Straggler(factor=40.0, node=1),))
+        policy = RetryPolicy(
+            max_attempts=3,
+            recover_lost_blocks=True,
+            speculation_factor=factor,
+        )
+        return _run_generated(
+            plan=plan,
+            policy=policy,
+            width=12,
+            depth=4,
+            scheduling=SchedulingPolicy.GENERATION_ORDER,
+        )
+
+    def test_backups_rescue_stragglers(self):
+        result = self._straggler_run()
+        metrics = result.recovery_metrics
+        assert not result.failed
+        assert metrics.speculative_launches > 0
+        assert metrics.speculation_wins > 0
+        assert (
+            metrics.speculation_wins + metrics.speculation_losses
+            == metrics.speculative_launches
+        )
+        assert_result_invariants(result)
+
+    def test_speculative_markers_recorded(self):
+        result = self._straggler_run()
+        markers = [
+            s for s in result.trace.stages if s.stage is Stage.SPECULATIVE
+        ]
+        assert len(markers) == result.recovery_metrics.speculative_launches
+
+    def test_trace_metrics_match_executor_metrics(self):
+        result = self._straggler_run()
+        derived = fault_metrics(result.trace)
+        metrics = result.recovery_metrics
+        assert derived.tasks_resurrected == metrics.tasks_resurrected
+        assert derived.checkpoint_writes == metrics.checkpoint_writes
+        assert derived.speculative_launches == metrics.speculative_launches
+        assert derived.speculation_wins == metrics.speculation_wins
+        assert derived.speculation_losses == metrics.speculation_losses
+
+
+class TestAnalyzerRules:
+    def _barrier_graph(self):
+        """Fan-out -> single merge barrier -> fan-out (WF303's shape)."""
+        cost = TaskCost(
+            serial_flops=1e9,
+            parallel_flops=0.0,
+            parallel_items=0.0,
+            arithmetic_intensity=10.0,
+            input_bytes=10**6,
+            output_bytes=10**5,
+            host_device_bytes=0,
+            gpu_memory_bytes=0,
+        )
+        runtime = Runtime(RuntimeConfig(cluster=minotauro(num_nodes=4)))
+        outs = []
+        for i in range(4):
+            ref = runtime.register_input(10**6, name=f"in{i}")
+            outs.extend(runtime.submit(name="stage", inputs=[ref], cost=cost))
+        merged = runtime.submit(name="merge", inputs=outs, cost=cost)
+        for _ in range(4):
+            runtime.submit(name="post", inputs=list(merged), cost=cost)
+        return runtime.graph
+
+    def test_wf303_fires_without_checkpoints(self):
+        graph = self._barrier_graph()
+        plan = FaultPlan(node_faults=(NodeFault(node=1, at_time=1.0),))
+        report = analyze(
+            graph, minotauro(num_nodes=4), fault_plan=plan,
+            retry_policy=RECOVERY,
+        )
+        assert "WF303" in report.codes()
+
+    def test_wf303_silenced_by_checkpoint_policy(self):
+        graph = self._barrier_graph()
+        plan = FaultPlan(node_faults=(NodeFault(node=1, at_time=1.0),))
+        report = analyze(
+            graph, minotauro(num_nodes=4), fault_plan=plan,
+            retry_policy=RECOVERY,
+            checkpoint_policy=CheckpointPolicy(every_levels=1),
+        )
+        assert "WF303" not in report.codes()
+
+    def test_wf303_quiet_without_node_faults(self):
+        graph = self._barrier_graph()
+        report = analyze(
+            graph, minotauro(num_nodes=4), fault_plan=FaultPlan(),
+            retry_policy=RECOVERY,
+        )
+        assert "WF303" not in report.codes()
+
+    def test_wf304_fires_on_single_node(self):
+        graph = self._barrier_graph()
+        report = analyze(
+            graph, minotauro(num_nodes=1),
+            retry_policy=RetryPolicy(speculation_factor=2.0),
+        )
+        assert "WF304" in report.codes()
+
+    def test_wf304_quiet_on_multi_node(self):
+        graph = self._barrier_graph()
+        report = analyze(
+            graph, minotauro(num_nodes=4),
+            retry_policy=RetryPolicy(speculation_factor=2.0),
+        )
+        assert "WF304" not in report.codes()
+
+
+class TestRecoveryProperty:
+    @given(
+        node=st.integers(min_value=0, max_value=3),
+        fraction=st.floats(min_value=0.05, max_value=0.95),
+        width=st.integers(min_value=4, max_value=10),
+        depth=st.integers(min_value=3, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+        checkpoint=st.booleans(),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_single_node_fault_always_recovers(
+        self, node, fraction, width, depth, seed, checkpoint
+    ):
+        """Any single node fault with >= 2 live nodes must be survivable:
+        every block is either on a live node, checkpointed, or
+        recomputable from lineage rooted at durable workflow inputs."""
+        clean = _run_generated(width=width, depth=depth, seed=seed)
+        plan = FaultPlan(
+            node_faults=(
+                NodeFault(node=node, at_time=fraction * clean.makespan),
+            )
+        )
+        result = _run_generated(
+            plan=plan,
+            policy=RECOVERY,
+            width=width,
+            depth=depth,
+            seed=seed,
+            checkpoint_policy=(
+                CheckpointPolicy(every_levels=2) if checkpoint else None
+            ),
+        )
+        assert not result.failed
+        assert {t.task_id for t in result.trace.tasks} == {
+            t.task_id for t in clean.trace.tasks
+        }
+        assert_result_invariants(result)
+
+
+class TestDeterminismContract:
+    """Recovery machinery must be invisible until it is needed."""
+
+    @pytest.fixture(scope="class")
+    def recorded(self) -> dict:
+        return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+    @pytest.mark.parametrize(
+        "case", golden_cases(), ids=lambda case: case.key
+    )
+    def test_golden_cells_with_recovery_active(self, case, recorded):
+        from repro.tracing import trace_digest
+
+        policy = case.config.retry_policy or RetryPolicy(max_attempts=3)
+        armed = dataclasses.replace(policy, recover_lost_blocks=True)
+        config = dataclasses.replace(case.config, retry_policy=armed)
+        runtime = Runtime(config)
+        case.build(runtime)
+        result = runtime.run()
+        assert_result_invariants(result)
+        if not case.faults:
+            # Fault-free: nothing is ever lost, so arming recovery must
+            # not move a single timestamp — byte-identical fingerprint.
+            digest = trace_digest(result.trace, result.failed_task_ids)
+            assert digest == recorded[case.key]["digest"], (
+                f"{case.key}: arming recover_lost_blocks perturbed a "
+                "fault-free execution"
+            )
+        else:
+            # Faulted: recovery may legitimately change the outcome; the
+            # plan's node fault must now be survivable unless the crash
+            # budget itself was exhausted.
+            assert result.trace.attempts

@@ -5,22 +5,26 @@ traces satisfying the same structural properties:
 
 * work placed on one (node, core) slot never overlaps in time;
 * a retried task's attempts are time-ordered (attempt n ends before
-  attempt n+1 starts);
+  attempt n+1 starts) — except speculative races, whose whole point is
+  two concurrently running attempts;
 * ``Trace.makespan`` spans exactly the successful task records;
 * every on-core stage record lies within the overall recovered span.
 
-Import :func:`assert_trace_invariants` and call it on any produced trace.
+Import :func:`assert_trace_invariants` and call it on any produced
+trace; :func:`assert_result_invariants` adds the
+:class:`~repro.runtime.WorkflowResult`-level contract on top.
 """
 
 from __future__ import annotations
 
-from repro.tracing import Stage, Trace
+from repro.tracing import ATTEMPT_SPECULATION_CANCELLED, Stage, Trace
 
 #: Slack for floating-point timestamp comparisons.
 EPS = 1e-9
 
-#: Records on node/core -1 (master-side retry waits) occupy no core.
-_OFF_CORE = {Stage.FAILURE, Stage.RETRY_WAIT}
+#: Records on node/core -1 (master-side markers: retry waits, failure,
+#: recompute, and speculation-launch events) occupy no core.
+_OFF_CORE = {Stage.FAILURE, Stage.RETRY_WAIT, Stage.RECOMPUTE, Stage.SPECULATIVE}
 
 
 def _assert_non_overlapping(intervals: list[tuple[float, float, str]]) -> None:
@@ -56,6 +60,11 @@ def assert_trace_invariants(trace: Trace) -> None:
             f"task {task_id} has duplicate attempt numbers {numbers}"
         )
         for earlier, later in zip(attempts, attempts[1:]):
+            if ATTEMPT_SPECULATION_CANCELLED in (earlier.outcome, later.outcome):
+                # A speculative race: the backup runs concurrently with
+                # the primary by design, so ordering does not apply to
+                # any pair involving the cancelled loser.
+                continue
             assert earlier.end <= later.start + EPS, (
                 f"task {task_id} attempt {later.attempt} started before "
                 f"attempt {earlier.attempt} ended"
@@ -83,3 +92,32 @@ def assert_trace_invariants(trace: Trace) -> None:
         for record in trace.stages:
             if record.stage not in _OFF_CORE:
                 assert record.node >= 0 and record.core >= 0
+
+
+def assert_result_invariants(result) -> None:
+    """WorkflowResult-level contract on top of the trace invariants.
+
+    ``failed_task_ids`` is deterministically sorted ascending, free of
+    duplicates, consistent with the ``failed`` flag, and disjoint from
+    the committed task set (a task either produced its outputs or failed
+    permanently, never both).
+    """
+    assert_trace_invariants(result.trace)
+    failed_ids = result.failed_task_ids
+    assert failed_ids == tuple(sorted(set(failed_ids))), (
+        f"failed_task_ids not deterministically sorted: {failed_ids}"
+    )
+    assert result.failed == bool(failed_ids)
+    committed = {t.task_id for t in result.trace.tasks}
+    # A resurrected-then-failed task would appear in both sets only if
+    # recovery bookkeeping leaked; the executor forbids it.
+    overlap = committed & set(failed_ids)
+    known = {t.task_id for t in result.graph.tasks()}
+    assert set(failed_ids) <= known
+    assert not overlap or all(
+        any(
+            s.task_id == task_id and s.stage is Stage.RECOMPUTE
+            for s in result.trace.stages
+        )
+        for task_id in overlap
+    ), f"tasks both committed and failed without resurrection: {overlap}"
