@@ -19,6 +19,8 @@ Three entry points:
 """
 
 from repro.analysis.analyzer import analyze, analyze_runtime, collect_ref_ids
+from repro.analysis.baseline import filter_new, load_baseline, save_baseline
+from repro.analysis.devlint import LintFinding, lint_paths, lint_source
 from repro.analysis.diagnostics import (
     CODES,
     AnalysisReport,
@@ -26,18 +28,54 @@ from repro.analysis.diagnostics import (
     Severity,
     WorkflowValidationError,
 )
+from repro.analysis.registry import (
+    KIND_DEVLINT,
+    KIND_WORKFLOW,
+    RuleSpec,
+    known_codes,
+    register,
+    register_devlint,
+    rule_table,
+    spec_for,
+    specs,
+)
 from repro.analysis.rules import AnalysisOptions, RuleContext, all_rules
+from repro.analysis.sanitizer import (
+    SanitizerReport,
+    TraceSanitizerError,
+    Violation,
+    sanitize_result,
+)
 
 __all__ = [
     "AnalysisOptions",
     "AnalysisReport",
     "CODES",
     "Diagnostic",
+    "KIND_DEVLINT",
+    "KIND_WORKFLOW",
+    "LintFinding",
     "RuleContext",
+    "RuleSpec",
+    "SanitizerReport",
     "Severity",
+    "TraceSanitizerError",
+    "Violation",
     "WorkflowValidationError",
     "all_rules",
     "analyze",
     "analyze_runtime",
     "collect_ref_ids",
+    "filter_new",
+    "known_codes",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "register_devlint",
+    "rule_table",
+    "sanitize_result",
+    "save_baseline",
+    "spec_for",
+    "specs",
 ]

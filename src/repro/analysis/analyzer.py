@@ -114,7 +114,34 @@ def analyze(
     )
     for _code, rule_fn in all_rules():
         report.extend(rule_fn(context))
+    report.diagnostics = _apply_suppressions(
+        report.diagnostics, graph, context.options
+    )
     return report
+
+
+def _apply_suppressions(
+    diagnostics: list, graph: TaskGraph, options: AnalysisOptions
+) -> list:
+    """Drop findings the user has explicitly accepted.
+
+    A diagnostic is suppressed when its code is in ``options.ignore``
+    (global), or when *every* task it names carries the code in its own
+    ``ignore`` set (``@task(ignore=...)`` / ``submit(ignore=...)``).
+    Graph-wide findings (no task ids) only honour the global set — a
+    per-task annotation cannot waive a whole-workflow defect.
+    """
+    kept = []
+    for diagnostic in diagnostics:
+        if diagnostic.code in options.ignore:
+            continue
+        if diagnostic.task_ids and all(
+            diagnostic.code in graph.task(task_id).ignore
+            for task_id in diagnostic.task_ids
+        ):
+            continue
+        kept.append(diagnostic)
+    return kept
 
 
 def analyze_runtime(

@@ -1,0 +1,70 @@
+"""Baseline files: land strict rules without breaking existing code.
+
+A baseline is a committed JSON file holding the *fingerprints* of known,
+reviewed findings.  A lint run then fails only on findings whose
+fingerprint is not in the baseline, so a new rule can ship error-strict
+while the pre-existing, audited hits are burned down over time — the
+workflow ``repro devlint --write-baseline`` regenerates the file after a
+hit is fixed or a new one is accepted.
+
+Fingerprints are chosen to survive unrelated edits:
+
+* devlint findings fingerprint as ``path|code|symbol`` (the enclosing
+  function/class qualname, not the line number, so reflowing a module
+  does not invalidate the baseline);
+* workflow diagnostics fingerprint as ``code|task_type`` (task ids are
+  build-order artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+#: Format marker so future fingerprint schemes can migrate old files.
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """The fingerprints recorded in a baseline file.
+
+    A missing file is an empty baseline (every finding is new), so CI
+    can run the same command before and after the file first lands.
+    """
+    path = Path(path)
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported version "
+            f"{payload.get('version')!r} (expected {BASELINE_VERSION})"
+        )
+    return set(payload.get("fingerprints", []))
+
+
+def save_baseline(path: str | Path, fingerprints: Iterable[str]) -> Path:
+    """Write a baseline file (deterministic bytes, sorted fingerprints)."""
+    from repro.core.persistence import dumps_deterministic
+
+    path = Path(path)
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted(set(fingerprints)),
+    }
+    path.write_text(dumps_deterministic(payload), encoding="utf-8")
+    return path
+
+
+def filter_new(
+    findings: Iterable, baseline: set[str]
+) -> tuple[list, list]:
+    """Split findings into (new, baselined) by their ``fingerprint()``."""
+    new, known = [], []
+    for finding in findings:
+        if finding.fingerprint() in baseline:
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

@@ -13,6 +13,9 @@ Codes are grouped by family:
   regime the paper's observations O1-O6 identify as slow.
 * ``WF3xx`` — resilience: fault-injection plans and recovery policies
   that contradict each other or the target cluster.
+* ``WF4xx`` — block-access races: write-write conflicts on one block id,
+  read-after-free hazards across node-death/recovery paths, and
+  checkpoint/lineage inconsistencies (:mod:`repro.analysis.races`).
 
 An :class:`AnalysisReport` aggregates the findings of one analyzer pass
 and renders them as text or JSON.
@@ -21,7 +24,6 @@ and renders them as text or JSON.
 from __future__ import annotations
 
 import enum
-import json
 from dataclasses import dataclass, field
 
 
@@ -48,6 +50,8 @@ CODES: dict[str, str] = {
     "WF004": "duplicate dependency edge between the same two tasks",
     "WF005": "dead task: outputs never consumed nor returned",
     "WF006": "task has no TaskCost for the simulated backend",
+    "WF007": "unreachable task: disconnected from the rest of the DAG",
+    "WF008": "zero-cost task: a TaskCost whose every stage is zero",
     "WF101": "host working set exceeds node RAM (the paper's 'CPU GPU OOM')",
     "WF102": "GPU working set exceeds device memory (the paper's 'GPU OOM')",
     "WF103": "GPU execution requested on a cluster without GPU devices",
@@ -60,6 +64,12 @@ CODES: dict[str, str] = {
     "WF303": "node faults can destroy the only replica of a barrier output "
     "(no checkpoint policy)",
     "WF304": "speculative re-execution configured on a single-node cluster",
+    "WF401": "write-write race: two unordered tasks produce the same block",
+    "WF402": "read-after-free: lineage recovery can walk into a "
+    "permanently failed producer",
+    "WF403": "checkpointed block's producer can be speculatively "
+    "re-executed (double checkpoint writes)",
+    "WF404": "checkpoint policy names task types absent from the graph",
 }
 
 
@@ -178,15 +188,29 @@ class AnalysisReport:
         return "\n".join(lines)
 
     def to_json(self, indent: int | None = 2) -> str:
-        """The whole report as JSON (``repro lint --format json``)."""
-        return json.dumps(
+        """The whole report as JSON (``repro lint --format json``).
+
+        The output is byte-stable: diagnostics are ordered by
+        (code, task ids, task type) rather than rule-emission order, keys
+        are sorted, and the encoding matches
+        :func:`~repro.core.persistence.dumps_deterministic` (``indent``
+        is accepted for backwards compatibility but the deterministic
+        two-space indent always applies), so CI can diff lint reports
+        across runs.
+        """
+        from repro.core.persistence import dumps_deterministic
+
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (d.code, d.task_ids, d.task_type, d.message),
+        )
+        return dumps_deterministic(
             {
                 "cluster": self.cluster,
                 "use_gpu": self.use_gpu,
                 "summary": self.summary(),
-                "diagnostics": [d.to_dict() for d in self.diagnostics],
-            },
-            indent=indent,
+                "diagnostics": [d.to_dict() for d in ordered],
+            }
         )
 
 

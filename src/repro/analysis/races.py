@@ -1,0 +1,264 @@
+"""Block-access race rules (``WF4xx``): static data-hazard detection.
+
+The executor moves blocks, not just tasks: every output ref is a block
+with one authoritative replica (homed where its producer ran), node
+faults destroy replicas, lineage recovery resurrects producers, the
+checkpoint policy clones blocks to shared storage, and speculation runs
+two attempts of one producer concurrently.  Each of those mechanisms is
+individually deterministic, but their *compositions* can race on a block
+id.  These rules find the three hazard classes statically, from the DAG
+plus the fault/recovery configuration alone:
+
+* **WF401** — write-write: two dependency-unordered tasks produce the
+  same ref id, so the surviving replica depends on scheduling order.
+* **WF402** — read-after-free: a lineage walk triggered by a lost block
+  can reach a producer whose retries a crash plan provably exhausts; the
+  consumer then reads a block that can never exist again.
+* **WF403** — checkpoint/lineage inconsistency: a checkpointed block
+  whose producer can be speculatively re-executed writes the durable
+  copy twice, and the loser's write may land after the winner re-homed
+  the authoritative replica.
+* **WF404** — a checkpoint policy restricted to task types the graph
+  does not contain protects nothing (a typo silently disables it).
+
+All four stay quiet on the golden-trace matrix (``tests/golden_matrix.py``),
+whose fault cells retry without lineage recovery, checkpoints, or
+speculation — the interplay tests pin that down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import register
+from repro.analysis.rules import RuleContext, _grouped, _ids
+from repro.runtime.dag import CycleError
+
+
+def _reachable(graph, source: int, target: int) -> bool:
+    """Whether ``target`` is a (transitive) successor of ``source``."""
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        task_id = frontier.popleft()
+        for successor in graph.successors(task_id):
+            sid = successor.task_id
+            if sid == target:
+                return True
+            if sid not in seen:
+                seen.add(sid)
+                frontier.append(sid)
+    return False
+
+
+@register("WF401", severity=Severity.ERROR, category="races")
+def check_write_write_race(ctx: RuleContext) -> list[Diagnostic]:
+    """WF401 — two dependency-unordered tasks write the same block id.
+
+    Refines WF002: duplicate producers that are at least *ordered* by a
+    dependency path overwrite deterministically (still wrong, but
+    reproducibly so); unordered producers race, and which replica
+    consumers observe depends on the scheduling policy and timing.
+    """
+    producers: dict[int, list] = {}
+    for task in ctx.graph.tasks():
+        for ref in task.outputs:
+            producers.setdefault(ref.ref_id, []).append(task)
+    findings: list[Diagnostic] = []
+    for ref_id, writers in sorted(producers.items()):
+        if len(writers) < 2:
+            continue
+        for i, first in enumerate(writers):
+            for second in writers[i + 1 :]:
+                a, b = first.task_id, second.task_id
+                if _reachable(ctx.graph, a, b) or _reachable(ctx.graph, b, a):
+                    continue  # ordered: WF002 covers the duplicate producer
+                findings.append(
+                    Diagnostic(
+                        code="WF401",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"block #{ref_id} is written by task #{a} and "
+                            f"task #{b} with no dependency path between "
+                            "them; the surviving replica depends on "
+                            "scheduling order, so consumers read a "
+                            "nondeterministic value"
+                        ),
+                        task_ids=tuple(sorted((a, b))),
+                        task_type=first.name if first.name == second.name else "",
+                        hint="give each writer its own output ref, or order "
+                        "the writers with a dependency edge",
+                    )
+                )
+    return findings
+
+
+def _crash_exhausts_retries(plan, policy, task) -> bool:
+    """Whether a planned crash provably fails ``task`` permanently.
+
+    True when some TaskCrash matches the task and its ``attempts`` tuple
+    covers every attempt the retry budget allows — the task cannot ever
+    commit, no matter how the schedule unfolds.
+    """
+    max_attempts = getattr(policy, "max_attempts", 3) if policy else 3
+    budget = set(range(1, max_attempts + 1))
+    for crash in getattr(plan, "task_crashes", ()):
+        if crash.task_id is not None and crash.task_id != task.task_id:
+            continue
+        if crash.task_type is not None and crash.task_type != task.name:
+            continue
+        if crash.task_id is None and crash.task_type is None:
+            continue
+        if budget <= set(crash.attempts):
+            return True
+    return False
+
+
+@register("WF402", severity=Severity.WARNING, category="races")
+def check_read_after_free(ctx: RuleContext) -> list[Diagnostic]:
+    """WF402 — lineage recovery can walk into a permanently failed producer.
+
+    With ``recover_lost_blocks=True`` a node fault marks resident blocks
+    lost; when a consumer of a lost block is dispatched, the executor
+    walks the lineage backwards to resurrect producers.  If that walk
+    reaches a producer whose retries a crash plan provably exhausts, the
+    block can never be recomputed: the consumer reads-after-free and
+    fails, cascading to its dependents.  Checkpointed producers are safe
+    — the durable copy terminates the walk before the doomed task.
+    """
+    plan = ctx.fault_plan
+    policy = ctx.retry_policy
+    if plan is None or getattr(plan, "is_empty", True):
+        return []
+    if not getattr(plan, "node_faults", ()):
+        return []  # no node death, no lost blocks, no lineage walk
+    if policy is None or not getattr(policy, "recover_lost_blocks", False):
+        return []  # recovery off: losses fail fast, nothing resurrects
+    checkpoint = ctx.checkpoint_policy
+    try:
+        levels = ctx.graph.levels()
+    except CycleError:
+        return []  # WF001 already covers an unschedulable graph
+    consumed = {
+        ref.ref_id for task in ctx.graph.tasks() for ref in task.inputs
+    }
+    doomed = []
+    for task in ctx.graph.tasks():
+        if not any(ref.ref_id in consumed for ref in task.outputs):
+            continue  # nothing downstream ever walks into this producer
+        if not _crash_exhausts_retries(plan, policy, task):
+            continue
+        if checkpoint is not None and checkpoint.applies(
+            task.name, levels[task.task_id]
+        ):
+            continue  # durable copy terminates the lineage walk
+        doomed.append(task)
+    findings = []
+    for name, tasks in _grouped(doomed).items():
+        findings.append(
+            Diagnostic(
+                code="WF402",
+                severity=Severity.WARNING,
+                message=(
+                    f"{len(tasks)} {name!r} producer task(s) are crashed on "
+                    "every allowed attempt while node faults plus "
+                    "recover_lost_blocks=True can send a lineage walk "
+                    "through them; consumers of their blocks read-after-free "
+                    "and fail permanently"
+                ),
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="raise max_attempts past the crash plan, drop the "
+                "crash entries, or checkpoint the producer's task type",
+            )
+        )
+    return findings
+
+
+@register("WF403", severity=Severity.WARNING, category="races")
+def check_checkpoint_speculation_divergence(ctx: RuleContext) -> list[Diagnostic]:
+    """WF403 — a checkpointed producer can be speculatively re-executed.
+
+    Speculation races two attempts of one task; each committing attempt
+    walks the checkpoint-write stage, so a checkpointed task type pays
+    the GPFS round-trip twice, and the losing attempt's write can land
+    *after* the winner re-homed the authoritative replica — the durable
+    copy and the live block then disagree about where the block lives
+    (and, with jitter, about its content timeline).
+    """
+    checkpoint = ctx.checkpoint_policy
+    policy = ctx.retry_policy
+    if checkpoint is None or policy is None:
+        return []
+    if getattr(policy, "speculation_factor", None) is None:
+        return []
+    try:
+        levels = ctx.graph.levels()
+    except CycleError:
+        return []
+    exposed = [
+        task
+        for task in ctx.graph.tasks()
+        if checkpoint.applies(task.name, levels[task.task_id])
+    ]
+    findings = []
+    for name, tasks in _grouped(exposed).items():
+        findings.append(
+            Diagnostic(
+                code="WF403",
+                severity=Severity.WARNING,
+                message=(
+                    f"{len(tasks)} {name!r} task(s) are both checkpointed "
+                    "and eligible for speculative re-execution; a "
+                    "speculation race checkpoints the same block twice and "
+                    "the loser's durable write can disagree with the "
+                    "winner's authoritative replica"
+                ),
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="exclude the checkpointed types from speculation "
+                "(or vice versa): set CheckpointPolicy(task_types=...) "
+                "disjoint from the straggler-prone types",
+            )
+        )
+    return findings
+
+
+@register("WF404", severity=Severity.WARNING, category="races")
+def check_checkpoint_types_exist(ctx: RuleContext) -> list[Diagnostic]:
+    """WF404 — the checkpoint policy names task types the graph lacks.
+
+    ``CheckpointPolicy(task_types={...})`` restricted to names that no
+    task carries persists nothing: recovery then walks the full lineage
+    exactly as if checkpointing were off, which is almost certainly a
+    typo rather than an intent.
+    """
+    checkpoint = ctx.checkpoint_policy
+    if checkpoint is None:
+        return []
+    wanted = getattr(checkpoint, "task_types", None)
+    if not wanted:
+        return []
+    present = {task.name for task in ctx.graph.tasks()}
+    missing = sorted(set(wanted) - present)
+    if not missing:
+        return []
+    shown = ", ".join(repr(name) for name in missing)
+    return [
+        Diagnostic(
+            code="WF404",
+            severity=Severity.WARNING,
+            message=(
+                f"checkpoint policy names task type(s) {shown} that the "
+                "workflow does not contain"
+                + (
+                    "; no block is ever checkpointed"
+                    if len(missing) == len(wanted)
+                    else ""
+                )
+            ),
+            hint="fix the type names (see TaskGraph task names) or drop "
+            "task_types to checkpoint every type",
+        )
+    ]

@@ -1,0 +1,153 @@
+"""The pluggable rule registry behind the analyzer and the devlint.
+
+Every diagnostic rule — the workflow rules of :mod:`repro.analysis.rules`
+and :mod:`repro.analysis.races`, and the source-level determinism checks
+of :mod:`repro.analysis.devlint` — registers itself here with a stable
+code, a severity, a category, and a one-line summary.  The registry is
+the single source of truth the documentation table in ``docs/linting.md``
+is generated from (``tests/test_docs_consistency.py`` pins the two
+together), and what lets new rule families plug in without touching the
+analyzer core.
+
+Workflow rules additionally carry their rule function (signature
+``RuleContext -> list[Diagnostic]``); devlint rules are registered for
+metadata only — their matching logic lives in the AST visitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.diagnostics import CODES, Severity
+
+#: Registry kinds: workflow rules run over a built TaskGraph, devlint
+#: rules run over the repository's own Python source.
+KIND_WORKFLOW = "workflow"
+KIND_DEVLINT = "devlint"
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Metadata of one registered rule."""
+
+    code: str
+    severity: Severity
+    #: Rule family for the docs table ("graph", "feasibility",
+    #: "performance", "resilience", "races", "determinism").
+    category: str
+    #: One-line description (the ``CODES`` entry for workflow rules).
+    summary: str
+    #: The rule function for workflow rules; ``None`` for devlint rules,
+    #: whose matching logic lives in the AST visitor.
+    fn: Callable | None = None
+    kind: str = KIND_WORKFLOW
+
+
+_REGISTRY: dict[str, RuleSpec] = {}
+_LOADED = False
+
+
+def register(
+    code: str,
+    *,
+    severity: Severity,
+    category: str,
+    summary: str | None = None,
+    kind: str = KIND_WORKFLOW,
+) -> Callable:
+    """Register a rule under its stable code (decorator).
+
+    Workflow rules take their one-line summary from the ``CODES`` table
+    (keeping code and docs in lockstep); devlint rules pass ``summary=``
+    explicitly.  Registering the same code twice is a programming error.
+    """
+
+    def decorate(fn: Callable | None) -> Callable | None:
+        if code in _REGISTRY:
+            raise ValueError(f"rule {code!r} registered twice")
+        line = summary if summary is not None else CODES.get(code)
+        if line is None:
+            raise ValueError(f"rule {code!r} has no CODES entry and no summary=")
+        _REGISTRY[code] = RuleSpec(
+            code=code,
+            severity=severity,
+            category=category,
+            summary=line,
+            fn=fn,
+            kind=kind,
+        )
+        return fn
+
+    return decorate
+
+
+def register_devlint(
+    code: str, *, severity: Severity, summary: str
+) -> None:
+    """Register a devlint rule's metadata (no rule function)."""
+    register(
+        code,
+        severity=severity,
+        category="determinism",
+        summary=summary,
+        kind=KIND_DEVLINT,
+    )(None)
+
+
+def _ensure_loaded() -> None:
+    """Import every rule module so the registry is fully populated."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    # Imports are for their registration side effects.
+    import repro.analysis.devlint  # noqa: F401
+    import repro.analysis.races  # noqa: F401
+    import repro.analysis.rules  # noqa: F401
+
+
+def specs(kind: str | None = None) -> list[RuleSpec]:
+    """Every registered spec ordered by code, optionally one kind only."""
+    _ensure_loaded()
+    selected = [
+        spec
+        for spec in _REGISTRY.values()
+        if kind is None or spec.kind == kind
+    ]
+    return sorted(selected, key=lambda spec: spec.code)
+
+
+def workflow_rules() -> list[tuple[str, Callable]]:
+    """Every workflow rule as (code, function), ordered by code."""
+    return [(spec.code, spec.fn) for spec in specs(KIND_WORKFLOW)]
+
+
+def spec_for(code: str) -> RuleSpec:
+    """The spec registered under ``code`` (KeyError if unknown)."""
+    _ensure_loaded()
+    return _REGISTRY[code]
+
+
+def known_codes(kind: str | None = None) -> set[str]:
+    """The registered codes, optionally restricted to one kind."""
+    return {spec.code for spec in specs(kind)}
+
+
+def rule_table() -> str:
+    """The docs/linting.md rule table, generated from the registry.
+
+    One markdown row per registered rule: code, severity, category,
+    one-line summary.  ``tests/test_docs_consistency.py`` asserts the
+    committed table equals this output, so it cannot drift.
+    """
+    lines = [
+        "| code | severity | category | summary |",
+        "| --- | --- | --- | --- |",
+    ]
+    for spec in specs():
+        lines.append(
+            f"| {spec.code} | {spec.severity.value} | {spec.category} "
+            f"| {spec.summary} |"
+        )
+    return "\n".join(lines)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import register
 from repro.hardware.specs import ClusterSpec
 from repro.perfmodel.costmodel import CostModel
 from repro.runtime.dag import CycleError, TaskGraph
@@ -39,12 +40,16 @@ class AnalysisOptions:
     #: WF203 fires when the DAG width is below this share of the
     #: cluster's parallel slots.
     width_slot_share: float = 0.25
+    #: Diagnostic codes suppressed for the whole analysis pass (the
+    #: global counterpart of the per-task ``ignore=`` API).
+    ignore: frozenset[str] = frozenset()
 
     def __post_init__(self) -> None:
         if not 0 < self.launch_overhead_share <= 1:
             raise ValueError("launch_overhead_share must be in (0, 1]")
         if not 0 < self.width_slot_share <= 1:
             raise ValueError("width_slot_share must be in (0, 1]")
+        object.__setattr__(self, "ignore", frozenset(self.ignore))
 
 
 @dataclass(frozen=True)
@@ -75,22 +80,17 @@ class RuleContext:
 
 Rule = Callable[[RuleContext], list[Diagnostic]]
 
-_RULES: list[tuple[str, Rule]] = []
-
-
-def rule(code: str) -> Callable[[Rule], Rule]:
-    """Register a rule function under its stable code."""
-
-    def register(fn: Rule) -> Rule:
-        _RULES.append((code, fn))
-        return fn
-
-    return register
-
 
 def all_rules() -> list[tuple[str, Rule]]:
-    """Every registered rule as (code, function), ordered by code."""
-    return sorted(_RULES)
+    """Every registered workflow rule as (code, function), ordered by code.
+
+    Backed by the pluggable registry of
+    :mod:`repro.analysis.registry`, which also covers the ``WF4xx``
+    race rules of :mod:`repro.analysis.races`.
+    """
+    from repro.analysis.registry import workflow_rules
+
+    return workflow_rules()
 
 
 # --------------------------------------------------------------- helpers
@@ -110,7 +110,7 @@ def _ids(tasks: list[Task]) -> tuple[int, ...]:
 
 
 # --------------------------------------------------- WF0xx: graph hazards
-@rule("WF001")
+@register("WF001", severity=Severity.ERROR, category="graph")
 def check_cycles(ctx: RuleContext) -> list[Diagnostic]:
     """WF001 — the dependency graph must be acyclic."""
     graph = ctx.graph
@@ -142,7 +142,7 @@ def check_cycles(ctx: RuleContext) -> list[Diagnostic]:
     ]
 
 
-@rule("WF002")
+@register("WF002", severity=Severity.ERROR, category="graph")
 def check_duplicate_producers(ctx: RuleContext) -> list[Diagnostic]:
     """WF002 — every data ref must have exactly one producer."""
     producer_of: dict[int, int] = {}
@@ -171,7 +171,7 @@ def check_duplicate_producers(ctx: RuleContext) -> list[Diagnostic]:
     return findings
 
 
-@rule("WF003")
+@register("WF003", severity=Severity.ERROR, category="graph")
 def check_self_dependency(ctx: RuleContext) -> list[Diagnostic]:
     """WF003 — a task must not consume its own output."""
     self_edges = {src for src, dst in ctx.graph.edges() if src == dst}
@@ -198,7 +198,7 @@ def check_self_dependency(ctx: RuleContext) -> list[Diagnostic]:
     ]
 
 
-@rule("WF004")
+@register("WF004", severity=Severity.WARNING, category="graph")
 def check_duplicate_edges(ctx: RuleContext) -> list[Diagnostic]:
     """WF004 — at most one dependency edge between any two tasks."""
     duplicated = [
@@ -221,7 +221,7 @@ def check_duplicate_edges(ctx: RuleContext) -> list[Diagnostic]:
     ]
 
 
-@rule("WF005")
+@register("WF005", severity=Severity.WARNING, category="graph")
 def check_dead_tasks(ctx: RuleContext) -> list[Diagnostic]:
     """WF005 — every task's outputs should be consumed or returned."""
     graph = ctx.graph
@@ -267,7 +267,7 @@ def check_dead_tasks(ctx: RuleContext) -> list[Diagnostic]:
     return findings
 
 
-@rule("WF006")
+@register("WF006", severity=Severity.WARNING, category="graph")
 def check_missing_costs(ctx: RuleContext) -> list[Diagnostic]:
     """WF006 — the simulated backend needs a TaskCost per task."""
     if ctx.backend not in (None, "simulated"):
@@ -290,8 +290,88 @@ def check_missing_costs(ctx: RuleContext) -> list[Diagnostic]:
     return findings
 
 
+@register("WF007", severity=Severity.WARNING, category="graph")
+def check_unreachable_tasks(ctx: RuleContext) -> list[Diagnostic]:
+    """WF007 — a task disconnected from the rest of the DAG.
+
+    Fires for tasks with zero in-degree *and* zero out-degree in a
+    workflow that otherwise has dependency structure: such a task is
+    usually a build() leftover (an operand registered but never wired
+    in).  Tasks whose outputs the application declares as returned are
+    exempt — an intentionally independent side computation is fine.
+    """
+    graph = ctx.graph
+    if graph.num_tasks < 2 or not graph.edges():
+        return []  # a trivial or fully independent workflow has no "rest"
+    returned = ctx.returned_ref_ids or frozenset()
+    isolated = [
+        task
+        for task in graph.tasks()
+        if not graph.predecessors(task.task_id)
+        and not graph.successors(task.task_id)
+        and not any(ref.ref_id in returned for ref in task.outputs)
+    ]
+    findings = []
+    for name, tasks in _grouped(isolated).items():
+        findings.append(
+            Diagnostic(
+                code="WF007",
+                severity=Severity.WARNING,
+                message=f"{len(tasks)} {name!r} task(s) are disconnected from "
+                "the rest of the DAG (no predecessors, no successors, outputs "
+                "never returned); they burn a core without contributing to "
+                "the workflow's results",
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="wire the task into the DAG, return its outputs, or "
+                "drop it",
+            )
+        )
+    return findings
+
+
+@register("WF008", severity=Severity.WARNING, category="graph")
+def check_zero_cost_tasks(ctx: RuleContext) -> list[Diagnostic]:
+    """WF008 — a TaskCost whose every stage simulates as zero.
+
+    Distinct from WF006 (no cost at all): here a cost *was* declared but
+    all of its duration-bearing fields are zero, so the simulated stages
+    collapse to instants.  That silently skews every timing metric the
+    same way a missing cost does, while looking intentional.
+    """
+    if ctx.backend not in (None, "simulated"):
+        return []  # real-execution backends run the actual function
+    zero = [
+        t
+        for t in ctx.graph.tasks()
+        if t.cost is not None
+        and t.cost.serial_flops == 0
+        and t.cost.parallel_flops == 0
+        and t.cost.input_bytes == 0
+        and t.cost.output_bytes == 0
+        and t.cost.host_device_bytes == 0
+    ]
+    findings = []
+    for name, tasks in _grouped(zero).items():
+        findings.append(
+            Diagnostic(
+                code="WF008",
+                severity=Severity.WARNING,
+                message=f"{len(tasks)} {name!r} task(s) declare a TaskCost "
+                "whose every duration-bearing field is zero; the simulated "
+                "backend runs them as zero-duration stages, skewing every "
+                "timing metric",
+                task_ids=_ids(tasks),
+                task_type=name,
+                hint="declare the real demands, or submit with cost=None if "
+                "the task is a pure bookkeeping step",
+            )
+        )
+    return findings
+
+
 # ---------------------------------------------------- WF1xx: feasibility
-@rule("WF101")
+@register("WF101", severity=Severity.ERROR, category="feasibility")
 def check_host_memory(ctx: RuleContext) -> list[Diagnostic]:
     """WF101 — per-task host working set vs node RAM (Figure 9a)."""
     if ctx.cluster is None:
@@ -331,7 +411,7 @@ def _gpu_tasks(ctx: RuleContext) -> list[Task]:
     return [t for t in ctx.graph.tasks() if t.gpu_eligible and t.cost is not None]
 
 
-@rule("WF102")
+@register("WF102", severity=Severity.ERROR, category="feasibility")
 def check_gpu_memory(ctx: RuleContext) -> list[Diagnostic]:
     """WF102 — per-task device working set vs GPU memory (Figure 9a)."""
     if ctx.cluster is None:
@@ -364,7 +444,7 @@ def check_gpu_memory(ctx: RuleContext) -> list[Diagnostic]:
     return findings
 
 
-@rule("WF103")
+@register("WF103", severity=Severity.ERROR, category="feasibility")
 def check_gpu_available(ctx: RuleContext) -> list[Diagnostic]:
     """WF103 — a GPU run needs a cluster that has GPU devices."""
     if ctx.cluster is None or not ctx.use_gpu or ctx.cluster.has_gpus:
@@ -388,7 +468,7 @@ def check_gpu_available(ctx: RuleContext) -> list[Diagnostic]:
     ]
 
 
-@rule("WF104")
+@register("WF104", severity=Severity.WARNING, category="feasibility")
 def check_output_blocks_fit_gpu(ctx: RuleContext) -> list[Diagnostic]:
     """WF104 — each produced block should fit one GPU device's memory."""
     if ctx.cluster is None:
@@ -424,7 +504,7 @@ def check_output_blocks_fit_gpu(ctx: RuleContext) -> list[Diagnostic]:
 
 
 # ----------------------------------------------- WF2xx: performance smells
-@rule("WF201")
+@register("WF201", severity=Severity.WARNING, category="performance")
 def check_launch_overhead(ctx: RuleContext) -> list[Diagnostic]:
     """WF201 — tiny kernels where launch overhead dominates (O1)."""
     model = ctx.cost_model
@@ -462,7 +542,7 @@ def check_launch_overhead(ctx: RuleContext) -> list[Diagnostic]:
     return findings
 
 
-@rule("WF202")
+@register("WF202", severity=Severity.WARNING, category="performance")
 def check_transfer_bound(ctx: RuleContext) -> list[Diagnostic]:
     """WF202 — PCIe transfer time exceeds modeled kernel time (O4)."""
     model = ctx.cost_model
@@ -496,7 +576,7 @@ def check_transfer_bound(ctx: RuleContext) -> list[Diagnostic]:
     return findings
 
 
-@rule("WF203")
+@register("WF203", severity=Severity.INFO, category="performance")
 def check_dag_width(ctx: RuleContext) -> list[Diagnostic]:
     """WF203 — the DAG should be wide enough to fill the cluster."""
     if ctx.cluster is None or ctx.graph.num_tasks <= 1:
@@ -525,7 +605,7 @@ def check_dag_width(ctx: RuleContext) -> list[Diagnostic]:
 
 
 # --------------------------------------------------- WF3xx: resilience
-@rule("WF301")
+@register("WF301", severity=Severity.WARNING, category="resilience")
 def check_retries_disabled(ctx: RuleContext) -> list[Diagnostic]:
     """WF301 — an injecting fault plan with retries turned off.
 
@@ -554,7 +634,7 @@ def check_retries_disabled(ctx: RuleContext) -> list[Diagnostic]:
     ]
 
 
-@rule("WF302")
+@register("WF302", severity=Severity.ERROR, category="resilience")
 def check_fault_nodes_exist(ctx: RuleContext) -> list[Diagnostic]:
     """WF302 — node faults must name nodes the cluster actually has."""
     plan = ctx.fault_plan
@@ -585,7 +665,7 @@ def check_fault_nodes_exist(ctx: RuleContext) -> list[Diagnostic]:
     ]
 
 
-@rule("WF303")
+@register("WF303", severity=Severity.WARNING, category="resilience")
 def check_unprotected_barriers(ctx: RuleContext) -> list[Diagnostic]:
     """WF303 — node faults can destroy the only replica of a barrier output.
 
@@ -643,7 +723,7 @@ def check_unprotected_barriers(ctx: RuleContext) -> list[Diagnostic]:
     ]
 
 
-@rule("WF304")
+@register("WF304", severity=Severity.WARNING, category="resilience")
 def check_speculation_needs_nodes(ctx: RuleContext) -> list[Diagnostic]:
     """WF304 — speculative re-execution needs a second node.
 

@@ -11,6 +11,9 @@ Commands:
 * ``lint`` — statically analyze a workload/preset combination without
   executing it, printing ``WFnnn`` diagnostics (text or JSON) and exiting
   non-zero when errors (e.g. a predicted host OOM) are found;
+* ``devlint`` — lint repro's own Python source for nondeterminism
+  patterns (``DLnnn``: unsorted set iteration, address-based tie-breaks,
+  unseeded RNGs, ...), gated on a committed baseline file;
 * ``bench`` — measure the simulator's own wall-clock throughput over a
   fixed workload matrix and write ``BENCH_simulator.json``;
 * ``info`` — show the simulated cluster and calibration constants.
@@ -127,6 +130,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="launch a backup copy of any attempt running FACTOR x the "
              "median duration of its task type",
     )
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="replay the trace through the dynamic sanitizer afterwards; "
+             "exit 2 if any execution invariant was violated",
+    )
 
     advise = sub.add_parser("advise", help="recommend a configuration")
     advise.add_argument("--algorithm", choices=("matmul", "kmeans"),
@@ -163,6 +172,30 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="number of cluster nodes")
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       help="output format")
+
+    devlint = sub.add_parser(
+        "devlint",
+        help="lint Python sources for nondeterminism patterns (DLnnn)",
+    )
+    devlint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    devlint.add_argument("--format", choices=("text", "json"), default="text",
+                         help="output format")
+    devlint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file of accepted findings; only new findings fail",
+    )
+    devlint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file with the current findings and exit 0",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -278,6 +311,7 @@ def _load_fault_plan(spec: str):
 
 
 def _cmd_run(args) -> int:
+    from repro.analysis import TraceSanitizerError
     from repro.core.experiments.runners import run_workflow
     from repro.faults import CheckpointPolicy, RetryPolicy
     from repro.runtime import Runtime, RuntimeConfig
@@ -315,11 +349,18 @@ def _cmd_run(args) -> int:
         fault_plan=fault_plan,
         retry_policy=retry_policy,
         checkpoint_policy=checkpoint_policy,
+        sanitize=args.sanitize,
     )
     runtime = Runtime(config)
     workflow.build(runtime)
     print(f"DAG: {runtime.graph.describe()}")
-    result = runtime.run()
+    try:
+        result = runtime.run()
+    except TraceSanitizerError as error:
+        print(error.report.render())
+        return 2
+    if result.sanitizer is not None:
+        print(result.sanitizer.render())
     print(f"makespan: {format_seconds(result.makespan)}")
     if fault_plan is not None:
         metrics = fault_metrics(result.trace)
@@ -445,6 +486,40 @@ def _cmd_lint(args) -> int:
     return 1 if report.has_errors else 0
 
 
+def _cmd_devlint(args) -> int:
+    from repro.analysis import filter_new, lint_paths, load_baseline, save_baseline
+
+    findings = lint_paths(args.paths)
+    if args.write_baseline:
+        if not args.baseline:
+            print("devlint: --write-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        path = save_baseline(args.baseline, (f.fingerprint() for f in findings))
+        print(f"devlint: wrote {len(findings)} fingerprint(s) to {path}")
+        return 0
+    baseline = load_baseline(args.baseline) if args.baseline else set()
+    new, known = filter_new(findings, baseline)
+    if args.format == "json":
+        from repro.core.persistence import dumps_deterministic
+
+        print(
+            dumps_deterministic(
+                {
+                    "findings": [f.to_dict() for f in new],
+                    "baselined": len(known),
+                }
+            ),
+            end="",
+        )
+    else:
+        for finding in new:
+            print(finding.render())
+        suffix = f" ({len(known)} baselined)" if baseline else ""
+        print(f"devlint: {len(new)} new finding(s){suffix}")
+    return 1 if new else 0
+
+
 def _cmd_bench(args) -> int:
     if args.suite == "sweeps":
         from repro.bench import DEFAULT_SWEEPS_OUTPUT, render_sweep_report, run_sweep_bench
@@ -536,6 +611,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_observations()
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "devlint":
+        return _cmd_devlint(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "info":

@@ -101,6 +101,14 @@ class RuntimeConfig:
     #: raise :class:`~repro.analysis.WorkflowValidationError` on
     #: error-severity findings (predicted OOM, broken DAG, ...).
     validate: bool = False
+    #: Replay the produced trace through the dynamic sanitizer
+    #: (:mod:`repro.analysis.sanitizer`) after execution and raise
+    #: :class:`~repro.analysis.TraceSanitizerError` on any broken
+    #: invariant (happens-before, resource conservation, attempt-machine
+    #: legality, ...).  ASan-style: off by default, armed in CI on the
+    #: golden suite; simulated backend only.  Read-only — a sanitized
+    #: run's trace is bit-identical to an unsanitized one.
+    sanitize: bool = False
 
 
 @dataclass
@@ -128,6 +136,10 @@ class WorkflowResult:
     #: run; all-zero for a fault-free execution or when the recovery
     #: features are disabled.
     recovery_metrics: RecoveryMetrics = field(default_factory=RecoveryMetrics)
+    #: The sanitizer's report when the run was sanitized (``None``
+    #: otherwise).  Present only on clean runs — a dirty trace raises
+    #: :class:`~repro.analysis.TraceSanitizerError` instead.
+    sanitizer: Any = None
 
     @property
     def makespan(self) -> float:
@@ -216,11 +228,15 @@ class Runtime:
         kwargs: dict[str, Any] | None = None,
         n_outputs: int = 1,
         output_bytes: Sequence[int] | None = None,
+        ignore: Sequence[str] = (),
     ) -> list[DataRef]:
         """Record one task; returns refs for its future outputs.
 
         ``output_bytes`` gives the size of each produced object; when
         omitted it defaults to an even split of ``cost.output_bytes``.
+        ``ignore`` suppresses the given analyzer codes (``WFnnn``) for
+        this task — reviewed-and-accepted findings that lint should stop
+        reporting.
         """
         if output_bytes is None:
             total = cost.output_bytes if cost is not None else 0
@@ -246,6 +262,7 @@ class Runtime:
             fn=fn,
             args=tuple(args),
             kwargs=dict(kwargs or {}),
+            ignore=frozenset(ignore),
         )
         self.graph.add_task(record)
         return list(outputs)
@@ -262,7 +279,11 @@ class Runtime:
 
         return analyze_runtime(self, returned=returned)
 
-    def run(self, validate: bool | None = None) -> WorkflowResult:
+    def run(
+        self,
+        validate: bool | None = None,
+        sanitize: bool | None = None,
+    ) -> WorkflowResult:
         """Execute the recorded workflow on the configured backend.
 
         With ``validate=True`` (or ``config.validate``) the static
@@ -270,8 +291,20 @@ class Runtime:
         or device OOM, structural DAG defects — raise
         :class:`~repro.analysis.WorkflowValidationError` instead of
         failing mid-execution.
+
+        With ``sanitize=True`` (or ``config.sanitize``; simulated backend
+        only) the produced trace is replayed through the dynamic
+        sanitizer afterwards, and any broken invariant raises
+        :class:`~repro.analysis.TraceSanitizerError`.  Clean runs carry
+        the report in ``result.sanitizer``.
         """
         should_validate = self.config.validate if validate is None else validate
+        should_sanitize = self.config.sanitize if sanitize is None else sanitize
+        if should_sanitize and self.config.backend is not Backend.SIMULATED:
+            raise ValueError(
+                "sanitize=True requires the simulated backend: only its "
+                "trace records carry node/core placements to check"
+            )
         if should_validate:
             from repro.analysis import WorkflowValidationError
 
@@ -309,7 +342,7 @@ class Runtime:
             checkpoint_policy=self.config.checkpoint_policy,
         )
         trace = executor.execute(self.graph)
-        return WorkflowResult(
+        result = WorkflowResult(
             trace=trace,
             graph=self.graph,
             config=self.config,
@@ -317,3 +350,11 @@ class Runtime:
             failed_task_ids=executor.failed_task_ids,
             recovery_metrics=executor.recovery_metrics,
         )
+        if should_sanitize:
+            from repro.analysis import TraceSanitizerError, sanitize_result
+
+            report = sanitize_result(result)
+            if not report.ok:
+                raise TraceSanitizerError(report)
+            result.sanitizer = report
+        return result

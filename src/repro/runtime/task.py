@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.perfmodel import TaskCost
 from repro.runtime.data import DataRef
@@ -35,8 +35,15 @@ class Task:
     fn: Callable[..., Any] | None = None
     args: tuple[Any, ...] = ()
     kwargs: dict[str, Any] = field(default_factory=dict)
+    #: Analyzer codes (``WFnnn``) suppressed for this task — the
+    #: task-level counterpart of ``AnalysisOptions.ignore``.  Set via
+    #: ``@task(ignore={...})`` or ``Runtime.submit(ignore={...})`` for
+    #: findings that are reviewed and accepted (e.g. a deliberately
+    #: tiny kernel tripping WF201).
+    ignore: frozenset[str] = frozenset()
 
     def __post_init__(self) -> None:
+        self.ignore = frozenset(self.ignore)
         for ref in self.outputs:
             ref.producer = self.task_id
 
@@ -73,12 +80,14 @@ class TaskFunction:
         fn: Callable[..., Any],
         returns: int,
         name: str | None = None,
+        ignore: Iterable[str] = (),
     ) -> None:
         if returns < 0:
             raise ValueError("returns must be non-negative")
         self.fn = fn
         self.returns = returns
         self.name = name or fn.__name__
+        self.ignore = frozenset(ignore)
         functools.update_wrapper(self, fn)
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
@@ -98,6 +107,7 @@ class TaskFunction:
             cost=cost,
             n_outputs=self.returns,
             output_bytes=output_bytes,
+            ignore=self.ignore,
         )
         if self.returns == 0:
             return None
@@ -106,7 +116,11 @@ class TaskFunction:
         return tuple(refs)
 
 
-def task(returns: int = 1, name: str | None = None) -> Callable[[Callable[..., Any]], TaskFunction]:
+def task(
+    returns: int = 1,
+    name: str | None = None,
+    ignore: Iterable[str] = (),
+) -> Callable[[Callable[..., Any]], TaskFunction]:
     """Register a function as a task type (PyCOMPSs-style decorator).
 
     Parameters
@@ -115,6 +129,10 @@ def task(returns: int = 1, name: str | None = None) -> Callable[[Callable[..., A
         How many data objects the task produces.
     name:
         Task-type name used in traces; defaults to the function name.
+    ignore:
+        Analyzer codes (``WFnnn``) suppressed for tasks of this type —
+        reviewed-and-accepted findings that ``repro lint`` should stop
+        reporting (see ``docs/linting.md``).
 
     When invoked under an active runtime, pass ``_cost=`` (a
     :class:`TaskCost`) and optionally ``_output_bytes=`` (sizes of each
@@ -122,6 +140,6 @@ def task(returns: int = 1, name: str | None = None) -> Callable[[Callable[..., A
     """
 
     def decorate(fn: Callable[..., Any]) -> TaskFunction:
-        return TaskFunction(fn, returns=returns, name=name)
+        return TaskFunction(fn, returns=returns, name=name, ignore=ignore)
 
     return decorate

@@ -99,7 +99,9 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event = ScheduledEvent(self._now + delay, next(self._seq), callback, args)
-        heapq.heappush(self._queue, event)
+        # The event itself carries the monotonic sequence number that
+        # makes same-time orderings total and FIFO.
+        heapq.heappush(self._queue, event)  # repro: disable=DL003
         return event
 
     def schedule_at(

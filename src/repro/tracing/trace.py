@@ -189,6 +189,19 @@ class Trace:
             return 0.0
         return max(end for _, end in points) - min(start for start, _ in points)
 
+    def occupancy(self) -> list["TaskAttempt"] | list["TaskRecord"]:
+        """The records that describe core occupancy over time.
+
+        Fault-injecting executions record every try as a
+        :class:`TaskAttempt`; fault-free executions carry the same
+        information in their task records.  Resource-accounting passes
+        (per-core overlap, RAM/GPU conservation) should sweep these
+        records rather than picking one of the two lists themselves.
+        """
+        if self.attempts:
+            return self.attempts
+        return self.tasks
+
     def attempts_of(self, task_id: int) -> list["TaskAttempt"]:
         """All attempts of one task, ordered by attempt number."""
         return sorted(

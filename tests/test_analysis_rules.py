@@ -324,3 +324,130 @@ class TestReportAndPlumbing:
             AnalysisOptions(launch_overhead_share=0.0)
         with pytest.raises(ValueError):
             AnalysisOptions(width_slot_share=2.0)
+
+    def test_json_output_is_byte_stable(self):
+        cluster = minotauro()
+        bad = _task(0, cost=_cost(host_memory_bytes=cluster.node.ram_bytes + 1))
+        lonely = _task(1, inputs=bad.outputs, cost=_cost())
+        graph = _graph(bad, lonely)
+        first = analyze(graph, cluster).to_json()
+        second = analyze(graph, cluster).to_json()
+        assert first == second
+        assert first.endswith("\n")
+        # Ordered by code regardless of rule-emission order, and every
+        # entry carries its severity.
+        payload = json.loads(first)
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert codes == sorted(codes)
+        assert all(d["severity"] for d in payload["diagnostics"])
+
+
+class TestStructuralRules:
+    def test_wf007_unreachable_task(self):
+        head = _task(0, cost=_cost())
+        tail = _task(1, inputs=head.outputs, cost=_cost())
+        island = _task(2, name="island", cost=_cost())
+        report = analyze(_graph(head, tail, island))
+        [finding] = [d for d in report.warnings if d.code == "WF007"]
+        assert finding.task_ids == (2,)
+        assert finding.task_type == "island"
+
+    def test_wf007_returned_island_is_reachable(self):
+        head = _task(0, cost=_cost())
+        tail = _task(1, inputs=head.outputs, cost=_cost())
+        island = _task(2, name="island", cost=_cost())
+        report = analyze(
+            _graph(head, tail, island), returned=list(island.outputs)
+        )
+        assert "WF007" not in _codes(report)
+
+    def test_wf007_quiet_on_edgeless_graphs(self):
+        # A bag of independent tasks (a pure map) has no "rest of the
+        # DAG" to be disconnected from.
+        tasks = [_task(i, cost=_cost()) for i in range(4)]
+        assert "WF007" not in _codes(analyze(_graph(*tasks)))
+
+    def test_wf008_zero_cost_task(self):
+        zero = TaskCost(
+            serial_flops=0,
+            parallel_flops=0,
+            parallel_items=0,
+            arithmetic_intensity=1.0,
+            input_bytes=0,
+            output_bytes=0,
+            host_device_bytes=0,
+            gpu_memory_bytes=0,
+            host_memory_bytes=0,
+        )
+        report = analyze(_graph(_task(0, name="noop", cost=zero)))
+        [finding] = [d for d in report.warnings if d.code == "WF008"]
+        assert finding.task_type == "noop"
+
+    def test_wf008_quiet_without_cost_and_off_simulator(self):
+        assert "WF008" not in _codes(analyze(_graph(_task(0, cost=None))))
+        zero = TaskCost(
+            serial_flops=0,
+            parallel_flops=0,
+            parallel_items=0,
+            arithmetic_intensity=1.0,
+            input_bytes=0,
+            output_bytes=0,
+            host_device_bytes=0,
+            gpu_memory_bytes=0,
+            host_memory_bytes=0,
+        )
+        report = analyze(
+            _graph(_task(0, cost=zero)), backend="in_process"
+        )
+        assert "WF008" not in _codes(report)
+
+
+class TestSuppressions:
+    def test_options_ignore_drops_code_globally(self):
+        head = _task(0, cost=_cost())
+        tail = _task(1, inputs=head.outputs, cost=_cost())
+        island = _task(2, cost=_cost())
+        graph = _graph(head, tail, island)
+        assert "WF007" in _codes(analyze(graph))
+        quiet = analyze(graph, options=AnalysisOptions(ignore={"WF007"}))
+        assert "WF007" not in _codes(quiet)
+
+    def test_task_level_ignore(self):
+        head = _task(0, cost=_cost())
+        tail = _task(1, inputs=head.outputs, cost=_cost())
+        island = Task(
+            task_id=2,
+            name="island",
+            inputs=(),
+            outputs=(DataRef(size_bytes=8),),
+            cost=_cost(),
+            ignore=frozenset({"WF005", "WF007"}),
+        )
+        report = analyze(_graph(head, tail, island))
+        assert "WF007" not in _codes(report)
+        assert "WF005" not in _codes(report)
+
+    def test_task_ignore_requires_every_named_task(self):
+        # A finding naming several tasks survives unless all of them
+        # waive it.
+        waived = _task(0, name="noop", cost=None)
+        waived.ignore = frozenset({"WF006"})
+        kept = _task(1, name="noop", cost=None)
+        report = analyze(_graph(waived, kept), backend="simulated")
+        [finding] = [d for d in report.warnings if d.code == "WF006"]
+        assert finding.task_ids == (0, 1)
+
+    def test_submit_and_decorator_ignore_plumbing(self):
+        from repro.runtime import task as task_decorator
+
+        runtime = Runtime(RuntimeConfig())
+        runtime.submit("a", inputs=(), cost=_cost(), ignore=("WF203",))
+        assert runtime.graph.task(0).ignore == frozenset({"WF203"})
+
+        @task_decorator(returns=1, ignore={"WF201"})
+        def tiny_kernel(x):
+            return x
+
+        with runtime:
+            tiny_kernel(None, _cost=_cost())
+        assert runtime.graph.task(1).ignore == frozenset({"WF201"})

@@ -74,6 +74,32 @@ class TestDocsDirectory:
         assert CALIBRATION_NOTES["cpu.flops_per_core"][0] == 16.0e9
 
 
+class TestLintingDoc:
+    def test_rule_table_is_current(self):
+        """The registry-generated rule table in docs/linting.md matches
+        repro.analysis.rule_table() byte for byte."""
+        from repro.analysis import rule_table
+
+        text = (REPO / "docs" / "linting.md").read_text()
+        start = "<!-- rule-table:start -->"
+        end = "<!-- rule-table:end -->"
+        assert start in text and end in text
+        embedded = text.split(start, 1)[1].split(end, 1)[0].strip()
+        assert embedded == rule_table(), (
+            "docs/linting.md rule table drifted from the registry — "
+            "regenerate it with repro.analysis.rule_table()"
+        )
+
+    def test_every_workflow_rule_has_a_prose_section(self):
+        from repro.analysis import CODES
+
+        text = (REPO / "docs" / "linting.md").read_text()
+        for code in sorted(CODES):
+            assert f"#### {code}" in text, (
+                f"docs/linting.md has no section for {code}"
+            )
+
+
 class TestApiReference:
     def test_api_doc_is_current(self):
         """docs/api.md matches the current public surface."""
