@@ -28,10 +28,15 @@ from repro.bench import bench_workloads
 #: Minimum accepted throughput (tasks per wall-clock second) per workload.
 #: ``matmul16`` ran at ~500 tasks/s before the fast dispatch path landed;
 #: the indexed/memoized simulator clears 3x that with margin to spare.
+#: ``plain_replay`` guards the batched event core: its floor sits at 6x
+#: the legacy 1500 tasks/s guard (measured rates clear 15,000 — see
+#: ``docs/performance.md`` — but CI machines are noisy and a floor trip
+#: should mean a real regression, e.g. the batched drain disengaging).
 RATE_FLOORS = {
     "matmul16": 1500,
     "kmeans_deep": 1500,
     "wide_dag": 1500,
+    "plain_replay": 9000,
 }
 
 #: Expected task counts — a silent workload change would quietly re-base
@@ -40,6 +45,7 @@ TASK_COUNTS = {
     "matmul16": 7936,
     "kmeans_deep": 520,
     "wide_dag": 1537,
+    "plain_replay": 10240,
 }
 
 WORKLOADS = {workload.name: workload for workload in bench_workloads()}
@@ -62,3 +68,27 @@ def test_simulator_throughput(benchmark, name):
           f"({rate:,.0f} tasks/s)")
     assert tasks == TASK_COUNTS[name]
     assert rate > RATE_FLOORS[name]
+
+
+def test_scale_suite_100k_floor(benchmark):
+    """The 10^5-task replay cell of ``repro bench --suite scale``.
+
+    The 10^6-task cell runs only in the CI bench step (it is too slow
+    for a unit test); this one keeps the same code path honest per push.
+    """
+    from repro.bench import SCALE_CELLS, run_scale_bench
+
+    cell = next(c for c in SCALE_CELLS if c[0] == "scale_100k")
+
+    report = benchmark.pedantic(
+        lambda: run_scale_bench(cells=[cell]), rounds=1, iterations=1
+    )
+    (row,) = report["workloads"]
+    print(f"\nscale_100k: {row['num_tasks']} tasks in "
+          f"{row['wall_seconds']:.2f}s wall "
+          f"({row['tasks_per_second']:,.0f} tasks/s)")
+    assert row["num_tasks"] == cell[1] * cell[2]
+    assert row["meets_floor"], (
+        f"{row['tasks_per_second']} tasks/s below floor "
+        f"{row['floor_tasks_per_second']}"
+    )

@@ -49,6 +49,12 @@ FAULTS_SCHEMA = "repro-faults-bench/1"
 #: Default output of the faults suite, also uploaded as a CI artifact.
 DEFAULT_FAULTS_OUTPUT = "BENCH_faults.json"
 
+#: Scale suite format version (``--suite scale``).
+SCALE_SCHEMA = "repro-scale-bench/1"
+
+#: Default output of the scale suite, also uploaded as a CI artifact.
+DEFAULT_SCALE_OUTPUT = "BENCH_scale.json"
+
 
 @dataclass(frozen=True)
 class BenchWorkload:
@@ -71,6 +77,92 @@ class BenchWorkload:
         result = runtime.run()
         elapsed = time.perf_counter() - started
         return len(result.trace.tasks), elapsed, result.makespan
+
+
+def plain_replay_config() -> RuntimeConfig:
+    """The zero-overhead cluster the replay benchmarks run against.
+
+    Scheduling latency and locality scan cost are zeroed so the
+    measurement isolates the simulator kernel itself — dependency
+    resolution, scheduling decisions and the event core — which is the
+    path the batched kernel accelerates (and the one the ``>= 15,000``
+    tasks/s floor guards).
+    """
+    import dataclasses
+
+    from repro.hardware import StorageKind, minotauro
+
+    cluster = dataclasses.replace(
+        minotauro(num_nodes=8),
+        scheduling_latency={policy: 0.0 for policy in SchedulingPolicy},
+        locality_scan_seconds_per_task=0.0,
+    )
+    return RuntimeConfig(
+        cluster=cluster,
+        storage=StorageKind.LOCAL,
+        scheduling=SchedulingPolicy.GENERATION_ORDER,
+    )
+
+
+def build_plain_replay(
+    runtime: Runtime, width: int, depth: int, seed: int = 11
+) -> None:
+    """Submit a dependency-only layered DAG of ``width * depth`` tasks.
+
+    Tasks carry seeded serial-compute costs (drawn from a small palette,
+    so the cost-model memo stays bounded at million-task scale) and move
+    no data: every event the run produces comes from scheduling and
+    compute, making this the purest replay measurement of the simulator
+    kernel.  Each task depends on two distinct tasks of the previous
+    level; edge sampling is vectorized so DAG construction keeps up with
+    million-task shapes (construction is outside the timed region
+    regardless).
+    """
+    import numpy as np
+
+    from repro.perfmodel import TaskCost
+
+    if width < 2 or depth < 1:
+        raise ValueError("plain replay needs width >= 2 and depth >= 1")
+    rng = np.random.default_rng(seed)
+    palette = [
+        TaskCost(
+            serial_flops=float(flops),
+            parallel_flops=0.0,
+            parallel_items=0.0,
+            arithmetic_intensity=1e-6,
+            input_bytes=0,
+            output_bytes=0,
+            host_device_bytes=0,
+            gpu_memory_bytes=0,
+        )
+        for flops in rng.uniform(1e7, 4e7, size=64)
+    ]
+    num_tasks = width * depth
+    cost_ix = rng.integers(0, len(palette), size=num_tasks)
+    # Two distinct predecessors per task without a per-task choice()
+    # call: a uniform first pick plus a nonzero modular offset.
+    first = rng.integers(0, width, size=num_tasks)
+    second = (first + rng.integers(1, width, size=num_tasks)) % width
+    previous = [
+        runtime.register_input(1, name=f"replay_in{i}") for i in range(width)
+    ]
+    at = 0
+    for _ in range(depth):
+        current = []
+        for _ in range(width):
+            a, b = int(first[at]), int(second[at])
+            if a > b:
+                a, b = b, a
+            (out,) = runtime.submit(
+                name="replay",
+                inputs=[previous[a], previous[b]],
+                cost=palette[int(cost_ix[at])],
+                output_bytes=[0],
+            )
+            current.append(out)
+            at += 1
+        previous = current
 
 
 def bench_workloads() -> tuple[BenchWorkload, ...]:
@@ -112,6 +204,15 @@ def bench_workloads() -> tuple[BenchWorkload, ...]:
             make_config=lambda: RuntimeConfig(
                 use_gpu=False, scheduling=SchedulingPolicy.DATA_LOCALITY
             ),
+        ),
+        BenchWorkload(
+            name="plain_replay",
+            description=(
+                "dependency-only 128-wide/80-deep DAG on the zero-latency "
+                "cluster (batched-kernel hot path)"
+            ),
+            build=lambda runtime: build_plain_replay(runtime, 128, 80),
+            make_config=plain_replay_config,
         ),
     )
 
@@ -171,6 +272,85 @@ def render_report(report: dict) -> str:
             f"  {row['name']:<12} {row['num_tasks']:>6} tasks  "
             f"{row['best_wall_seconds']:>8.3f}s best of {row['repeats']}  "
             f"{row['tasks_per_second']:>10,.0f} tasks/s"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------- scale suite
+
+
+#: The scale-suite cell matrix: ``(name, width, depth, floor tasks/s)``.
+#: Floors are conservative versus the measured batched-kernel rates so
+#: CI noise does not trip them, but an order-of-magnitude regression —
+#: the batched drain disengaging, or the event core sliding back to
+#: object-per-event dispatch — still fails reliably.
+#: Width 125 keeps the DAG just under the 8-node cluster's 128 concurrent
+#: tasks, so drained rounds empty the ready set instead of ending in a
+#: full saturated-node scan per round.
+SCALE_CELLS = (
+    ("scale_100k", 125, 800, 8000.0),
+    ("scale_1m", 125, 8000, 6000.0),
+)
+
+
+def run_scale_bench(
+    out_path: str | Path | None = None,
+    cells: Sequence[tuple[str, int, int, float]] | None = None,
+) -> dict:
+    """Run the 10^5..10^6-task replay cells and build the report.
+
+    Each cell builds a dependency-only DAG (construction is untimed) and
+    replays it once on the zero-latency cluster; the report records the
+    wall-clock rate against the cell's floor.  One run per cell — at
+    these task counts a single replay already averages away per-event
+    noise, and the 10^6 cell is too expensive to repeat by default.
+    """
+    rows = []
+    for name, width, depth, floor in cells if cells is not None else SCALE_CELLS:
+        runtime = Runtime(plain_replay_config())
+        build_plain_replay(runtime, width, depth)
+        started = time.perf_counter()
+        result = runtime.run()
+        elapsed = time.perf_counter() - started
+        num_tasks = len(result.trace.tasks)
+        rate = num_tasks / elapsed
+        rows.append(
+            {
+                "name": name,
+                "width": width,
+                "depth": depth,
+                "num_tasks": num_tasks,
+                "wall_seconds": round(elapsed, 6),
+                "tasks_per_second": round(rate, 1),
+                "floor_tasks_per_second": floor,
+                "meets_floor": rate >= floor,
+                "simulated_makespan": round(result.makespan, 6),
+            }
+        )
+    report = {
+        "schema": SCALE_SCHEMA,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": rows,
+    }
+    if out_path is not None:
+        from repro.core.persistence import dumps_deterministic
+
+        Path(out_path).write_text(dumps_deterministic(report), encoding="utf-8")
+    return report
+
+
+def render_scale_report(report: dict) -> str:
+    """Human-readable summary of a :func:`run_scale_bench` report."""
+    lines = [f"replay scale ({report['schema']}, "
+             f"python {report['python']}/{report['machine']})"]
+    for row in report["workloads"]:
+        verdict = "ok" if row["meets_floor"] else "BELOW FLOOR"
+        lines.append(
+            f"  {row['name']:<12} {row['num_tasks']:>9,} tasks  "
+            f"{row['wall_seconds']:>9.3f}s  "
+            f"{row['tasks_per_second']:>10,.0f} tasks/s  "
+            f"(floor {row['floor_tasks_per_second']:,.0f}: {verdict})"
         )
     return "\n".join(lines)
 

@@ -203,11 +203,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("simulator", "sweeps", "faults"),
+        choices=("simulator", "sweeps", "faults", "scale"),
         default="simulator",
         help="simulator: raw dispatch throughput; sweeps: engine "
              "cold/warm cells-per-second; faults: node-loss recovery "
-             "cost per workload (default: %(default)s)",
+             "cost per workload; scale: 10^5..10^6-task replay floors "
+             "(default: %(default)s)",
     )
     bench.add_argument(
         "--out",
@@ -533,6 +534,12 @@ def _cmd_bench(args) -> int:
         out = args.out or DEFAULT_FAULTS_OUTPUT
         report = run_fault_bench(out_path=out)
         print(render_fault_report(report))
+    elif args.suite == "scale":
+        from repro.bench import DEFAULT_SCALE_OUTPUT, render_scale_report, run_scale_bench
+
+        out = args.out or DEFAULT_SCALE_OUTPUT
+        report = run_scale_bench(out_path=out)
+        print(render_scale_report(report))
     else:
         from repro.bench import DEFAULT_OUTPUT, render_report, run_bench
 

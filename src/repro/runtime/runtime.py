@@ -97,6 +97,12 @@ class RuntimeConfig:
     #: backend only): bounds how deep lineage recomputation must walk at
     #: the price of modeled GPFS write time.  ``None`` = no checkpoints.
     checkpoint_policy: CheckpointPolicy | None = None
+    #: Event-core implementation of the simulated backend: "batched" (the
+    #: default) runs the flat-heap kernel with batched ready-set dispatch;
+    #: "reference" runs the legacy object-per-event kernel, kept for one
+    #: release so the differential harness can pin old-vs-new trace
+    #: equivalence.  Traces are bit-identical under either value.
+    sim_kernel: str = "batched"
     #: Run the static analyzer (:mod:`repro.analysis`) before dispatch and
     #: raise :class:`~repro.analysis.WorkflowValidationError` on
     #: error-severity findings (predicted OOM, broken DAG, ...).
@@ -340,6 +346,7 @@ class Runtime:
             fault_plan=self.config.fault_plan,
             retry_policy=self.config.retry_policy,
             checkpoint_policy=self.config.checkpoint_policy,
+            kernel=self.config.sim_kernel,
         )
         trace = executor.execute(self.graph)
         result = WorkflowResult(

@@ -13,7 +13,14 @@ The engine is intentionally independent of the paper's domain so it can be
 tested in isolation and reused by any experiment.
 """
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import (
+    KERNELS,
+    ReferenceEvent,
+    ScheduledEvent,
+    SimEngine,
+    SimulationError,
+    Simulator,
+)
 from repro.sim.events import SimEvent
 from repro.sim.process import (
     Acquire,
@@ -31,8 +38,12 @@ __all__ = [
     "AllOf",
     "BandwidthResource",
     "CapacityResource",
+    "KERNELS",
     "Process",
+    "ReferenceEvent",
     "Release",
+    "ScheduledEvent",
+    "SimEngine",
     "SimEvent",
     "SimulationError",
     "Simulator",

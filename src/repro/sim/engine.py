@@ -1,9 +1,27 @@
 """Deterministic discrete-event simulation core.
 
-The :class:`Simulator` keeps a priority queue of scheduled callbacks keyed by
-``(time, sequence)``.  The sequence number makes execution order fully
+The :class:`SimEngine` keeps a priority queue of scheduled callbacks keyed
+by ``(time, sequence)``.  The sequence number makes execution order fully
 deterministic for events scheduled at the same simulated instant, which in
 turn makes every experiment in this repository reproducible bit-for-bit.
+
+Two kernels implement the same contract:
+
+* ``kernel="batched"`` (default) — the high-throughput kernel.  Heap
+  entries are flat ``[time, seq, callback, args]`` records (a ``list``
+  subclass), so ``heapq`` compares them element-wise in C instead of
+  calling a Python ``__lt__`` per comparison; cancellation nulls the
+  callback slot in place.  The kernel flag also switches the
+  processor-sharing resources to their vectorized NumPy settle path and
+  enables the simulated executor's batched ready-set dispatch.
+* ``kernel="reference"`` — the legacy object-per-event kernel, kept for
+  one release so the differential harness
+  (``tests/test_kernel_differential.py``) can pin old-vs-new trace
+  equivalence bit for bit.  It will be removed once the batched kernel
+  has shipped a release as the default.
+
+Both kernels pop events in identical ``(time, seq)`` order, so any
+workload produces the same trace under either.
 """
 
 from __future__ import annotations
@@ -17,12 +35,50 @@ class SimulationError(RuntimeError):
     """Raised when the simulation is driven in an inconsistent way."""
 
 
-class ScheduledEvent:
-    """A callback scheduled at a simulated time.
+class ScheduledEvent(list):
+    """A callback scheduled at a simulated time (flat heap entry).
 
-    Instances are returned by :meth:`Simulator.schedule` so callers can cancel
-    pending events (e.g. a processor-sharing resource rescheduling the next
-    completion when a new job arrives).
+    The entry *is* its own heap record — ``[time, seq, callback, args]`` —
+    so ``heapq`` orders entries with C-level list comparison: ``time``
+    first, then the unique ``seq`` tie-break (``callback`` is never
+    compared).  Instances are returned by :meth:`SimEngine.schedule` so
+    callers can cancel pending events (e.g. a processor-sharing resource
+    rescheduling the next completion when a new job arrives); cancelling
+    nulls the callback slot, and the event loop skips null entries.
+    """
+
+    __slots__ = ()
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time the callback fires at."""
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        """Monotonic tie-break for same-time events."""
+        return self[1]
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled."""
+        return self[2] is None
+
+    def cancel(self) -> None:
+        """Mark the event so the event loop skips it."""
+        self[2] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self[2] is None else "pending"
+        return f"ScheduledEvent(t={self[0]:.6f}, seq={self[1]}, {state})"
+
+
+class ReferenceEvent:
+    """Legacy object-per-event heap record of the reference kernel.
+
+    Orders itself by ``(time, seq)`` through a Python ``__lt__`` — the
+    per-comparison interpreter dispatch this class costs on million-task
+    DAGs is exactly what :class:`ScheduledEvent`'s flat records remove.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
@@ -40,7 +96,7 @@ class ScheduledEvent:
         self.args = args
         self.cancelled = False
 
-    def __lt__(self, other: "ScheduledEvent") -> bool:
+    def __lt__(self, other: "ReferenceEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def cancel(self) -> None:
@@ -49,15 +105,19 @@ class ScheduledEvent:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
-        return f"ScheduledEvent(t={self.time:.6f}, seq={self.seq}, {state})"
+        return f"ReferenceEvent(t={self.time:.6f}, seq={self.seq}, {state})"
 
 
-class Simulator:
+#: Kernel names accepted by :class:`SimEngine`.
+KERNELS = ("batched", "reference")
+
+
+class SimEngine:
     """A minimal, deterministic discrete-event simulator.
 
     Example
     -------
-    >>> sim = Simulator()
+    >>> sim = SimEngine()
     >>> seen = []
     >>> _ = sim.schedule(2.0, seen.append, "b")
     >>> _ = sim.schedule(1.0, seen.append, "a")
@@ -68,11 +128,29 @@ class Simulator:
     2.0
     """
 
-    def __init__(self) -> None:
-        self._queue: list[ScheduledEvent] = []
+    def __init__(self, kernel: str = "batched") -> None:
+        if kernel not in KERNELS:
+            raise SimulationError(
+                f"unknown simulation kernel {kernel!r}; expected one of {KERNELS}"
+            )
+        #: Which event-core implementation this engine runs; resources and
+        #: the simulated executor read it to pick their matching fast or
+        #: legacy paths.
+        self.kernel = kernel
+        self._flat = kernel == "batched"
+        self._queue: list = []
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        #: Number of resource completion cascades currently firing
+        #: callbacks with more still pending (see
+        #: :meth:`~repro.sim.resources.BandwidthResource._complete_due`).
+        #: While non-zero, same-instant work exists that is *not* visible
+        #: in the event queue — it lives in a callback list on the Python
+        #: stack — so the batched dispatcher must not drain the ready set
+        #: without yielding.  Purely advisory: the engine itself never
+        #: reads it.
+        self.cascade_depth = 0
 
     @property
     def now(self) -> float:
@@ -94,13 +172,20 @@ class Simulator:
         delay: float,
         callback: Callable[..., None],
         *args: Any,
-    ) -> ScheduledEvent:
+    ) -> Any:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = ScheduledEvent(self._now + delay, next(self._seq), callback, args)
-        # The event itself carries the monotonic sequence number that
+        # The entry itself carries the monotonic sequence number that
         # makes same-time orderings total and FIFO.
+        if self._flat:
+            event = ScheduledEvent(
+                (self._now + delay, next(self._seq), callback, args)
+            )
+        else:
+            event = ReferenceEvent(
+                self._now + delay, next(self._seq), callback, args
+            )
         heapq.heappush(self._queue, event)  # repro: disable=DL003
         return event
 
@@ -109,9 +194,32 @@ class Simulator:
         time: float,
         callback: Callable[..., None],
         *args: Any,
-    ) -> ScheduledEvent:
+    ) -> Any:
         """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
         return self.schedule(time - self._now, callback, *args)
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending (non-cancelled) event, ``None`` if idle.
+
+        Used by the batched dispatcher to prove no other event shares the
+        current instant before draining the ready set without yields.
+        """
+        queue = self._queue
+        if self._flat:
+            while queue:
+                head = queue[0]
+                if head[2] is None:
+                    heapq.heappop(queue)
+                    continue
+                return head[0]
+        else:
+            while queue:
+                head = queue[0]
+                if head.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                return head.time
+        return None
 
     def run(self, until: float | None = None) -> None:
         """Run events until the queue drains or simulated time passes ``until``.
@@ -119,28 +227,72 @@ class Simulator:
         When ``until`` is given, events scheduled after it remain queued and
         the clock is advanced exactly to ``until``.
         """
-        while self._queue:
-            event = self._queue[0]
+        if self._flat:
+            self._run_flat(until)
+        else:
+            self._run_reference(until)
+        if until is not None and until > self._now:
+            self._now = until
+
+    def _run_flat(self, until: float | None) -> None:
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = self._processed
+        while queue:
+            entry = queue[0]
+            callback = entry[2]
+            if callback is None:
+                heappop(queue)
+                continue
+            time = entry[0]
+            if until is not None and time > until:
+                break
+            heappop(queue)
+            self._now = time
+            processed += 1
+            # Write back before the callback runs: callbacks may inspect
+            # the engine (or raise), and the counter must stay current.
+            self._processed = processed
+            callback(*entry[3])
+        else:
+            return
+        self._now = until
+
+    def _run_reference(self, until: float | None) -> None:
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
+            event = queue[0]
             if event.cancelled:
-                heapq.heappop(self._queue)
+                heappop(queue)
                 continue
             if until is not None and event.time > until:
                 self._now = until
                 return
-            heapq.heappop(self._queue)
+            heappop(queue)
             self._now = event.time
             self._processed += 1
             event.callback(*event.args)
-        if until is not None and until > self._now:
-            self._now = until
 
     def step(self) -> bool:
         """Execute the single next pending event.
 
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        if self._flat:
+            while queue:
+                entry = heapq.heappop(queue)
+                callback = entry[2]
+                if callback is None:
+                    continue
+                self._now = entry[0]
+                self._processed += 1
+                callback(*entry[3])
+                return True
+            return False
+        while queue:
+            event = heapq.heappop(queue)
             if event.cancelled:
                 continue
             self._now = event.time
@@ -148,3 +300,9 @@ class Simulator:
             event.callback(*event.args)
             return True
         return False
+
+
+#: Backwards-compatible alias: existing call sites construct ``Simulator()``
+#: and get the batched kernel; pass ``kernel="reference"`` for the legacy
+#: event core (kept for one release, see the module docstring).
+Simulator = SimEngine

@@ -110,6 +110,7 @@ class Process:
         sim: Simulator,
         generator: Generator[Command, Any, Any],
         name: str = "",
+        autostart: bool = True,
     ) -> None:
         self._sim = sim
         self._generator = generator
@@ -119,7 +120,22 @@ class Process:
         #: completion callbacks from superseded commands (after an
         #: interrupt) carry a stale epoch and are ignored.
         self._epoch = 0
-        self._pending = sim.schedule(0.0, self._resume, None)
+        #: ``autostart=False`` skips the usual zero-delay start event;
+        #: the creator must call :meth:`start_now` (used by the batched
+        #: dispatcher to launch a drained batch without one heap event
+        #: per task).
+        self._pending = sim.schedule(0.0, self._resume, None) if autostart else None
+
+    def start_now(self) -> None:
+        """Run the generator to its first suspension point synchronously.
+
+        Only valid on a process created with ``autostart=False`` that has
+        not started yet.  The caller is asserting that an immediate start
+        is indistinguishable from the zero-delay event ``autostart=True``
+        would have scheduled — i.e. no other pending event shares the
+        current instant.
+        """
+        self._resume(None)
 
     @property
     def started(self) -> bool:
@@ -184,6 +200,25 @@ class Process:
     def _dispatch(self, command: Command) -> None:
         self._epoch += 1
         epoch = self._epoch
+        # Exact-type checks first: the hot loop yields plain Timeout /
+        # Transfer / WaitEvent instances millions of times per run, and
+        # ``type(x) is C`` skips the mro walk ``isinstance`` pays.  The
+        # isinstance chain below stays as the fallback so Command
+        # subclasses keep working.
+        cls = type(command)
+        if cls is Timeout:
+            self._pending = self._sim.schedule(command.delay, self._resume, None)
+            return
+        if cls is Transfer:
+            command.resource.submit(
+                command.nbytes, lambda: self._guarded_resume(epoch, None)
+            )
+            return
+        if cls is WaitEvent:
+            command.event.add_callback(
+                lambda event: self._on_event(epoch, event)
+            )
+            return
         if isinstance(command, Timeout):
             self._pending = self._sim.schedule(command.delay, self._resume, None)
         elif isinstance(command, Acquire):

@@ -17,7 +17,7 @@ import math
 from collections import deque
 from typing import Callable
 
-from repro.sim.engine import ScheduledEvent, SimulationError, Simulator
+from repro.sim.engine import SimulationError, Simulator
 
 # Completion times within this many seconds of each other are treated as
 # simultaneous by the processor-sharing resource, absorbing floating-point
@@ -102,12 +102,22 @@ class CapacityResource:
                 f"on resource {self.name!r}"
             )
         self._in_use -= amount
-        while self._waiters:
-            need, callback = self._waiters[0]
-            if self._in_use + need > self.capacity:
-                break
-            self._waiters.popleft()
-            self._grant(need, callback)
+        if not self._waiters:
+            return
+        # Serving queued waiters is a completion cascade: while one grant
+        # callback runs, further grants may still be pending here rather
+        # than in the event queue, so flag the engine (the batched
+        # dispatcher must not drain the ready set mid-cascade).
+        self._sim.cascade_depth += 1
+        try:
+            while self._waiters:
+                need, callback = self._waiters[0]
+                if self._in_use + need > self.capacity:
+                    break
+                self._waiters.popleft()
+                self._grant(need, callback)
+        finally:
+            self._sim.cascade_depth -= 1
 
     def _grant(self, amount: int, callback: Callable[[], None]) -> None:
         self._in_use += amount
@@ -127,6 +137,27 @@ class _TransferJob:
         self.started_at = now
 
 
+class _FastJob:
+    """Batched-kernel job record: completion threshold precomputed.
+
+    The reference scan recomputes ``max(eps_t * bandwidth, eps_b * size)``
+    for every job on every completion event — the single hottest
+    expression of a full DAG replay.  Hoisting it to submit time keeps the
+    per-scan work to one attribute compare per job, with values identical
+    to the reference kernel's (same expression, same float64 inputs).
+    """
+
+    __slots__ = ("size", "remaining", "threshold", "callback")
+
+    def __init__(
+        self, nbytes: float, threshold: float, callback: Callable[[], None]
+    ) -> None:
+        self.size = float(nbytes)
+        self.remaining = float(nbytes)
+        self.threshold = threshold
+        self.callback = callback
+
+
 class BandwidthResource:
     """An egalitarian processor-sharing channel.
 
@@ -138,6 +169,14 @@ class BandwidthResource:
 
     ``latency`` is a fixed per-job startup delay (seek/RTT) applied before the
     job starts consuming bandwidth.
+
+    Two settle implementations back the same contract, chosen by the
+    engine's :attr:`~repro.sim.engine.SimEngine.kernel`: the batched
+    kernel precomputes each job's completion threshold at submit time and
+    scans with a single-pass partition, the reference kernel keeps the
+    legacy per-job rescan.  Both perform the identical sequence of
+    IEEE-754 float64 operations on every job, so completion times — and
+    therefore traces — are bit-identical across kernels.
     """
 
     def __init__(
@@ -159,9 +198,10 @@ class BandwidthResource:
         self.per_job_cap = per_job_cap
         self.latency = latency
         self.name = name
-        self._jobs: list[_TransferJob] = []
+        self._fast = getattr(sim, "kernel", "reference") == "batched"
+        self._jobs: list = []
         self._last_update = sim.now
-        self._completion_event: ScheduledEvent | None = None
+        self._completion_event = None
         self._bytes_done = 0.0
         self._peak_jobs = 0
 
@@ -204,8 +244,16 @@ class BandwidthResource:
             self._sim.schedule(0.0, callback)
             return
         self._settle()
-        self._jobs.append(_TransferJob(nbytes, callback, self._sim.now))
-        self._peak_jobs = max(self._peak_jobs, len(self._jobs))
+        if self._fast:
+            threshold = max(
+                _TIME_EPSILON * self.bandwidth,
+                _RELATIVE_BYTE_EPSILON * float(nbytes),
+            )
+            self._jobs.append(_FastJob(nbytes, threshold, callback))
+        else:
+            self._jobs.append(_TransferJob(nbytes, callback, self._sim.now))
+        if len(self._jobs) > self._peak_jobs:
+            self._peak_jobs = len(self._jobs)
         self._reschedule()
 
     def _settle(self) -> None:
@@ -222,10 +270,11 @@ class BandwidthResource:
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
-        if not self._jobs:
+        jobs = self._jobs
+        if not jobs:
             return
         rate = self.current_rate()
-        soonest = min(job.remaining for job in self._jobs)
+        soonest = min(job.remaining for job in jobs)
         delay = max(soonest / rate, 0.0)
         self._completion_event = self._sim.schedule(delay, self._complete_due)
 
@@ -238,6 +287,9 @@ class BandwidthResource:
     def _complete_due(self) -> None:
         self._completion_event = None
         self._settle()
+        if self._fast:
+            self._complete_due_fast()
+            return
         finished = [j for j in self._jobs if self._job_done(j)]
         if not finished:
             # Numerical guard: settle() round-off can leave the leader with
@@ -255,6 +307,64 @@ class BandwidthResource:
                 return
         self._jobs = [j for j in self._jobs if j not in finished]
         self._reschedule()
-        for job in finished:
+        self._fire_completions(finished)
+
+    def _complete_due_fast(self) -> None:
+        """Batched-kernel twin of the reference completion scan.
+
+        Same decision sequence — threshold scan, ULP-resolution fallback,
+        drop finished jobs *before* firing callbacks (completion
+        callbacks resume processes synchronously and may re-submit) — but
+        one single-pass partition against precomputed thresholds instead
+        of a rescan that recomputes each tolerance and then rebuilds the
+        job list with an O(n·k) membership filter.  Finished jobs keep
+        insertion order, so callback order matches the reference kernel.
+        """
+        finished: list[_FastJob] = []
+        survivors: list[_FastJob] = []
+        for job in self._jobs:
+            if job.remaining <= job.threshold:
+                finished.append(job)
+            else:
+                survivors.append(job)
+        if not finished:
+            rate = self.current_rate()
+            if rate > 0:
+                resolution = 4.0 * math.ulp(max(self._sim.now, 1.0))
+                survivors = []
+                for job in self._jobs:
+                    if job.remaining / rate <= resolution:
+                        finished.append(job)
+                    else:
+                        survivors.append(job)
+            if not finished:
+                self._reschedule()
+                return
+        self._jobs = survivors
+        self._reschedule()
+        self._fire_completions(finished)
+
+    def _fire_completions(self, finished: list) -> None:
+        """Invoke completion callbacks in insertion order.
+
+        When several jobs finish in one settle, the callbacks after the
+        first are same-instant work that lives in this list rather than
+        in the event queue; the engine's ``cascade_depth`` flags that
+        window so the batched dispatcher (woken synchronously by, say,
+        the first completion committing a task) falls back to the
+        yielding reference loop, which lets the remaining completions
+        interleave exactly like the reference kernel.
+        """
+        if len(finished) == 1:
+            job = finished[0]
             self._bytes_done += job.size
             job.callback()
+            return
+        sim = self._sim
+        sim.cascade_depth += 1
+        try:
+            for job in finished:
+                self._bytes_done += job.size
+                job.callback()
+        finally:
+            sim.cascade_depth -= 1

@@ -44,23 +44,26 @@ class OverheadBreakdown:
         )
 
 
-_COMPUTE_STAGES = {Stage.SERIAL_FRACTION, Stage.PARALLEL_FRACTION}
+#: Stage groups are tuples, not sets: the share computations sum floats
+#: over them, and a fixed iteration order keeps those sums (and hence
+#: reported breakdowns) bit-reproducible across processes.
+_COMPUTE_STAGES = (Stage.SERIAL_FRACTION, Stage.PARALLEL_FRACTION)
 #: Checkpoint writes are storage I/O the policy added on top of the
 #: workflow's own serialization, so they count as data movement.
-_MOVEMENT_STAGES = {
+_MOVEMENT_STAGES = (
     Stage.DESERIALIZATION,
     Stage.SERIALIZATION,
     Stage.CHECKPOINT_WRITE,
-}
+)
 #: Fault-path records (zero-duration failure / recompute / speculation
 #: markers and master-side retry backoff) do not occupy a core and are
 #: excluded from the busy time and the core census.
-_OFF_CORE_STAGES = {
+_OFF_CORE_STAGES = (
     Stage.FAILURE,
     Stage.RETRY_WAIT,
     Stage.RECOMPUTE,
     Stage.SPECULATIVE,
-}
+)
 
 
 def decompose_overheads(trace: Trace) -> OverheadBreakdown:

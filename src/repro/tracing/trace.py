@@ -39,7 +39,7 @@ class Stage(str, enum.Enum):
     SPECULATIVE = "speculative"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StageRecord:
     """One stage of one task attempt."""
 
@@ -67,7 +67,7 @@ class StageRecord:
         return self.end - self.start
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskRecord:
     """Whole-task summary (the successful attempt)."""
 
@@ -99,7 +99,7 @@ ATTEMPT_OK = "success"
 ATTEMPT_SPECULATION_CANCELLED = "speculation_cancelled"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskAttempt:
     """One try of one task, successful or not.
 

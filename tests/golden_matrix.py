@@ -70,6 +70,23 @@ GOLDEN_RETRY_POLICY = RetryPolicy(
     backoff_jitter=0.5,
 )
 
+#: Fault plan for the 10^4-task scale cells.  Unlike the small-matrix
+#: plan there is no node loss: without lineage recovery a dead node's
+#: blocks fail most of a 10^4-task DAG transitively, which would anchor
+#: the fixture on failure bookkeeping instead of large-DAG dispatch.
+#: Targeted crashes plus a low-rate probabilistic stream and a straggler
+#: keep retry/backoff and jittered re-execution in the digest while the
+#: DAG still completes.
+SCALE_FAULT_PLAN = FaultPlan(
+    task_crashes=(
+        TaskCrash(task_id=7, stage=Stage.SERIAL_FRACTION, attempts=(1,)),
+        TaskCrash(task_id=1042, stage=Stage.DESERIALIZATION, attempts=(1, 2)),
+    ),
+    stragglers=(Straggler(factor=1.5, node=1),),
+    crash_probability=0.003,
+    seed=17,
+)
+
 
 @dataclass(frozen=True)
 class GoldenCase:
@@ -105,6 +122,11 @@ def _workloads() -> dict[str, tuple[Callable[[Runtime], object], dict]]:
             width=16, depth=4, fan_in=3, block_mb=4.0, seed=7
         ).build(runtime)
 
+    def scale10k(runtime: Runtime):
+        return GeneratedDagWorkflow(
+            width=50, depth=200, fan_in=2, block_mb=0.25, seed=21
+        ).build(runtime)
+
     return {
         "matmul4": (
             matmul4,
@@ -132,18 +154,33 @@ def _workloads() -> dict[str, tuple[Callable[[Runtime], object], dict]]:
                 jitter_seed=123,
             ),
         ),
+        "scale10k": (
+            scale10k,
+            dict(
+                storage=StorageKind.LOCAL,
+                use_gpu=False,
+            ),
+        ),
     }
+
+
+#: Per-workload fault-plan overrides for the faulted cells; workloads
+#: not listed use :data:`GOLDEN_FAULT_PLAN`.
+WORKLOAD_FAULT_PLANS = {
+    "scale10k": SCALE_FAULT_PLAN,
+}
 
 
 def golden_cases() -> list[GoldenCase]:
     """Every cell of the {workload x scheduler x faults} matrix."""
     cases = []
     for workload, (build, overrides) in _workloads().items():
+        plan = WORKLOAD_FAULT_PLANS.get(workload, GOLDEN_FAULT_PLAN)
         for policy in POLICIES:
             for faults in (False, True):
                 config = RuntimeConfig(
                     scheduling=policy,
-                    fault_plan=GOLDEN_FAULT_PLAN if faults else None,
+                    fault_plan=plan if faults else None,
                     retry_policy=GOLDEN_RETRY_POLICY if faults else None,
                     **overrides,
                 )

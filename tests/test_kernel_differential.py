@@ -1,0 +1,262 @@
+"""Differential harness: the batched kernel must equal the reference kernel.
+
+The batched event core (flat heap records, batched ready-set dispatch,
+vectorized stage-time evaluation) is only allowed to be *faster* than the
+legacy object-per-event kernel — never different.  Every test here runs
+the same workflow under ``sim_kernel="batched"`` and
+``sim_kernel="reference"`` and asserts the two traces are bit-identical
+(task dispatch order, per-stage times, attempt histories, makespan and
+failed-task sets, via :func:`repro.tracing.trace_digest`).
+
+Two layers:
+
+* a seeded corpus covering the batched fast path (zero-latency clusters,
+  where whole ready batches are drained in one scheduler activation) and
+  every configuration that must *fall back* to the reference dispatch
+  loop (fault plans, lineage recovery, speculation, checkpoint barriers,
+  nonzero dispatch latency);
+* a Hypothesis property over random DAG shapes, cluster sizes, storage
+  and scheduler choices.
+
+The corpus is the reviewable spec; the property is the fuzzer.  A failure
+in either means the batched kernel changed execution semantics — fix the
+kernel, never the test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms import GeneratedDagWorkflow
+from repro.faults import CheckpointPolicy, FaultPlan, NodeFault, RetryPolicy
+from repro.hardware import StorageKind, minotauro
+from repro.runtime import Runtime, RuntimeConfig, SchedulingPolicy
+from repro.tracing import trace_digest
+from tests.golden_matrix import GOLDEN_FAULT_PLAN, GOLDEN_RETRY_POLICY
+
+KERNELS = ("batched", "reference")
+
+
+def zero_latency_cluster(num_nodes: int = 4):
+    """A cluster whose scheduler decisions take no simulated time.
+
+    This is the configuration under which the batched kernel's dispatcher
+    may drain whole ready batches, so it is the one that actually
+    exercises the fast path being differentially tested.
+    """
+    return dataclasses.replace(
+        minotauro(num_nodes=num_nodes),
+        scheduling_latency={policy: 0.0 for policy in SchedulingPolicy},
+        locality_scan_seconds_per_task=0.0,
+    )
+
+
+def run_digest(config: RuntimeConfig, workflow: GeneratedDagWorkflow) -> str:
+    runtime = Runtime(config)
+    workflow.build(runtime)
+    result = runtime.run()
+    return trace_digest(result.trace, result.failed_task_ids)
+
+
+def assert_kernels_agree(make_config, workflow: GeneratedDagWorkflow) -> None:
+    digests = {
+        kernel: run_digest(
+            dataclasses.replace(make_config(), sim_kernel=kernel), workflow
+        )
+        for kernel in KERNELS
+    }
+    assert digests["batched"] == digests["reference"], (
+        "batched kernel diverged from the reference kernel: "
+        f"{digests['batched'][:16]}... != {digests['reference'][:16]}..."
+    )
+
+
+# ------------------------------------------------------------ the corpus
+
+#: Fast-path cells: zero-latency clusters where the batched dispatcher
+#: drains ready batches.  Policies x storage x block size x jitter.
+DRAIN_CASES = {
+    "generation_order-local-small": dict(
+        scheduling=SchedulingPolicy.GENERATION_ORDER,
+        storage=StorageKind.LOCAL,
+        block_mb=0.25,
+    ),
+    "generation_order-shared-large": dict(
+        scheduling=SchedulingPolicy.GENERATION_ORDER,
+        storage=StorageKind.SHARED,
+        block_mb=4.0,
+    ),
+    "data_locality-local-large": dict(
+        scheduling=SchedulingPolicy.DATA_LOCALITY,
+        storage=StorageKind.LOCAL,
+        block_mb=4.0,
+    ),
+    "data_locality-shared-small": dict(
+        scheduling=SchedulingPolicy.DATA_LOCALITY,
+        storage=StorageKind.SHARED,
+        block_mb=0.25,
+    ),
+    "lifo-local-jitter": dict(
+        scheduling=SchedulingPolicy.LIFO,
+        storage=StorageKind.LOCAL,
+        block_mb=1.0,
+        jitter_sigma=0.05,
+        jitter_seed=29,
+    ),
+    "generation_order-local-jitter": dict(
+        scheduling=SchedulingPolicy.GENERATION_ORDER,
+        storage=StorageKind.LOCAL,
+        block_mb=1.0,
+        jitter_sigma=0.02,
+        jitter_seed=31,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DRAIN_CASES))
+def test_drain_path_kernels_agree(name):
+    overrides = dict(DRAIN_CASES[name])
+    block_mb = overrides.pop("block_mb")
+
+    def make_config():
+        return RuntimeConfig(
+            cluster=zero_latency_cluster(), use_gpu=False, **overrides
+        )
+
+    workflow = GeneratedDagWorkflow(
+        width=32, depth=12, fan_in=2, block_mb=block_mb, seed=5
+    )
+    assert_kernels_agree(make_config, workflow)
+
+
+#: Fallback cells: configurations the batched dispatcher must refuse to
+#: drain, exercising the reference dispatch loop under the flat heap.
+FALLBACK_CASES = {
+    "default-latency": dict(),
+    "faults-retry": dict(
+        fault_plan=GOLDEN_FAULT_PLAN,
+        retry_policy=GOLDEN_RETRY_POLICY,
+    ),
+    "recovery-node-loss": dict(
+        storage=StorageKind.LOCAL,
+        fault_plan=FaultPlan(node_faults=(NodeFault(node=1, at_time=0.2),)),
+        retry_policy=RetryPolicy(max_attempts=3, recover_lost_blocks=True),
+    ),
+    "speculation": dict(
+        fault_plan=FaultPlan(
+            stragglers=(dataclasses.replace(GOLDEN_FAULT_PLAN.stragglers[0]),)
+        ),
+        retry_policy=RetryPolicy(max_attempts=2, speculation_factor=1.5),
+    ),
+    "checkpoint-barriers": dict(
+        storage=StorageKind.LOCAL,
+        checkpoint_policy=CheckpointPolicy(every_levels=2),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FALLBACK_CASES))
+def test_fallback_path_kernels_agree(name):
+    overrides = FALLBACK_CASES[name]
+
+    def make_config():
+        return RuntimeConfig(
+            scheduling=SchedulingPolicy.GENERATION_ORDER,
+            use_gpu=False,
+            **overrides,
+        )
+
+    workflow = GeneratedDagWorkflow(
+        width=16, depth=8, fan_in=2, block_mb=1.0, seed=9
+    )
+    assert_kernels_agree(make_config, workflow)
+
+
+def test_gpu_workflow_kernels_agree():
+    def make_config():
+        return RuntimeConfig(
+            cluster=zero_latency_cluster(),
+            use_gpu=True,
+            gpu_overflow_to_cpu=True,
+        )
+
+    workflow = GeneratedDagWorkflow(
+        width=16, depth=6, fan_in=2, block_mb=2.0, parallel_ratio=0.9, seed=3
+    )
+    assert_kernels_agree(make_config, workflow)
+
+
+@pytest.mark.parametrize(
+    "policy", sorted(SchedulingPolicy, key=lambda p: p.value)
+)
+def test_same_instant_completion_cascades_agree(policy):
+    """Batched dispatch must not reorder same-timestamp task clusters.
+
+    Uniform task costs with no jitter make whole waves of identical
+    transfers complete in the same processor-sharing settle — a
+    multi-callback completion cascade whose later completions are
+    invisible to the event queue while the first callback runs.  The
+    batched dispatcher must detect that window (``SimEngine.
+    cascade_depth``) and fall back to interleaved reference dispatch;
+    draining the ready set mid-cascade reorders scheduling decisions
+    against tasks that were about to commit.  This is the exact shape
+    that exposed the bug during development; it must stay bit-identical.
+    """
+
+    def make_config():
+        return RuntimeConfig(
+            cluster=zero_latency_cluster(num_nodes=2),
+            scheduling=policy,
+            storage=StorageKind.LOCAL,
+            use_gpu=False,
+        )
+
+    workflow = GeneratedDagWorkflow(
+        width=4, depth=12, fan_in=2, block_mb=4.0, seed=7
+    )
+    assert_kernels_agree(make_config, workflow)
+
+
+# ----------------------------------------------------------- the fuzzer
+
+
+@given(
+    width=st.integers(min_value=2, max_value=10),
+    depth=st.integers(min_value=1, max_value=6),
+    fan_in=st.integers(min_value=1, max_value=4),
+    block_mb=st.sampled_from([0.25, 1.0, 4.0]),
+    seed=st.integers(min_value=0, max_value=2**16),
+    num_nodes=st.integers(min_value=2, max_value=6),
+    policy=st.sampled_from(sorted(SchedulingPolicy, key=lambda p: p.value)),
+    storage=st.sampled_from(sorted(StorageKind, key=lambda s: s.value)),
+    zero_latency=st.booleans(),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_dags_kernels_agree(
+    width, depth, fan_in, block_mb, seed, num_nodes, policy, storage, zero_latency
+):
+    cluster = (
+        zero_latency_cluster(num_nodes)
+        if zero_latency
+        else minotauro(num_nodes=num_nodes)
+    )
+
+    def make_config():
+        return RuntimeConfig(
+            cluster=cluster,
+            scheduling=policy,
+            storage=storage,
+            use_gpu=False,
+        )
+
+    workflow = GeneratedDagWorkflow(
+        width=width, depth=depth, fan_in=fan_in, block_mb=block_mb, seed=seed
+    )
+    assert_kernels_agree(make_config, workflow)

@@ -1,6 +1,7 @@
 """Unit tests for the discrete-event simulation core."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.sim import SimulationError, Simulator
 
@@ -120,3 +121,80 @@ class TestStep:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.processed_events == 4
+
+
+class TestKernelHeapOrder:
+    """Both kernels must pop strictly in ``(time, seq)`` order.
+
+    The flat array-backed heap of the batched kernel and the legacy
+    object heap differ only in representation; this property drives both
+    through interleaved push / pop / cancel traffic and asserts the fire
+    order equals the ``(time, insertion)`` sort of the surviving events —
+    the determinism contract every trace digest in this repository
+    depends on.
+    """
+
+    @given(
+        batches=st.lists(
+            st.lists(
+                st.floats(
+                    min_value=0.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        kernel=st.sampled_from(("batched", "reference")),
+        cancel_every=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interleaved_push_pop_fire_order(self, batches, kernel, cancel_every):
+        sim = Simulator(kernel=kernel)
+        fired: list[int] = []
+        created: list[tuple[float, int]] = []  # (absolute time, label)
+        cancelled: set[int] = set()
+
+        def push(delay: float) -> None:
+            label = len(created)
+            event = sim.schedule(delay, fired.append, label)
+            created.append((sim.now + delay, label))
+            if cancel_every and label % (cancel_every + 1) == cancel_every:
+                event.cancel()
+                cancelled.add(label)
+
+        for delay in batches[0]:
+            push(delay)
+        # Interleave: one pop per remaining batch, pushing the batch's
+        # events (relative to the advanced clock) after the pop.
+        for batch in batches[1:]:
+            sim.step()
+            for delay in batch:
+                push(delay)
+        sim.run()
+
+        expected = [
+            label
+            for _, label in sorted(
+                (time, label)
+                for time, label in created
+                if label not in cancelled
+            )
+        ]
+        assert fired == expected
+
+    @given(
+        count=st.integers(min_value=2, max_value=20),
+        kernel=st.sampled_from(("batched", "reference")),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_same_time_events_fire_in_schedule_order(self, count, kernel):
+        sim = Simulator(kernel=kernel)
+        fired: list[int] = []
+        for i in range(count):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(count))
