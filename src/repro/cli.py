@@ -221,7 +221,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed runs per workload; the best one counts")
     bench.add_argument("--jobs", type=int, default=None, metavar="N",
-                       help="worker processes for the sweeps suite")
+                       help="worker processes for the sweeps suite and the "
+                            "scale suite's sharded cells")
 
     decompose = sub.add_parser(
         "decompose",
@@ -264,7 +265,8 @@ def _cmd_figures(
     from repro.core import experiments as exp
 
     # One engine for the whole invocation: cells shared between figures
-    # (e.g. Figure 11's base design repeating Figures 7/9a/10) simulate once.
+    # (e.g. Figure 11's base design repeating Figures 7/9a/10) simulate
+    # once, and the shard pool's workers stay warm across figures.
     engine = exp.SweepEngine(jobs=jobs, cache_dir=cache_dir, cache=not no_cache)
     runners = {
         "fig1": lambda: exp.run_fig1(engine=engine),
@@ -279,24 +281,27 @@ def _cmd_figures(
         "table1": factors_table,
     }
     targets = _FIGURES if which == "all" else (which,)
-    for target in targets:
-        result = runners[target]()
-        if target == "fig10":
-            print("\n\n".join(panel.render() for panel in result))
-        else:
-            print(result.render())
-        print()
-        if save_dir and target != "table1":
-            from pathlib import Path
+    try:
+        for target in targets:
+            result = runners[target]()
+            if target == "fig10":
+                print("\n\n".join(panel.render() for panel in result))
+            else:
+                print(result.render())
+            print()
+            if save_dir and target != "table1":
+                from pathlib import Path
 
-            from repro.core.persistence import save_result
+                from repro.core.persistence import save_result
 
-            path = save_result(
-                result if target != "fig10" else list(result),
-                Path(save_dir) / f"{target}.json",
-                metadata={"figure": target},
-            )
-            print(f"[saved {path}]")
+                path = save_result(
+                    result if target != "fig10" else list(result),
+                    Path(save_dir) / f"{target}.json",
+                    metadata={"figure": target},
+                )
+                print(f"[saved {path}]")
+    finally:
+        engine.close()
     print(engine.stats.line())
     return 0
 
@@ -538,7 +543,7 @@ def _cmd_bench(args) -> int:
         from repro.bench import DEFAULT_SCALE_OUTPUT, render_scale_report, run_scale_bench
 
         out = args.out or DEFAULT_SCALE_OUTPUT
-        report = run_scale_bench(out_path=out)
+        report = run_scale_bench(out_path=out, jobs=args.jobs)
         print(render_scale_report(report))
     else:
         from repro.bench import DEFAULT_OUTPUT, render_report, run_bench

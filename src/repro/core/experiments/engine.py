@@ -8,8 +8,11 @@ through one :class:`SweepEngine`, which
 
 * **deduplicates** identical cells within one invocation (Figure 11's
   base design repeats the Figure 7/8 configurations verbatim),
-* **fans out** cache misses over a :class:`ProcessPoolExecutor`
-  (``--jobs N``, default ``os.cpu_count()``), and
+* **fans out** cache misses over a persistent
+  :class:`~repro.core.shard.ShardPool` (``--jobs N``, default
+  ``os.cpu_count()``) whose workers import :mod:`repro` once, stream
+  cell specs over a task queue, and write results straight into the
+  on-disk cache, and
 * **memoises** results in a content-addressed on-disk cache
   (:mod:`repro.core.experiments.cache`) keyed by a SHA-256 digest of the
   canonicalized cell spec plus a model-version fingerprint, so entries
@@ -31,10 +34,11 @@ import importlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
+
+from repro.core import shard
 
 from repro.algorithms import (
     KMeansWorkflow,
@@ -200,10 +204,49 @@ def cell_digest(spec: CellSpec, fingerprint: str | None = None) -> str:
 
 
 def _execute_recorded(spec: CellSpec) -> tuple[dict[str, Any], float]:
-    """Pool worker: execute one cell, return (record, wall seconds)."""
+    """Execute one cell, return (record, wall seconds)."""
     started = time.perf_counter()
     metrics = execute_cell(spec)
     return metrics_to_record(metrics), time.perf_counter() - started
+
+
+def _cache_entry(
+    digest: str,
+    fingerprint: str,
+    spec: CellSpec,
+    record: dict[str, Any],
+    wall: float,
+) -> dict[str, Any]:
+    """The on-disk record layout shared by worker and in-process writes."""
+    return {
+        "digest": digest,
+        "fingerprint": fingerprint,
+        "spec": to_jsonable(spec),
+        "wall_seconds": round(wall, 6),
+        "metrics": record,
+    }
+
+
+def _execute_to_cache(
+    spec: CellSpec,
+    digest: str,
+    fingerprint: str,
+    cache_root: str | None,
+) -> tuple[dict[str, Any], float]:
+    """Shard-pool worker: execute one cell and persist it directly.
+
+    Writing from the worker keeps the result's bytes off the task queue
+    twice (the record still returns to the parent for the in-memory
+    memo, but the disk write happens where the data is) and makes cache
+    population independent of the parent surviving the batch.  The
+    atomic ``SweepCache.put`` tolerates concurrent writers.
+    """
+    record, wall = _execute_recorded(spec)
+    if cache_root is not None:
+        SweepCache(cache_root).put(
+            digest, _cache_entry(digest, fingerprint, spec, record, wall)
+        )
+    return record, wall
 
 
 @dataclass
@@ -250,8 +293,11 @@ class SweepEngine:
 
     One engine instance is meant to span one logical invocation (e.g. the
     whole of ``repro figures all``): its in-memory memo deduplicates
-    cells shared between figures, and its stats accumulate across every
-    :meth:`run_cells` call.
+    cells shared between figures, its stats accumulate across every
+    :meth:`run_cells` call, and its worker pool — spawned lazily on the
+    first parallel batch — stays warm for all of them.  Call
+    :meth:`close` (or use the engine as a context manager) to reap the
+    workers; an unclosed engine's daemon workers die with the process.
     """
 
     def __init__(
@@ -264,12 +310,26 @@ class SweepEngine:
         self.stats = SweepStats()
         self._fingerprint = model_fingerprint()
         self._memo: dict[str, RunMetrics] = {}
+        self._pool: shard.ShardPool | None = None
         self._cache: SweepCache | None = None
         if cache:
             self._cache = SweepCache(
                 Path(cache_dir) if cache_dir is not None else default_cache_dir()
             )
             self.stats.evictions += self._cache.prune(self._fingerprint)
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the engine stays usable
+        for serial and cached execution afterwards)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     @classmethod
     def serial(cls) -> "SweepEngine":
@@ -324,16 +384,27 @@ class SweepEngine:
 
         if pending:
             items = list(pending.items())
-            if self.jobs > 1 and len(items) > 1:
-                workers = min(self.jobs, len(items))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(
-                        pool.map(
-                            _execute_recorded,
-                            [spec for _digest, spec in items],
-                            chunksize=1,
+            # Nested fan-out degrades to serial: a pool worker must never
+            # spin up a second process pool inside itself (fork bombs,
+            # oversubscription, and a second interpreter warm-up per cell).
+            parallel = self.jobs > 1 and len(items) > 1 and not shard.in_worker()
+            if parallel:
+                if self._pool is None:
+                    self._pool = shard.ShardPool(self.jobs)
+                cache_root = (
+                    str(self._cache.root) if self._cache is not None else None
+                )
+                merged = self._pool.run(
+                    [
+                        shard.ShardItem(
+                            instance_id=digest,
+                            fn=_execute_to_cache,
+                            args=(spec, digest, self._fingerprint, cache_root),
                         )
-                    )
+                        for digest, spec in items
+                    ]
+                )
+                outcomes = [merged[digest] for digest, _spec in items]
             else:
                 outcomes = [_execute_recorded(spec) for _digest, spec in items]
             for (digest, spec), (record, wall) in zip(items, outcomes):
@@ -342,16 +413,14 @@ class SweepEngine:
                 self._memo[digest] = metrics_from_record(record)
                 self.stats.executed += 1
                 self.stats.executed_wall += wall
-                if self._cache is not None:
+                if self._cache is not None and not parallel:
+                    # Workers already persisted their own results on the
+                    # parallel path; only in-process execution writes here.
                     self._cache.put(
                         digest,
-                        {
-                            "digest": digest,
-                            "fingerprint": self._fingerprint,
-                            "spec": to_jsonable(spec),
-                            "wall_seconds": round(wall, 6),
-                            "metrics": record,
-                        },
+                        _cache_entry(
+                            digest, self._fingerprint, spec, record, wall
+                        ),
                     )
 
         return [self._memo[digest] for digest in digests]

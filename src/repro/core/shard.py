@@ -1,0 +1,349 @@
+"""Persistent-worker shard pool for independent simulation instances.
+
+Every experiment in this repository is embarrassingly parallel at the
+*instance* level: a figure cell, a fault Monte-Carlo replica, a what-if
+query, or a scale-bench replay is one independent, deterministic workflow
+simulation.  This module fans batches of such instances out across
+long-lived worker processes:
+
+* **Persistent workers** — each worker imports :mod:`repro` once at
+  start-up and then streams picklable instance specs over a task queue,
+  so the ~1 second interpreter + numpy warm-up is paid per *worker*, not
+  per instance (the overhead that makes a ``ProcessPoolExecutor`` per
+  call uneconomical for sub-second cells).
+* **Deterministic merge** — results are keyed by caller-chosen instance
+  ids and merged in id order (:func:`merge_shard_results`), so a sharded
+  run is bit-identical to a serial run of the same instances regardless
+  of worker count, start method, or completion order.
+* **Crash isolation** — a worker that dies mid-instance (segfault,
+  ``os._exit``, OOM-kill) takes only its in-flight instance with it; the
+  pool respawns the worker and re-dispatches that instance exactly once.
+  An instance that kills its worker twice raises
+  :class:`ShardCrashError` instead of looping.
+
+Workers advertise themselves through :func:`in_worker`, which the sweep
+engine uses to degrade nested fan-out to serial execution instead of
+spawning a process pool inside a pool worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+#: Set in worker processes before the first instance runs; read through
+#: :func:`in_worker` by code that must not nest process pools.
+_IN_WORKER = False
+
+#: How many crashed-worker respawns one pool tolerates before giving up;
+#: scaled by worker count at construction time.
+_RESPAWNS_PER_WORKER = 4
+
+
+def in_worker() -> bool:
+    """Whether this process is a :class:`ShardPool` worker."""
+    return _IN_WORKER
+
+
+class ShardCrashError(RuntimeError):
+    """A worker died while running an instance, twice for the same one."""
+
+
+class ShardTaskError(RuntimeError):
+    """An instance raised inside its worker; carries the remote traceback."""
+
+    def __init__(self, instance_id: Any, kind: str, message: str) -> None:
+        super().__init__(
+            f"shard instance {instance_id!r} raised {kind}: {message}"
+        )
+        self.instance_id = instance_id
+        self.kind = kind
+        self.remote_message = message
+
+
+@dataclass(frozen=True)
+class ShardItem:
+    """One unit of pool work: ``fn(*args, **kwargs)`` under ``instance_id``.
+
+    ``fn`` must be picklable under the pool's start method (a module-level
+    function for ``spawn``); ``instance_id`` must be hashable, sortable
+    against the batch's other ids, and unique within one batch.
+    """
+
+    instance_id: Any
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+def merge_shard_results(shards: Iterable[Mapping[Any, Any]]) -> dict[Any, Any]:
+    """Merge per-shard ``{instance_id: result}`` maps deterministically.
+
+    The merged dict is built in ascending instance-id order, so its
+    iteration order — and anything serialised from it — is independent of
+    how instances were assigned to shards and of shard arrival order.
+    Duplicate ids across shards are a protocol violation and raise.
+    """
+    combined: dict[Any, Any] = {}
+    for shard in shards:
+        for instance_id, result in shard.items():
+            if instance_id in combined:
+                raise ValueError(
+                    f"instance {instance_id!r} appears in more than one shard"
+                )
+            combined[instance_id] = result
+    return {instance_id: combined[instance_id] for instance_id in sorted(combined)}
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: warm up once, then stream instances until the sentinel.
+
+    Instance exceptions are caught and shipped back as results — only the
+    process dying (never a Python-level error) counts as a crash.  The
+    exception crosses the process boundary as ``(type name, str)`` so an
+    unpicklable exception object cannot wedge the protocol.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    import repro  # noqa: F401  - one warm-up import per worker lifetime
+
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        instance_id, fn, args, kwargs = item
+        try:
+            result = fn(*args, **kwargs)
+        except BaseException as error:  # noqa: BLE001 - shipped to the parent
+            result_queue.put(
+                (
+                    worker_id,
+                    instance_id,
+                    "error",
+                    (type(error).__name__, str(error)),
+                )
+            )
+        else:
+            result_queue.put((worker_id, instance_id, "ok", result))
+
+
+class _Worker:
+    """One pool worker: its process, private task queue, in-flight item."""
+
+    __slots__ = ("process", "task_queue", "inflight")
+
+    def __init__(self, ctx, worker_id: int, result_queue) -> None:
+        # A private task queue per worker pins each dispatched instance to
+        # one process, which is what makes crash attribution exact: when a
+        # worker dies, precisely its ``inflight`` item is affected.
+        self.task_queue = ctx.SimpleQueue()
+        self.inflight: ShardItem | None = None
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.task_queue, result_queue),
+            daemon=True,
+        )
+        self.process.start()
+
+
+class ShardPool:
+    """A reusable pool of persistent simulation workers.
+
+    One pool is meant to span one logical invocation (a whole
+    ``figures all`` run, a bench suite): workers survive across
+    :meth:`run` calls, so only the first batch pays process start-up.
+    Use as a context manager, or call :meth:`close` explicitly.
+
+    ``start_method`` picks the :mod:`multiprocessing` context (``spawn``,
+    ``fork``, ``forkserver``); ``None`` uses the platform default.
+    Dispatch keeps exactly one instance in flight per worker — instance
+    granularity is whole simulations, so there is nothing to win from
+    deeper queues, and crash attribution stays exact.
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.start_method = start_method
+        self._ctx = multiprocessing.get_context(start_method)
+        self._result_queue = self._ctx.Queue()
+        self._pool: dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self._respawn_budget = _RESPAWNS_PER_WORKER * workers
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Send every worker its shutdown sentinel and reap the processes."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._pool.values():
+            if worker.process.is_alive():
+                try:
+                    worker.task_queue.put(None)
+                except (OSError, ValueError):  # pragma: no cover - teardown race
+                    pass
+        for worker in self._pool.values():
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+        self._pool.clear()
+
+    def _spawn_worker(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        self._pool[worker_id] = _Worker(self._ctx, worker_id, self._result_queue)
+        return worker_id
+
+    # ------------------------------------------------------------- dispatch
+    def run(self, items: Sequence[ShardItem]) -> dict[Any, Any]:
+        """Execute a batch; returns ``{instance_id: result}`` in id order.
+
+        Instances are streamed to idle workers as results come back, so
+        a slow instance never blocks the rest of the batch behind a
+        static pre-partition.  Worker crashes are absorbed per the class
+        contract; instance-level exceptions re-raise here as
+        :class:`ShardTaskError` after the whole batch settled.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        items = list(items)
+        ids = [item.instance_id for item in items]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate instance ids in one batch")
+        if not items:
+            return {}
+
+        while len(self._pool) < min(self.workers, len(items)):
+            self._spawn_worker()
+
+        pending = list(reversed(items))  # pop() dispatches in caller order
+        crash_counts: dict[Any, int] = {}
+        shard_results: dict[int, dict[Any, Any]] = {}
+        errors: list[tuple[Any, str, str]] = []
+        done: set[Any] = set()
+        total = len(items)
+
+        self._fill_idle_workers(pending)
+        while len(done) < total:
+            messages = []
+            try:
+                messages.append(self._result_queue.get(timeout=0.1))
+                while True:
+                    messages.append(self._result_queue.get_nowait())
+            except queue_module.Empty:
+                pass
+            if not messages:
+                # The queue idled: any dead worker's in-flight instance is
+                # genuinely lost (its result would have arrived by now).
+                self._reap_crashes(pending, crash_counts, done)
+            for worker_id, instance_id, status, payload in messages:
+                worker = self._pool.get(worker_id)
+                if worker is not None:
+                    worker.inflight = None
+                if instance_id in done:
+                    # A crash-requeue raced an already-delivered result;
+                    # the first arrival won, drop the duplicate.
+                    continue
+                done.add(instance_id)
+                if status == "ok":
+                    shard_results.setdefault(worker_id, {})[instance_id] = payload
+                else:
+                    kind, message = payload
+                    errors.append((instance_id, kind, message))
+            self._fill_idle_workers(pending)
+
+        if errors:
+            errors.sort(key=lambda entry: str(entry[0]))
+            instance_id, kind, message = errors[0]
+            raise ShardTaskError(instance_id, kind, message)
+        return merge_shard_results(shard_results.values())
+
+    def map(
+        self, fn: Callable[..., Any], specs: Sequence[Any]
+    ) -> list[Any]:
+        """Run ``fn(spec)`` for every spec; results align with input order."""
+        merged = self.run(
+            [ShardItem(instance_id=i, fn=fn, args=(spec,)) for i, spec in enumerate(specs)]
+        )
+        return [merged[i] for i in range(len(specs))]
+
+    def _dispatch(self, worker_id: int, item: ShardItem) -> None:
+        worker = self._pool[worker_id]
+        worker.inflight = item
+        worker.task_queue.put(
+            (item.instance_id, item.fn, tuple(item.args), dict(item.kwargs))
+        )
+
+    def _fill_idle_workers(self, pending: list[ShardItem]) -> None:
+        for worker_id, worker in list(self._pool.items()):
+            if not pending:
+                return
+            if worker.inflight is None and worker.process.is_alive():
+                self._dispatch(worker_id, pending.pop())
+
+    def _reap_crashes(
+        self,
+        pending: list[ShardItem],
+        crash_counts: dict[Any, int],
+        done: set[Any],
+    ) -> None:
+        """Respawn dead workers; requeue their in-flight instances once.
+
+        Called only when the result queue idled, so a worker observed
+        dead here almost certainly died before producing a result for its
+        in-flight instance; the ``done`` check in the receive loop mops
+        up the residual race where the result was already on the wire.
+        """
+        for worker_id in list(self._pool):
+            worker = self._pool[worker_id]
+            if worker.process.is_alive():
+                continue
+            lost = worker.inflight
+            del self._pool[worker_id]
+            if lost is not None and lost.instance_id not in done:
+                count = crash_counts.get(lost.instance_id, 0) + 1
+                crash_counts[lost.instance_id] = count
+                if count > 1:
+                    raise ShardCrashError(
+                        f"instance {lost.instance_id!r} killed its worker "
+                        f"{count} times (exit code "
+                        f"{worker.process.exitcode}); not re-dispatching"
+                    )
+                pending.append(lost)
+            if self._respawn_budget <= 0:
+                raise ShardCrashError(
+                    "worker respawn budget exhausted; refusing to continue"
+                )
+            self._respawn_budget -= 1
+            self._spawn_worker()
+
+
+def resolve_start_method(requested: str | None) -> str:
+    """The effective start method a pool built with ``requested`` uses."""
+    if requested is not None:
+        return requested
+    return multiprocessing.get_start_method()
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not specify one."""
+    env = os.environ.get("REPRO_SHARD_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1

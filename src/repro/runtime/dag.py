@@ -114,6 +114,20 @@ class TaskGraph:
         """Tasks the given task depends on."""
         return [self._tasks[t] for t in self._predecessors[task_id]]
 
+    def successor_ids(self, task_id: int) -> list[int]:
+        """Ids of tasks depending on the given task.
+
+        Returns the graph's own adjacency list (not a copy) so per-task
+        hot loops — the executor visits every edge once per commit — pay
+        no materialisation cost.  Callers must not mutate it.
+        """
+        return self._successors[task_id]
+
+    def predecessor_ids(self, task_id: int) -> list[int]:
+        """Ids of the tasks the given task depends on (shared list, do
+        not mutate); see :meth:`successor_ids`."""
+        return self._predecessors[task_id]
+
     def roots(self) -> list[Task]:
         """Tasks with no dependencies (immediately schedulable)."""
         return [t for t in self._tasks.values() if not self._predecessors[t.task_id]]

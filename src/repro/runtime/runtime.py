@@ -98,10 +98,11 @@ class RuntimeConfig:
     #: the price of modeled GPFS write time.  ``None`` = no checkpoints.
     checkpoint_policy: CheckpointPolicy | None = None
     #: Event-core implementation of the simulated backend: "batched" (the
-    #: default) runs the flat-heap kernel with batched ready-set dispatch;
-    #: "reference" runs the legacy object-per-event kernel, kept for one
-    #: release so the differential harness can pin old-vs-new trace
-    #: equivalence.  Traces are bit-identical under either value.
+    #: only kernel) runs the flat-heap event core with batched ready-set
+    #: dispatch.  The legacy "reference" kernel was removed after a
+    #: release as the non-default; requesting it raises a pointed error.
+    #: Its traces survive as recorded oracle digests that the
+    #: differential harness pins the batched kernel against.
     sim_kernel: str = "batched"
     #: Run the static analyzer (:mod:`repro.analysis`) before dispatch and
     #: raise :class:`~repro.analysis.WorkflowValidationError` on
@@ -115,6 +116,15 @@ class RuntimeConfig:
     #: golden suite; simulated backend only.  Read-only — a sanitized
     #: run's trace is bit-identical to an unsanitized one.
     sanitize: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sim_kernel == "reference":
+            raise ValueError(
+                "the legacy 'reference' simulation kernel was removed; the "
+                "batched kernel is differentially pinned against its recorded "
+                "traces (tests/golden/kernel_oracle_digests.json). Use "
+                "sim_kernel='batched'."
+            )
 
 
 @dataclass

@@ -15,7 +15,6 @@ tested in isolation and reused by any experiment.
 
 from repro.sim.engine import (
     KERNELS,
-    ReferenceEvent,
     ScheduledEvent,
     SimEngine,
     SimulationError,
@@ -40,7 +39,6 @@ __all__ = [
     "CapacityResource",
     "KERNELS",
     "Process",
-    "ReferenceEvent",
     "Release",
     "ScheduledEvent",
     "SimEngine",

@@ -5,23 +5,15 @@ by ``(time, sequence)``.  The sequence number makes execution order fully
 deterministic for events scheduled at the same simulated instant, which in
 turn makes every experiment in this repository reproducible bit-for-bit.
 
-Two kernels implement the same contract:
-
-* ``kernel="batched"`` (default) — the high-throughput kernel.  Heap
-  entries are flat ``[time, seq, callback, args]`` records (a ``list``
-  subclass), so ``heapq`` compares them element-wise in C instead of
-  calling a Python ``__lt__`` per comparison; cancellation nulls the
-  callback slot in place.  The kernel flag also switches the
-  processor-sharing resources to their vectorized NumPy settle path and
-  enables the simulated executor's batched ready-set dispatch.
-* ``kernel="reference"`` — the legacy object-per-event kernel, kept for
-  one release so the differential harness
-  (``tests/test_kernel_differential.py``) can pin old-vs-new trace
-  equivalence bit for bit.  It will be removed once the batched kernel
-  has shipped a release as the default.
-
-Both kernels pop events in identical ``(time, seq)`` order, so any
-workload produces the same trace under either.
+Heap entries are flat ``[time, seq, callback, args]`` records (a ``list``
+subclass), so ``heapq`` compares them element-wise in C instead of calling
+a Python ``__lt__`` per comparison; cancellation nulls the callback slot
+in place.  The legacy object-per-event ``reference`` kernel that this
+layout replaced was removed after the batched kernel shipped as the
+default; its traces are preserved bit-for-bit as recorded oracle digests
+(``tests/golden/kernel_oracle_digests.json``) which the differential
+harness (``tests/test_kernel_differential.py``) still pins the batched
+kernel against.
 """
 
 from __future__ import annotations
@@ -73,43 +65,17 @@ class ScheduledEvent(list):
         return f"ScheduledEvent(t={self[0]:.6f}, seq={self[1]}, {state})"
 
 
-class ReferenceEvent:
-    """Legacy object-per-event heap record of the reference kernel.
+#: Kernel names accepted by :class:`SimEngine`.  The legacy ``reference``
+#: kernel was removed; requesting it raises a pointed error.
+KERNELS = ("batched",)
 
-    Orders itself by ``(time, seq)`` through a Python ``__lt__`` — the
-    per-comparison interpreter dispatch this class costs on million-task
-    DAGs is exactly what :class:`ScheduledEvent`'s flat records remove.
-    """
-
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
-
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        callback: Callable[..., None],
-        args: tuple[Any, ...],
-    ) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-
-    def __lt__(self, other: "ReferenceEvent") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def cancel(self) -> None:
-        """Mark the event so the event loop skips it."""
-        self.cancelled = True
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"ReferenceEvent(t={self.time:.6f}, seq={self.seq}, {state})"
-
-
-#: Kernel names accepted by :class:`SimEngine`.
-KERNELS = ("batched", "reference")
+#: Message for attempts to construct the removed legacy kernel.
+_REFERENCE_REMOVED = (
+    "the 'reference' simulation kernel was removed after the batched "
+    "kernel shipped as the default; its traces survive as recorded oracle "
+    "digests in tests/golden/kernel_oracle_digests.json (see "
+    "tests/test_kernel_differential.py). Use kernel='batched'."
+)
 
 
 class SimEngine:
@@ -130,14 +96,15 @@ class SimEngine:
 
     def __init__(self, kernel: str = "batched") -> None:
         if kernel not in KERNELS:
+            if kernel == "reference":
+                raise SimulationError(_REFERENCE_REMOVED)
             raise SimulationError(
                 f"unknown simulation kernel {kernel!r}; expected one of {KERNELS}"
             )
-        #: Which event-core implementation this engine runs; resources and
-        #: the simulated executor read it to pick their matching fast or
-        #: legacy paths.
+        #: Which event-core implementation this engine runs (always
+        #: ``"batched"`` now); kept as an attribute because resources and
+        #: the simulated executor read it.
         self.kernel = kernel
-        self._flat = kernel == "batched"
         self._queue: list = []
         self._seq = itertools.count()
         self._now = 0.0
@@ -172,20 +139,15 @@ class SimEngine:
         delay: float,
         callback: Callable[..., None],
         *args: Any,
-    ) -> Any:
+    ) -> ScheduledEvent:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         # The entry itself carries the monotonic sequence number that
         # makes same-time orderings total and FIFO.
-        if self._flat:
-            event = ScheduledEvent(
-                (self._now + delay, next(self._seq), callback, args)
-            )
-        else:
-            event = ReferenceEvent(
-                self._now + delay, next(self._seq), callback, args
-            )
+        event = ScheduledEvent(
+            (self._now + delay, next(self._seq), callback, args)
+        )
         heapq.heappush(self._queue, event)  # repro: disable=DL003
         return event
 
@@ -194,7 +156,7 @@ class SimEngine:
         time: float,
         callback: Callable[..., None],
         *args: Any,
-    ) -> Any:
+    ) -> ScheduledEvent:
         """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
         return self.schedule(time - self._now, callback, *args)
 
@@ -205,20 +167,12 @@ class SimEngine:
         current instant before draining the ready set without yields.
         """
         queue = self._queue
-        if self._flat:
-            while queue:
-                head = queue[0]
-                if head[2] is None:
-                    heapq.heappop(queue)
-                    continue
-                return head[0]
-        else:
-            while queue:
-                head = queue[0]
-                if head.cancelled:
-                    heapq.heappop(queue)
-                    continue
-                return head.time
+        while queue:
+            head = queue[0]
+            if head[2] is None:
+                heapq.heappop(queue)
+                continue
+            return head[0]
         return None
 
     def run(self, until: float | None = None) -> None:
@@ -227,14 +181,6 @@ class SimEngine:
         When ``until`` is given, events scheduled after it remain queued and
         the clock is advanced exactly to ``until``.
         """
-        if self._flat:
-            self._run_flat(until)
-        else:
-            self._run_reference(until)
-        if until is not None and until > self._now:
-            self._now = until
-
-    def _run_flat(self, until: float | None) -> None:
         queue = self._queue
         heappop = heapq.heappop
         processed = self._processed
@@ -254,25 +200,8 @@ class SimEngine:
             # the engine (or raise), and the counter must stay current.
             self._processed = processed
             callback(*entry[3])
-        else:
-            return
-        self._now = until
-
-    def _run_reference(self, until: float | None) -> None:
-        queue = self._queue
-        heappop = heapq.heappop
-        while queue:
-            event = queue[0]
-            if event.cancelled:
-                heappop(queue)
-                continue
-            if until is not None and event.time > until:
-                self._now = until
-                return
-            heappop(queue)
-            self._now = event.time
-            self._processed += 1
-            event.callback(*event.args)
+        if until is not None and until > self._now:
+            self._now = until
 
     def step(self) -> bool:
         """Execute the single next pending event.
@@ -280,29 +209,18 @@ class SimEngine:
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
         """
         queue = self._queue
-        if self._flat:
-            while queue:
-                entry = heapq.heappop(queue)
-                callback = entry[2]
-                if callback is None:
-                    continue
-                self._now = entry[0]
-                self._processed += 1
-                callback(*entry[3])
-                return True
-            return False
         while queue:
-            event = heapq.heappop(queue)
-            if event.cancelled:
+            entry = heapq.heappop(queue)
+            callback = entry[2]
+            if callback is None:
                 continue
-            self._now = event.time
+            self._now = entry[0]
             self._processed += 1
-            event.callback(*event.args)
+            callback(*entry[3])
             return True
         return False
 
 
 #: Backwards-compatible alias: existing call sites construct ``Simulator()``
-#: and get the batched kernel; pass ``kernel="reference"`` for the legacy
-#: event core (kept for one release, see the module docstring).
+#: and get the batched kernel.
 Simulator = SimEngine

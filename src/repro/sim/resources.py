@@ -126,25 +126,16 @@ class CapacityResource:
 
 
 class _TransferJob:
-    """A job in flight on a :class:`BandwidthResource`."""
+    """A job in flight on a :class:`BandwidthResource`.
 
-    __slots__ = ("size", "remaining", "callback", "started_at")
-
-    def __init__(self, nbytes: float, callback: Callable[[], None], now: float) -> None:
-        self.size = float(nbytes)
-        self.remaining = float(nbytes)
-        self.callback = callback
-        self.started_at = now
-
-
-class _FastJob:
-    """Batched-kernel job record: completion threshold precomputed.
-
-    The reference scan recomputes ``max(eps_t * bandwidth, eps_b * size)``
-    for every job on every completion event — the single hottest
-    expression of a full DAG replay.  Hoisting it to submit time keeps the
-    per-scan work to one attribute compare per job, with values identical
-    to the reference kernel's (same expression, same float64 inputs).
+    The completion threshold ``max(eps_t * bandwidth, eps_b * size)`` is
+    precomputed at submit time: recomputing it for every job on every
+    completion event was the single hottest expression of a full DAG
+    replay under the removed legacy rescan, and hoisting it keeps the
+    per-scan work to one attribute compare per job.  The values are
+    identical to what the legacy scan produced (same expression, same
+    float64 inputs), so completion times — and therefore traces — still
+    match the recorded reference-kernel oracle digests bit for bit.
     """
 
     __slots__ = ("size", "remaining", "threshold", "callback")
@@ -170,13 +161,11 @@ class BandwidthResource:
     ``latency`` is a fixed per-job startup delay (seek/RTT) applied before the
     job starts consuming bandwidth.
 
-    Two settle implementations back the same contract, chosen by the
-    engine's :attr:`~repro.sim.engine.SimEngine.kernel`: the batched
-    kernel precomputes each job's completion threshold at submit time and
-    scans with a single-pass partition, the reference kernel keeps the
-    legacy per-job rescan.  Both perform the identical sequence of
-    IEEE-754 float64 operations on every job, so completion times — and
-    therefore traces — are bit-identical across kernels.
+    The settle path precomputes each job's completion threshold at submit
+    time and scans with a single-pass partition.  It performs the same
+    sequence of IEEE-754 float64 operations the removed legacy rescan
+    did, so completion times — and therefore traces — stay bit-identical
+    to the recorded reference-kernel oracle digests.
     """
 
     def __init__(
@@ -198,8 +187,7 @@ class BandwidthResource:
         self.per_job_cap = per_job_cap
         self.latency = latency
         self.name = name
-        self._fast = getattr(sim, "kernel", "reference") == "batched"
-        self._jobs: list = []
+        self._jobs: list[_TransferJob] = []
         self._last_update = sim.now
         self._completion_event = None
         self._bytes_done = 0.0
@@ -244,14 +232,11 @@ class BandwidthResource:
             self._sim.schedule(0.0, callback)
             return
         self._settle()
-        if self._fast:
-            threshold = max(
-                _TIME_EPSILON * self.bandwidth,
-                _RELATIVE_BYTE_EPSILON * float(nbytes),
-            )
-            self._jobs.append(_FastJob(nbytes, threshold, callback))
-        else:
-            self._jobs.append(_TransferJob(nbytes, callback, self._sim.now))
+        threshold = max(
+            _TIME_EPSILON * self.bandwidth,
+            _RELATIVE_BYTE_EPSILON * float(nbytes),
+        )
+        self._jobs.append(_TransferJob(nbytes, threshold, callback))
         if len(self._jobs) > self._peak_jobs:
             self._peak_jobs = len(self._jobs)
         self._reschedule()
@@ -278,50 +263,23 @@ class BandwidthResource:
         delay = max(soonest / rate, 0.0)
         self._completion_event = self._sim.schedule(delay, self._complete_due)
 
-    def _job_done(self, job: _TransferJob) -> bool:
-        tolerance = max(
-            _TIME_EPSILON * self.bandwidth, _RELATIVE_BYTE_EPSILON * job.size
-        )
-        return job.remaining <= tolerance
-
     def _complete_due(self) -> None:
+        """Completion scan: threshold partition, then fire callbacks.
+
+        Decision sequence — threshold scan, ULP-resolution fallback, drop
+        finished jobs *before* firing callbacks (completion callbacks
+        resume processes synchronously and may re-submit).  The
+        ULP fallback is a numerical guard: settle() round-off can leave
+        the leader with a residue whose drain time is below the clock's
+        resolution at the current simulated time — the event would
+        re-fire at the same instant forever, so such jobs are treated as
+        complete.  Finished jobs keep insertion order, preserving the
+        callback order the recorded oracle digests were produced under.
+        """
         self._completion_event = None
         self._settle()
-        if self._fast:
-            self._complete_due_fast()
-            return
-        finished = [j for j in self._jobs if self._job_done(j)]
-        if not finished:
-            # Numerical guard: settle() round-off can leave the leader with
-            # a residue whose drain time is below the clock's resolution at
-            # the current simulated time — the event would re-fire at the
-            # same instant forever.  Treat such jobs as complete.
-            rate = self.current_rate()
-            if rate > 0:
-                resolution = 4.0 * math.ulp(max(self._sim.now, 1.0))
-                finished = [
-                    j for j in self._jobs if j.remaining / rate <= resolution
-                ]
-            if not finished:
-                self._reschedule()
-                return
-        self._jobs = [j for j in self._jobs if j not in finished]
-        self._reschedule()
-        self._fire_completions(finished)
-
-    def _complete_due_fast(self) -> None:
-        """Batched-kernel twin of the reference completion scan.
-
-        Same decision sequence — threshold scan, ULP-resolution fallback,
-        drop finished jobs *before* firing callbacks (completion
-        callbacks resume processes synchronously and may re-submit) — but
-        one single-pass partition against precomputed thresholds instead
-        of a rescan that recomputes each tolerance and then rebuilds the
-        job list with an O(n·k) membership filter.  Finished jobs keep
-        insertion order, so callback order matches the reference kernel.
-        """
-        finished: list[_FastJob] = []
-        survivors: list[_FastJob] = []
+        finished: list[_TransferJob] = []
+        survivors: list[_TransferJob] = []
         for job in self._jobs:
             if job.remaining <= job.threshold:
                 finished.append(job)

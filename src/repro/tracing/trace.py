@@ -4,12 +4,24 @@ Each task goes through the stages of the paper's Figure 4; the runtime
 emits one :class:`StageRecord` per stage plus a :class:`TaskRecord`
 summarising the whole task.  Times are simulated seconds for the simulated
 backend and wall-clock seconds for the in-process backend.
+
+Storage is columnar: the hot append paths (``add_stage_row`` and
+friends, used by the simulated executor) write primitive values into
+typed :mod:`array` buffers with task-type and outcome strings interned
+to small integer ids, and the record objects are materialised lazily on
+first access of :attr:`Trace.stages` / :attr:`Trace.tasks` /
+:attr:`Trace.attempts`.  A million-task replay that only reads the
+makespan and record counts therefore never builds a single record
+object; analysis passes that do iterate records see exactly the objects
+the eager API would have produced, in the same order.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import math
+from array import array
+from dataclasses import dataclass
 
 
 class Stage(str, enum.Enum):
@@ -37,6 +49,11 @@ class Stage(str, enum.Enum):
     RECOMPUTE = "recompute"
     CHECKPOINT_WRITE = "checkpoint_write"
     SPECULATIVE = "speculative"
+
+
+#: Dense stage ids for the columnar buffers (enum order is stable).
+_STAGES = tuple(Stage)
+_STAGE_INDEX = {stage: index for index, stage in enumerate(_STAGES)}
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,14 +156,150 @@ class TaskAttempt:
         return self.end - self.start
 
 
-@dataclass
+class _Columns:
+    """Typed column buffers for not-yet-materialised records.
+
+    One instance backs one record kind; ``kind`` holds the stage id for
+    stage rows and the outcome id for attempt rows (unused for task
+    rows).  Every column is an :mod:`array` of primitives, so a pending
+    record costs ~50 bytes instead of a boxed dataclass.
+    """
+
+    __slots__ = (
+        "task_id", "type_id", "kind", "start", "end",
+        "node", "core", "level", "used_gpu", "attempt",
+    )
+
+    def __init__(self) -> None:
+        self.task_id = array("q")
+        self.type_id = array("i")
+        self.kind = array("i")
+        self.start = array("d")
+        self.end = array("d")
+        self.node = array("i")
+        self.core = array("i")
+        self.level = array("i")
+        self.used_gpu = array("b")
+        self.attempt = array("i")
+
+    def __len__(self) -> int:
+        return len(self.task_id)
+
+
 class Trace:
     """An append-only collection of stage, task, and attempt records."""
 
-    stages: list[StageRecord] = field(default_factory=list)
-    tasks: list[TaskRecord] = field(default_factory=list)
-    attempts: list[TaskAttempt] = field(default_factory=list)
+    def __init__(self) -> None:
+        # Materialised record prefix + pending columnar suffix per kind.
+        # Appending a record object first drains the pending columns, so
+        # the two append styles can interleave without reordering.
+        self._stage_records: list[StageRecord] = []
+        self._stage_cols = _Columns()
+        self._task_records: list[TaskRecord] = []
+        self._task_cols = _Columns()
+        self._attempt_records: list[TaskAttempt] = []
+        self._attempt_cols = _Columns()
+        #: Interned string table shared by task types and outcomes.
+        self._names: list[str] = []
+        self._name_ids: dict[str, int] = {}
 
+    def _intern(self, name: str) -> int:
+        name_id = self._name_ids.get(name)
+        if name_id is None:
+            name_id = len(self._names)
+            self._name_ids[name] = name_id
+            self._names.append(name)
+        return name_id
+
+    # ---------------------------------------------------------- fast appends
+    def add_stage_row(
+        self,
+        task_id: int,
+        task_type: str,
+        stage: Stage,
+        start: float,
+        end: float,
+        node: int,
+        core: int,
+        level: int,
+        used_gpu: bool,
+        attempt: int = 1,
+    ) -> None:
+        """Append one stage as primitive columns (no record object)."""
+        if end < start:
+            raise ValueError(
+                f"stage {stage} of task {task_id} ends before it starts"
+            )
+        cols = self._stage_cols
+        cols.task_id.append(task_id)
+        cols.type_id.append(self._intern(task_type))
+        cols.kind.append(_STAGE_INDEX[stage])
+        cols.start.append(start)
+        cols.end.append(end)
+        cols.node.append(node)
+        cols.core.append(core)
+        cols.level.append(level)
+        cols.used_gpu.append(used_gpu)
+        cols.attempt.append(attempt)
+
+    def add_task_row(
+        self,
+        task_id: int,
+        task_type: str,
+        start: float,
+        end: float,
+        node: int,
+        core: int,
+        level: int,
+        used_gpu: bool,
+        attempt: int = 1,
+    ) -> None:
+        """Append one whole-task summary as primitive columns."""
+        cols = self._task_cols
+        cols.task_id.append(task_id)
+        cols.type_id.append(self._intern(task_type))
+        cols.kind.append(0)
+        cols.start.append(start)
+        cols.end.append(end)
+        cols.node.append(node)
+        cols.core.append(core)
+        cols.level.append(level)
+        cols.used_gpu.append(used_gpu)
+        cols.attempt.append(attempt)
+
+    def add_attempt_row(
+        self,
+        task_id: int,
+        task_type: str,
+        attempt: int,
+        start: float,
+        end: float,
+        node: int,
+        core: int,
+        level: int,
+        used_gpu: bool,
+        outcome: str,
+    ) -> None:
+        """Append one task attempt as primitive columns."""
+        if end < start:
+            raise ValueError(
+                f"attempt {attempt} of task {task_id} ends before it starts"
+            )
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        cols = self._attempt_cols
+        cols.task_id.append(task_id)
+        cols.type_id.append(self._intern(task_type))
+        cols.kind.append(self._intern(outcome))
+        cols.start.append(start)
+        cols.end.append(end)
+        cols.node.append(node)
+        cols.core.append(core)
+        cols.level.append(level)
+        cols.used_gpu.append(used_gpu)
+        cols.attempt.append(attempt)
+
+    # -------------------------------------------------------- record appends
     def add_stage(self, record: StageRecord) -> None:
         """Append a stage record."""
         self.stages.append(record)
@@ -159,16 +312,115 @@ class Trace:
         """Append a task-attempt record."""
         self.attempts.append(record)
 
+    # ------------------------------------------------------- materialisation
+    @property
+    def stages(self) -> list[StageRecord]:
+        """All stage records, materialising any pending columns."""
+        cols = self._stage_cols
+        if len(cols):
+            names = self._names
+            self._stage_records.extend(
+                StageRecord(
+                    task_id=cols.task_id[i],
+                    task_type=names[cols.type_id[i]],
+                    stage=_STAGES[cols.kind[i]],
+                    start=cols.start[i],
+                    end=cols.end[i],
+                    node=cols.node[i],
+                    core=cols.core[i],
+                    level=cols.level[i],
+                    used_gpu=bool(cols.used_gpu[i]),
+                    attempt=cols.attempt[i],
+                )
+                for i in range(len(cols))
+            )
+            self._stage_cols = _Columns()
+        return self._stage_records
+
+    @property
+    def tasks(self) -> list[TaskRecord]:
+        """All whole-task records, materialising any pending columns."""
+        cols = self._task_cols
+        if len(cols):
+            names = self._names
+            self._task_records.extend(
+                TaskRecord(
+                    task_id=cols.task_id[i],
+                    task_type=names[cols.type_id[i]],
+                    start=cols.start[i],
+                    end=cols.end[i],
+                    node=cols.node[i],
+                    core=cols.core[i],
+                    level=cols.level[i],
+                    used_gpu=bool(cols.used_gpu[i]),
+                    attempt=cols.attempt[i],
+                )
+                for i in range(len(cols))
+            )
+            self._task_cols = _Columns()
+        return self._task_records
+
+    @property
+    def attempts(self) -> list[TaskAttempt]:
+        """All attempt records, materialising any pending columns."""
+        cols = self._attempt_cols
+        if len(cols):
+            names = self._names
+            self._attempt_records.extend(
+                TaskAttempt(
+                    task_id=cols.task_id[i],
+                    task_type=names[cols.type_id[i]],
+                    attempt=cols.attempt[i],
+                    start=cols.start[i],
+                    end=cols.end[i],
+                    node=cols.node[i],
+                    core=cols.core[i],
+                    level=cols.level[i],
+                    used_gpu=bool(cols.used_gpu[i]),
+                    outcome=names[cols.kind[i]],
+                )
+                for i in range(len(cols))
+            )
+            self._attempt_cols = _Columns()
+        return self._attempt_records
+
+    # ---------------------------------------------------------- cheap counts
+    @property
+    def num_stage_records(self) -> int:
+        """Stage-record count without materialising pending columns."""
+        return len(self._stage_records) + len(self._stage_cols)
+
+    @property
+    def num_task_records(self) -> int:
+        """Task-record count without materialising pending columns."""
+        return len(self._task_records) + len(self._task_cols)
+
+    @property
+    def num_attempt_records(self) -> int:
+        """Attempt-record count without materialising pending columns."""
+        return len(self._attempt_records) + len(self._attempt_cols)
+
+    # -------------------------------------------------------------- analysis
     @property
     def makespan(self) -> float:
         """Wall time from the first task start to the last task end.
 
         Counts successful tasks only; :attr:`recovered_span` additionally
-        covers failed attempts and retry waits.
+        covers failed attempts and retry waits.  Computed straight from
+        the column buffers, so reading it does not materialise records.
         """
-        if not self.tasks:
+        lo = math.inf
+        hi = -math.inf
+        for record in self._task_records:
+            lo = min(lo, record.start)
+            hi = max(hi, record.end)
+        cols = self._task_cols
+        if len(cols):
+            lo = min(lo, min(cols.start))
+            hi = max(hi, max(cols.end))
+        if lo is math.inf:
             return 0.0
-        return max(t.end for t in self.tasks) - min(t.start for t in self.tasks)
+        return hi - lo
 
     @property
     def recovered_span(self) -> float:
@@ -198,7 +450,7 @@ class Trace:
         (per-core overlap, RAM/GPU conservation) should sweep these
         records rather than picking one of the two lists themselves.
         """
-        if self.attempts:
+        if self.num_attempt_records:
             return self.attempts
         return self.tasks
 
@@ -215,7 +467,7 @@ class Trace:
         Falls back to the task records (one attempt each) when the trace
         carries no attempt records — i.e. for fault-free executions.
         """
-        if not self.attempts:
+        if not self.num_attempt_records:
             return {t.task_id: 1 for t in self.tasks}
         counts: dict[int, int] = {}
         for attempt in self.attempts:

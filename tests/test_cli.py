@@ -200,19 +200,21 @@ class TestBench:
         # CLI wiring (suite selection, report schema, floor evaluation)
         # under test at unit-test cost.
         monkeypatch.setattr(
-            bench_module, "SCALE_CELLS", (("scale_tiny", 16, 40, 100.0),)
+            bench_module, "SCALE_CELLS", (("scale_tiny", 16, 40, 1, 100.0),)
         )
         code = main(["bench", "--suite", "scale", "--out", str(out)])
         assert code == 0
         stdout = capsys.readouterr().out
         assert "tasks/s" in stdout
         report = json.loads(out.read_text(encoding="utf-8"))
-        assert report["schema"] == "repro-scale-bench/1"
+        assert report["schema"] == "repro-scale-bench/2"
         (row,) = report["workloads"]
         assert row["name"] == "scale_tiny"
+        assert row["workers"] == 1
         assert row["num_tasks"] == 16 * 40
         assert row["floor_tasks_per_second"] == 100.0
         assert row["meets_floor"] is True
+        assert row["speedup_vs_serial"] is None
 
     def test_bench_sweeps_suite_writes_report(self, capsys, tmp_path):
         import json

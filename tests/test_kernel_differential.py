@@ -1,227 +1,93 @@
-"""Differential harness: the batched kernel must equal the reference kernel.
+"""Differential harness: the batched kernel must equal the recorded oracle.
 
 The batched event core (flat heap records, batched ready-set dispatch,
-vectorized stage-time evaluation) is only allowed to be *faster* than the
-legacy object-per-event kernel — never different.  Every test here runs
-the same workflow under ``sim_kernel="batched"`` and
-``sim_kernel="reference"`` and asserts the two traces are bit-identical
-(task dispatch order, per-stage times, attempt histories, makespan and
-failed-task sets, via :func:`repro.tracing.trace_digest`).
+vectorized stage-time evaluation) replaced the legacy object-per-event
+``reference`` kernel.  Before that kernel was deleted, every cell of the
+kernel corpus (``tests/kernel_corpus.py``) was executed under it and the
+trace digests were frozen into
+``tests/golden/kernel_oracle_digests.json`` by
+``scripts/record_kernel_oracle.py``.  Those digests are the oracle: the
+batched kernel is only allowed to be *faster* than the kernel they were
+recorded under — never different (task dispatch order, per-stage times,
+attempt histories, makespan and failed-task sets, via
+:func:`repro.tracing.trace_digest`).
 
-Two layers:
+Three layers:
 
-* a seeded corpus covering the batched fast path (zero-latency clusters,
-  where whole ready batches are drained in one scheduler activation) and
-  every configuration that must *fall back* to the reference dispatch
-  loop (fault plans, lineage recovery, speculation, checkpoint barriers,
-  nonzero dispatch latency);
-* a Hypothesis property over random DAG shapes, cluster sizes, storage
-  and scheduler choices.
+* the corpus replayed against the frozen oracle digests — covering the
+  batched fast path (zero-latency clusters, where whole ready batches
+  are drained in one scheduler activation), every configuration that
+  must fall back to the interleaved dispatch loop (fault plans, lineage
+  recovery, speculation, checkpoint barriers, nonzero dispatch latency),
+  GPU mode, and the same-instant completion-cascade shape that exposed
+  the original drain bug;
+* a Hypothesis property comparing batched ready-set drains against a
+  forced interleaved dispatch loop over random DAG shapes — the two
+  dispatch modes must stay bit-identical now that the old kernel can no
+  longer arbitrate between them;
+* guards that the removed kernel stays removed: requesting it raises a
+  pointed error at both the config and the engine layer.
 
-The corpus is the reviewable spec; the property is the fuzzer.  A failure
-in either means the batched kernel changed execution semantics — fix the
-kernel, never the test.
+A failure in the oracle layer means the batched kernel changed execution
+semantics — fix the kernel, never the recorded digests.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import json
+import pathlib
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.algorithms import GeneratedDagWorkflow
-from repro.faults import CheckpointPolicy, FaultPlan, NodeFault, RetryPolicy
-from repro.hardware import StorageKind, minotauro
+from repro.hardware import StorageKind
 from repro.runtime import Runtime, RuntimeConfig, SchedulingPolicy
-from repro.tracing import trace_digest
-from tests.golden_matrix import GOLDEN_FAULT_PLAN, GOLDEN_RETRY_POLICY
+from repro.runtime.backends.simulated import SimulatedExecutor
+from repro.sim import SimulationError, Simulator
+from tests.kernel_corpus import corpus_cases, run_digest, zero_latency_cluster
 
-KERNELS = ("batched", "reference")
+ORACLE_PATH = pathlib.Path(__file__).parent / "golden" / "kernel_oracle_digests.json"
+ORACLE_SCHEMA = "repro-kernel-oracle/1"
 
 
-def zero_latency_cluster(num_nodes: int = 4):
-    """A cluster whose scheduler decisions take no simulated time.
+@pytest.fixture(scope="module")
+def oracle() -> dict[str, str]:
+    payload = json.loads(ORACLE_PATH.read_text())
+    assert payload["schema"] == ORACLE_SCHEMA
+    return payload["digests"]
 
-    This is the configuration under which the batched kernel's dispatcher
-    may drain whole ready batches, so it is the one that actually
-    exercises the fast path being differentially tested.
-    """
-    return dataclasses.replace(
-        minotauro(num_nodes=num_nodes),
-        scheduling_latency={policy: 0.0 for policy in SchedulingPolicy},
-        locality_scan_seconds_per_task=0.0,
+
+_CASES = corpus_cases()
+
+
+@pytest.mark.parametrize("name", sorted(_CASES))
+def test_corpus_matches_recorded_oracle(name, oracle):
+    """Every corpus cell must reproduce its frozen reference digest."""
+    assert name in oracle, (
+        f"corpus cell {name!r} has no recorded oracle digest; run "
+        "scripts/record_kernel_oracle.py ONLY if the cell is new — "
+        "existing digests must never be re-recorded to absorb a kernel "
+        "change"
+    )
+    make_config, workflow = _CASES[name]
+    digest = run_digest(make_config(), workflow)
+    assert digest == oracle[name], (
+        f"{name}: batched kernel diverged from the recorded oracle digest\n"
+        f"  expected {oracle[name][:16]}...\n"
+        f"  got      {digest[:16]}...\n"
+        "The oracle was recorded under the legacy reference kernel before "
+        "its removal; a mismatch means the batched kernel changed "
+        "execution semantics.  Fix the kernel, never the recording."
     )
 
 
-def run_digest(config: RuntimeConfig, workflow: GeneratedDagWorkflow) -> str:
-    runtime = Runtime(config)
-    workflow.build(runtime)
-    result = runtime.run()
-    return trace_digest(result.trace, result.failed_task_ids)
+def test_oracle_covers_whole_corpus(oracle):
+    """No corpus cell may silently drop out of the recorded oracle."""
+    assert sorted(oracle) == sorted(_CASES)
 
 
-def assert_kernels_agree(make_config, workflow: GeneratedDagWorkflow) -> None:
-    digests = {
-        kernel: run_digest(
-            dataclasses.replace(make_config(), sim_kernel=kernel), workflow
-        )
-        for kernel in KERNELS
-    }
-    assert digests["batched"] == digests["reference"], (
-        "batched kernel diverged from the reference kernel: "
-        f"{digests['batched'][:16]}... != {digests['reference'][:16]}..."
-    )
-
-
-# ------------------------------------------------------------ the corpus
-
-#: Fast-path cells: zero-latency clusters where the batched dispatcher
-#: drains ready batches.  Policies x storage x block size x jitter.
-DRAIN_CASES = {
-    "generation_order-local-small": dict(
-        scheduling=SchedulingPolicy.GENERATION_ORDER,
-        storage=StorageKind.LOCAL,
-        block_mb=0.25,
-    ),
-    "generation_order-shared-large": dict(
-        scheduling=SchedulingPolicy.GENERATION_ORDER,
-        storage=StorageKind.SHARED,
-        block_mb=4.0,
-    ),
-    "data_locality-local-large": dict(
-        scheduling=SchedulingPolicy.DATA_LOCALITY,
-        storage=StorageKind.LOCAL,
-        block_mb=4.0,
-    ),
-    "data_locality-shared-small": dict(
-        scheduling=SchedulingPolicy.DATA_LOCALITY,
-        storage=StorageKind.SHARED,
-        block_mb=0.25,
-    ),
-    "lifo-local-jitter": dict(
-        scheduling=SchedulingPolicy.LIFO,
-        storage=StorageKind.LOCAL,
-        block_mb=1.0,
-        jitter_sigma=0.05,
-        jitter_seed=29,
-    ),
-    "generation_order-local-jitter": dict(
-        scheduling=SchedulingPolicy.GENERATION_ORDER,
-        storage=StorageKind.LOCAL,
-        block_mb=1.0,
-        jitter_sigma=0.02,
-        jitter_seed=31,
-    ),
-}
-
-
-@pytest.mark.parametrize("name", sorted(DRAIN_CASES))
-def test_drain_path_kernels_agree(name):
-    overrides = dict(DRAIN_CASES[name])
-    block_mb = overrides.pop("block_mb")
-
-    def make_config():
-        return RuntimeConfig(
-            cluster=zero_latency_cluster(), use_gpu=False, **overrides
-        )
-
-    workflow = GeneratedDagWorkflow(
-        width=32, depth=12, fan_in=2, block_mb=block_mb, seed=5
-    )
-    assert_kernels_agree(make_config, workflow)
-
-
-#: Fallback cells: configurations the batched dispatcher must refuse to
-#: drain, exercising the reference dispatch loop under the flat heap.
-FALLBACK_CASES = {
-    "default-latency": dict(),
-    "faults-retry": dict(
-        fault_plan=GOLDEN_FAULT_PLAN,
-        retry_policy=GOLDEN_RETRY_POLICY,
-    ),
-    "recovery-node-loss": dict(
-        storage=StorageKind.LOCAL,
-        fault_plan=FaultPlan(node_faults=(NodeFault(node=1, at_time=0.2),)),
-        retry_policy=RetryPolicy(max_attempts=3, recover_lost_blocks=True),
-    ),
-    "speculation": dict(
-        fault_plan=FaultPlan(
-            stragglers=(dataclasses.replace(GOLDEN_FAULT_PLAN.stragglers[0]),)
-        ),
-        retry_policy=RetryPolicy(max_attempts=2, speculation_factor=1.5),
-    ),
-    "checkpoint-barriers": dict(
-        storage=StorageKind.LOCAL,
-        checkpoint_policy=CheckpointPolicy(every_levels=2),
-    ),
-}
-
-
-@pytest.mark.parametrize("name", sorted(FALLBACK_CASES))
-def test_fallback_path_kernels_agree(name):
-    overrides = FALLBACK_CASES[name]
-
-    def make_config():
-        return RuntimeConfig(
-            scheduling=SchedulingPolicy.GENERATION_ORDER,
-            use_gpu=False,
-            **overrides,
-        )
-
-    workflow = GeneratedDagWorkflow(
-        width=16, depth=8, fan_in=2, block_mb=1.0, seed=9
-    )
-    assert_kernels_agree(make_config, workflow)
-
-
-def test_gpu_workflow_kernels_agree():
-    def make_config():
-        return RuntimeConfig(
-            cluster=zero_latency_cluster(),
-            use_gpu=True,
-            gpu_overflow_to_cpu=True,
-        )
-
-    workflow = GeneratedDagWorkflow(
-        width=16, depth=6, fan_in=2, block_mb=2.0, parallel_ratio=0.9, seed=3
-    )
-    assert_kernels_agree(make_config, workflow)
-
-
-@pytest.mark.parametrize(
-    "policy", sorted(SchedulingPolicy, key=lambda p: p.value)
-)
-def test_same_instant_completion_cascades_agree(policy):
-    """Batched dispatch must not reorder same-timestamp task clusters.
-
-    Uniform task costs with no jitter make whole waves of identical
-    transfers complete in the same processor-sharing settle — a
-    multi-callback completion cascade whose later completions are
-    invisible to the event queue while the first callback runs.  The
-    batched dispatcher must detect that window (``SimEngine.
-    cascade_depth``) and fall back to interleaved reference dispatch;
-    draining the ready set mid-cascade reorders scheduling decisions
-    against tasks that were about to commit.  This is the exact shape
-    that exposed the bug during development; it must stay bit-identical.
-    """
-
-    def make_config():
-        return RuntimeConfig(
-            cluster=zero_latency_cluster(num_nodes=2),
-            scheduling=policy,
-            storage=StorageKind.LOCAL,
-            use_gpu=False,
-        )
-
-    workflow = GeneratedDagWorkflow(
-        width=4, depth=12, fan_in=2, block_mb=4.0, seed=7
-    )
-    assert_kernels_agree(make_config, workflow)
-
-
-# ----------------------------------------------------------- the fuzzer
-
+# ------------------------------------------- dispatch-mode equivalence
 
 @given(
     width=st.integers(min_value=2, max_value=10),
@@ -232,31 +98,88 @@ def test_same_instant_completion_cascades_agree(policy):
     num_nodes=st.integers(min_value=2, max_value=6),
     policy=st.sampled_from(sorted(SchedulingPolicy, key=lambda p: p.value)),
     storage=st.sampled_from(sorted(StorageKind, key=lambda s: s.value)),
-    zero_latency=st.booleans(),
 )
 @settings(
     max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-def test_random_dags_kernels_agree(
-    width, depth, fan_in, block_mb, seed, num_nodes, policy, storage, zero_latency
+def test_batched_drain_equals_forced_dispatch_loop(
+    width, depth, fan_in, block_mb, seed, num_nodes, policy, storage
 ):
-    cluster = (
-        zero_latency_cluster(num_nodes)
-        if zero_latency
-        else minotauro(num_nodes=num_nodes)
+    """Batched ready-set drains must equal the interleaved dispatch loop.
+
+    Zero-latency clusters are the configurations where the batched
+    dispatcher actually drains whole ready batches in one activation, so
+    this property pins the drain path against the one-decision-per-yield
+    loop it claims to be equivalent to.  The monkeypatch-free runs and
+    the forced-loop runs must produce bit-identical traces.
+    """
+    workflow = GeneratedDagWorkflow(
+        width=width, depth=depth, fan_in=fan_in, block_mb=block_mb, seed=seed
     )
 
     def make_config():
         return RuntimeConfig(
-            cluster=cluster,
+            cluster=zero_latency_cluster(num_nodes),
             scheduling=policy,
             storage=storage,
             use_gpu=False,
         )
 
-    workflow = GeneratedDagWorkflow(
-        width=width, depth=depth, fan_in=fan_in, block_mb=block_mb, seed=seed
+    batched = run_digest(make_config(), workflow)
+    original = SimulatedExecutor._force_dispatch_loop
+    SimulatedExecutor._force_dispatch_loop = True
+    try:
+        forced = run_digest(make_config(), workflow)
+    finally:
+        SimulatedExecutor._force_dispatch_loop = original
+    assert batched == forced, (
+        "batched ready-set drain diverged from the interleaved dispatch "
+        f"loop: {batched[:16]}... != {forced[:16]}..."
     )
-    assert_kernels_agree(make_config, workflow)
+
+
+def test_forced_loop_knob_actually_disables_draining(monkeypatch):
+    """The test knob must force interleaved dispatch, or the property
+    above would vacuously compare the drain path against itself."""
+    calls: list[int] = []
+    original_drain = SimulatedExecutor._drain_ready_batch
+
+    def counting_drain(self, ready_view):
+        calls.append(1)
+        return original_drain(self, ready_view)
+
+    monkeypatch.setattr(SimulatedExecutor, "_drain_ready_batch", counting_drain)
+
+    def run_once() -> None:
+        config = RuntimeConfig(cluster=zero_latency_cluster(), use_gpu=False)
+        runtime = Runtime(config)
+        GeneratedDagWorkflow(
+            width=8, depth=3, fan_in=2, block_mb=0.25, seed=1
+        ).build(runtime)
+        runtime.run()
+
+    run_once()
+    assert calls, "a zero-latency run should take the batched drain path"
+    calls.clear()
+    monkeypatch.setattr(SimulatedExecutor, "_force_dispatch_loop", True)
+    run_once()
+    assert not calls, "the force knob must route dispatch through the loop"
+
+
+# ------------------------------------------------ the kernel stays gone
+
+def test_reference_kernel_removed_from_config():
+    with pytest.raises(ValueError, match="was removed"):
+        RuntimeConfig(sim_kernel="reference")
+
+
+def test_reference_kernel_removed_from_engine():
+    with pytest.raises(SimulationError, match="was removed"):
+        Simulator(kernel="reference")
+
+
+def test_unknown_kernel_still_rejected():
+    with pytest.raises(SimulationError, match="unknown simulation kernel"):
+        Simulator(kernel="warp")

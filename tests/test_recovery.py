@@ -376,6 +376,30 @@ class TestRecoveryProperty:
         }
         assert_result_invariants(result)
 
+    def test_recovery_recompute_resets_array_indegree(self):
+        """Regression for the array-backed bookkeeping migration.
+
+        Lineage recovery re-injects already-settled tasks for
+        recomputation; their dependency counters must be rebuilt in the
+        executor's indegree array, not left at the zero they drained to
+        on first execution, or a recomputed task can dispatch before its
+        recomputed inputs exist.  This is the exact falsifying example
+        Hypothesis produced against an early draft of the migration."""
+        clean = _run_generated(width=10, depth=4, seed=10)
+        plan = FaultPlan(
+            node_faults=(
+                NodeFault(node=0, at_time=0.15234375 * clean.makespan),
+            )
+        )
+        result = _run_generated(
+            plan=plan, policy=RECOVERY, width=10, depth=4, seed=10
+        )
+        assert not result.failed
+        assert {t.task_id for t in result.trace.tasks} == {
+            t.task_id for t in clean.trace.tasks
+        }
+        assert_result_invariants(result)
+
 
 class TestDeterminismContract:
     """Recovery machinery must be invisible until it is needed."""

@@ -1,0 +1,272 @@
+"""Shard-pool contract tests: determinism, crash isolation, re-entrancy.
+
+The pool's promise is that sharded execution is an *implementation
+detail*: a batch fanned out across any number of workers, under any
+start method, merges to exactly what a serial run of the same instances
+produces.  These tests pin that promise against the golden-trace matrix
+(real simulations, recorded digests), then cover the failure contract —
+instance exceptions re-raise, a killed worker's instance re-runs exactly
+once, a twice-killing instance raises instead of looping — and the
+re-entrancy guard that keeps a pool worker from spawning a pool of its
+own.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import shard
+from repro.core.shard import (
+    ShardCrashError,
+    ShardItem,
+    ShardPool,
+    ShardTaskError,
+    merge_shard_results,
+)
+from repro.tracing import trace_digest
+from tests.golden_matrix import golden_cases
+
+#: Golden-matrix cells the sharded-vs-serial digest tests replay: every
+#: wide16 cell (CPU, jitter, all policies, clean and faulted) plus one
+#: GPU cell and one faulted GPU-overflow cell, so the workers exercise
+#: the same executor paths the recorded digests pin.
+_SHARD_KEYS = (
+    "wide16|generation_order|clean",
+    "wide16|generation_order|faults",
+    "wide16|data_locality|clean",
+    "wide16|data_locality|faults",
+    "wide16|lifo|clean",
+    "wide16|lifo|faults",
+    "matmul4|generation_order|clean",
+    "kmeans40|lifo|faults",
+)
+
+
+def _digest_golden_cell(key: str) -> str:
+    """Run one golden-matrix cell by key and digest its trace.
+
+    Module-level so it pickles under the ``spawn`` start method: the
+    worker re-imports this module and rebuilds the case from its key
+    instead of shipping a closure across the process boundary.
+    """
+    (case,) = [c for c in golden_cases() if c.key == key]
+    result = case.run()
+    return trace_digest(result.trace, result.failed_task_ids)
+
+
+@pytest.fixture(scope="module")
+def serial_digests() -> dict[str, str]:
+    return {key: _digest_golden_cell(key) for key in _SHARD_KEYS}
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize(
+        "start_method,workers",
+        [("fork", 2), ("fork", 4), ("spawn", 2)],
+    )
+    def test_sharded_matches_serial_golden_digests(
+        self, serial_digests, start_method, workers
+    ):
+        """Any worker count and start method reproduces the serial run."""
+        with ShardPool(workers=workers, start_method=start_method) as pool:
+            merged = pool.run(
+                [
+                    ShardItem(instance_id=key, fn=_digest_golden_cell, args=(key,))
+                    for key in _SHARD_KEYS
+                ]
+            )
+        assert merged == serial_digests
+        assert list(merged) == sorted(_SHARD_KEYS)
+
+    def test_pool_reusable_across_batches(self, serial_digests):
+        """Workers persist across run() calls; later batches still merge
+        correctly (the warm-up-once economics the pool exists for)."""
+        keys = list(_SHARD_KEYS[:4])
+        with ShardPool(workers=2, start_method="fork") as pool:
+            first = pool.run(
+                [
+                    ShardItem(instance_id=k, fn=_digest_golden_cell, args=(k,))
+                    for k in keys[:2]
+                ]
+            )
+            second = pool.run(
+                [
+                    ShardItem(instance_id=k, fn=_digest_golden_cell, args=(k,))
+                    for k in keys[2:]
+                ]
+            )
+        combined = {**first, **second}
+        assert combined == {k: serial_digests[k] for k in keys}
+
+
+class TestMergeOrderInvariance:
+    @given(
+        results=st.dictionaries(
+            st.integers(min_value=0, max_value=10_000),
+            st.text(max_size=8),
+            max_size=32,
+        ),
+        cuts=st.lists(st.integers(min_value=0, max_value=32), max_size=4),
+        order_seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_partition_merges_identically(self, results, cuts, order_seed):
+        """The merged map is independent of how instances were sharded
+        and of shard arrival order."""
+        ids = list(results)
+        order_seed.shuffle(ids)
+        bounds = sorted({min(c, len(ids)) for c in cuts} | {0, len(ids)})
+        shards = [
+            {i: results[i] for i in ids[lo:hi]}
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        order_seed.shuffle(shards)
+        merged = merge_shard_results(shards)
+        assert merged == results
+        assert list(merged) == sorted(results)
+
+    def test_duplicate_ids_across_shards_raise(self):
+        with pytest.raises(ValueError, match="more than one shard"):
+            merge_shard_results([{1: "a"}, {1: "b"}])
+
+
+# ----------------------------------------------------- crash isolation
+
+def _crash_once(marker: str) -> str:
+    """Die hard on the first invocation, succeed on the second.
+
+    The marker file counts invocations across the kill/respawn cycle:
+    one byte is appended per call, so the parent can assert the instance
+    ran exactly twice (once killed, once to completion).
+    """
+    with open(marker, "a") as handle:
+        handle.write("x")
+    if os.path.getsize(marker) == 1:
+        os._exit(42)
+    return "survived"
+
+
+def _always_crash() -> None:
+    os._exit(7)
+
+
+def _raise_value_error(payload: str) -> None:
+    raise ValueError(payload)
+
+
+def _identity(value: int) -> int:
+    return value
+
+
+class TestCrashIsolation:
+    def test_killed_worker_instance_reruns_exactly_once(self):
+        with tempfile.TemporaryDirectory() as scratch:
+            marker = str(Path(scratch) / "invocations")
+            with ShardPool(workers=2, start_method="fork") as pool:
+                merged = pool.run(
+                    [
+                        ShardItem(instance_id=0, fn=_identity, args=(10,)),
+                        ShardItem(instance_id=1, fn=_crash_once, args=(marker,)),
+                        ShardItem(instance_id=2, fn=_identity, args=(20,)),
+                    ]
+                )
+            assert merged == {0: 10, 1: "survived", 2: 20}
+            assert Path(marker).stat().st_size == 2
+
+    def test_twice_killing_instance_raises_instead_of_looping(self):
+        with ShardPool(workers=2, start_method="fork") as pool:
+            with pytest.raises(ShardCrashError, match="killed its worker"):
+                pool.run(
+                    [
+                        ShardItem(instance_id=0, fn=_identity, args=(1,)),
+                        ShardItem(instance_id=1, fn=_always_crash),
+                    ]
+                )
+
+    def test_instance_exception_reraises_with_remote_context(self):
+        with ShardPool(workers=2, start_method="fork") as pool:
+            with pytest.raises(ShardTaskError, match="ValueError") as excinfo:
+                pool.run(
+                    [
+                        ShardItem(instance_id=0, fn=_identity, args=(1,)),
+                        ShardItem(
+                            instance_id=1, fn=_raise_value_error, args=("boom",)
+                        ),
+                    ]
+                )
+        assert excinfo.value.instance_id == 1
+        assert excinfo.value.kind == "ValueError"
+        assert "boom" in excinfo.value.remote_message
+
+    def test_exception_does_not_kill_the_worker(self):
+        """A Python-level error is a result, not a crash: the same pool
+        keeps serving instances afterwards."""
+        with ShardPool(workers=1, start_method="fork") as pool:
+            with pytest.raises(ShardTaskError):
+                pool.run([ShardItem(instance_id=0, fn=_raise_value_error, args=("x",))])
+            assert pool.run(
+                [ShardItem(instance_id=0, fn=_identity, args=(5,))]
+            ) == {0: 5}
+
+
+# ---------------------------------------------------- pool API contract
+
+class TestPoolContract:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ShardPool(workers=0)
+
+    def test_duplicate_instance_ids_rejected(self):
+        with ShardPool(workers=1, start_method="fork") as pool:
+            with pytest.raises(ValueError, match="duplicate instance ids"):
+                pool.run(
+                    [
+                        ShardItem(instance_id=1, fn=_identity, args=(1,)),
+                        ShardItem(instance_id=1, fn=_identity, args=(2,)),
+                    ]
+                )
+
+    def test_empty_batch_is_a_noop(self):
+        with ShardPool(workers=2) as pool:
+            assert pool.run([]) == {}
+
+    def test_closed_pool_refuses_work(self):
+        pool = ShardPool(workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run([ShardItem(instance_id=0, fn=_identity, args=(1,))])
+
+    def test_map_aligns_with_input_order(self):
+        with ShardPool(workers=2, start_method="fork") as pool:
+            assert pool.map(_identity, [3, 1, 2]) == [3, 1, 2]
+
+
+# --------------------------------------------------- re-entrancy guard
+
+class TestReentrancyGuard:
+    def test_in_worker_reflects_module_flag(self, monkeypatch):
+        assert shard.in_worker() is False
+        monkeypatch.setattr(shard, "_IN_WORKER", True)
+        assert shard.in_worker() is True
+
+    def test_engine_degrades_to_serial_inside_a_worker(self, monkeypatch):
+        """A pool worker running the sweep engine must not spawn a nested
+        pool: jobs > 1 silently degrades to in-process execution.  This
+        is the guard that prevents fork bombs when a sharded figure run
+        executes cells that themselves use the engine."""
+        from repro.core.experiments.engine import SweepEngine, cells_product
+
+        monkeypatch.setattr(shard, "_IN_WORKER", True)
+        cells = cells_product("matmul", (2, 4), dataset_key="matmul_128mb")
+        with SweepEngine(jobs=4, cache=False) as engine:
+            results = engine.run_cells(cells)
+            assert engine._pool is None, (
+                "engine built a nested ShardPool inside a worker"
+            )
+        assert len(results) == len(cells)
+        assert all(r.makespan > 0 for r in results)

@@ -124,14 +124,12 @@ class TestStep:
 
 
 class TestKernelHeapOrder:
-    """Both kernels must pop strictly in ``(time, seq)`` order.
+    """The event heap must pop strictly in ``(time, seq)`` order.
 
-    The flat array-backed heap of the batched kernel and the legacy
-    object heap differ only in representation; this property drives both
-    through interleaved push / pop / cancel traffic and asserts the fire
-    order equals the ``(time, insertion)`` sort of the surviving events —
-    the determinism contract every trace digest in this repository
-    depends on.
+    This property drives the flat array-backed heap through interleaved
+    push / pop / cancel traffic and asserts the fire order equals the
+    ``(time, insertion)`` sort of the surviving events — the determinism
+    contract every trace digest in this repository depends on.
     """
 
     @given(
@@ -148,12 +146,11 @@ class TestKernelHeapOrder:
             min_size=1,
             max_size=8,
         ),
-        kernel=st.sampled_from(("batched", "reference")),
         cancel_every=st.integers(min_value=0, max_value=3),
     )
     @settings(max_examples=100, deadline=None)
-    def test_interleaved_push_pop_fire_order(self, batches, kernel, cancel_every):
-        sim = Simulator(kernel=kernel)
+    def test_interleaved_push_pop_fire_order(self, batches, cancel_every):
+        sim = Simulator()
         fired: list[int] = []
         created: list[tuple[float, int]] = []  # (absolute time, label)
         cancelled: set[int] = set()
@@ -186,13 +183,10 @@ class TestKernelHeapOrder:
         ]
         assert fired == expected
 
-    @given(
-        count=st.integers(min_value=2, max_value=20),
-        kernel=st.sampled_from(("batched", "reference")),
-    )
+    @given(count=st.integers(min_value=2, max_value=20))
     @settings(max_examples=50, deadline=None)
-    def test_same_time_events_fire_in_schedule_order(self, count, kernel):
-        sim = Simulator(kernel=kernel)
+    def test_same_time_events_fire_in_schedule_order(self, count):
+        sim = Simulator()
         fired: list[int] = []
         for i in range(count):
             sim.schedule(1.0, fired.append, i)
