@@ -21,6 +21,10 @@ have historically broken bit-identical replays of task-based runtimes:
 * **DL005** — wall-clock reads (``time.time``, ``datetime.now``, ...).
   Simulated time is the only clock allowed to influence results;
   ``time.perf_counter`` is exempt because benchmarks measure with it.
+* **DL006** — a blocking ``queue.get()`` or ``process.join()`` without
+  a timeout.  A dead or hung peer turns the bare call into a permanent
+  wedge; supervised code must wake up periodically to check liveness
+  (the lesson behind the shard pool's hang-detection layer).
 
 Findings are suppressed inline with ``# repro: disable=DL001`` (or
 ``disable=all``) on the offending line, or collectively through a
@@ -65,6 +69,11 @@ register_devlint(
     severity=Severity.WARNING,
     summary="wall-clock read: only simulated time may influence results",
 )
+register_devlint(
+    "DL006",
+    severity=Severity.WARNING,
+    summary="queue.get()/process.join() without a timeout can wedge forever",
+)
 
 #: ``# repro: disable=DL001,DL003`` or ``# repro: disable=all``.
 _DISABLE_RE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\s]+)")
@@ -78,6 +87,14 @@ _WALL_CLOCK = {
     "datetime": {"now", "utcnow", "today"},
     "date": {"today"},
 }
+
+#: Receiver names whose ``.get()`` reads a blocking queue (DL006).
+_QUEUEISH = re.compile(r"queue", re.IGNORECASE)
+
+#: Receiver names whose ``.join()`` waits on a process/worker (DL006).
+#: ``thread`` is deliberately excluded: daemon threads die with the
+#: process, and ``os.path.join``/``str.join`` receivers never match.
+_PROCESSISH = re.compile(r"^(proc|process|worker|child)", re.IGNORECASE)
 
 
 @dataclass(frozen=True)
@@ -352,6 +369,42 @@ class _Linter(ast.NodeVisitor):
                 f"{fn_module}.{fn_name}() reads the wall clock; simulated "
                 "time is the only clock allowed to influence results",
             )
+
+        # DL006: unbounded blocking on a queue or a process.  The
+        # receiver is judged by name (``task_queue.get``,
+        # ``worker.process.join``), so attribute receivers count too.
+        if isinstance(fn, ast.Attribute):
+            receiver = fn_module
+            if receiver is None and isinstance(fn.value, ast.Attribute):
+                receiver = fn.value.attr
+            keyword_names = {kw.arg for kw in node.keywords}
+            bounded = bool(node.args) or "timeout" in keyword_names
+            if (
+                fn_name == "get"
+                and receiver is not None
+                and _QUEUEISH.search(receiver)
+                and not bounded
+            ):
+                self._emit(
+                    node,
+                    "DL006",
+                    f"{receiver}.get() without a timeout blocks forever if "
+                    "the producer dies; poll with a timeout and re-check "
+                    "liveness",
+                )
+            if (
+                fn_name == "join"
+                and receiver is not None
+                and _PROCESSISH.search(receiver)
+                and not bounded
+            ):
+                self._emit(
+                    node,
+                    "DL006",
+                    f"{receiver}.join() without a timeout waits forever on "
+                    "a wedged process; join with a timeout, then escalate "
+                    "terminate -> kill",
+                )
 
         self.generic_visit(node)
 

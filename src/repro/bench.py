@@ -671,3 +671,170 @@ def render_sweep_report(report: dict) -> str:
             f"{report['byte_identical']}",
         ]
     )
+
+
+# ---------------------------------------------------------- chaos suite
+
+CHAOS_SCHEMA = "repro-chaos-bench/1"
+
+#: Default report path of ``repro bench --suite chaos``.
+DEFAULT_CHAOS_OUTPUT = "BENCH_chaos.json"
+
+#: Replay shape of each chaos instance: small enough that a retried
+#: instance costs milliseconds, large enough that a kill or hang lands
+#: mid-batch rather than after everything finished.
+CHAOS_REPLAY_SHAPE = (48, 40)
+CHAOS_INSTANCES = 8
+
+
+def _chaos_replay(seed: int) -> str:
+    """One chaos-suite instance: replay a seeded DAG, return its digest.
+
+    Module-level so it pickles under ``spawn``; returns the golden trace
+    digest, the strongest bit-identity witness the repo has (every task's
+    timing, placement, and event schedule feeds the hash).
+    """
+    from repro.tracing.golden import trace_digest
+
+    width, depth = CHAOS_REPLAY_SHAPE
+    runtime = Runtime(plain_replay_config())
+    build_plain_replay(runtime, width, depth, seed=seed)
+    result = runtime.run()
+    return trace_digest(result.trace, result.failed_task_ids)
+
+
+def chaos_policy():
+    """The supervision policy the chaos suite (and its CI job) runs under.
+
+    The 10 s item deadline is the suite's "never blocks longer than"
+    guarantee — each replay takes well under a second, so only a chaos
+    hang can reach it; 1 s heartbeats with a 5-interval grace catch
+    frozen workers sooner.  Three attempts against single-attempt faults
+    guarantee convergence; ``allow_degraded`` keeps the batch draining
+    even if the respawn budget empties.
+    """
+    from repro.core.supervise import SupervisionPolicy
+
+    return SupervisionPolicy(
+        item_deadline=10.0,
+        heartbeat_interval=1.0,
+        heartbeat_grace=5.0,
+        max_attempts=3,
+        backoff_base=0.05,
+        allow_degraded=True,
+    )
+
+
+def chaos_plan(seed: int = 23):
+    """The seeded fault mix of the chaos suite.
+
+    Roughly a quarter of first attempts die, an eighth hang (for longer
+    than the item deadline, so only supervision can reclaim them), a
+    quarter straggle; faults fire on the first attempt only, so every
+    instance converges within the policy's three attempts.
+    """
+    from repro.core.chaos import ChaosPlan
+
+    return ChaosPlan(
+        seed=seed,
+        kill_probability=0.25,
+        hang_probability=0.125,
+        slow_probability=0.25,
+        hang_seconds=60.0,
+        slow_seconds=(0.05, 0.2),
+        fault_attempts=1,
+    )
+
+
+def run_chaos_bench(
+    out_path: str | Path | None = None,
+    jobs: int | None = None,
+    seed: int = 23,
+) -> dict:
+    """Replay the chaos instances serially and under a chaotic pool.
+
+    Serial digests are computed in-process first (the ground truth),
+    then the same instances run through a :class:`ShardPool` whose
+    workers are killed, hung, and slowed by the seeded
+    :func:`chaos_plan`.  The report's headline claim is
+    ``bit_identical``: per-instance golden trace digests from the
+    supervised chaotic run equal the serial ones, i.e. host-level
+    failures never leak into simulated results.
+    """
+    from repro.core.shard import ShardItem, ShardPool
+
+    workers = max(1, jobs) if jobs is not None else 2
+    seeds = [100 + i for i in range(CHAOS_INSTANCES)]
+    serial = {s: _chaos_replay(s) for s in seeds}
+
+    plan = chaos_plan(seed)
+    events: list[tuple[str, dict]] = []
+    started = time.perf_counter()
+    with ShardPool(
+        workers=workers, policy=chaos_policy(), chaos=plan
+    ) as pool:
+        report_run = pool.run_report(
+            [ShardItem(instance_id=s, fn=_chaos_replay, args=(s,)) for s in seeds],
+            on_event=lambda kind, info: events.append((kind, info)),
+        )
+    elapsed = time.perf_counter() - started
+
+    mismatches = sorted(
+        s for s, digest in report_run.results.items() if serial[s] != digest
+    )
+    injected = {
+        kind: sum(1 for k, _ in events if k == kind)
+        for kind in ("dispatch", "retry", "quarantine", "kill")
+    }
+    report = {
+        "schema": CHAOS_SCHEMA,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workers": workers,
+        "instances": CHAOS_INSTANCES,
+        "replay_shape": list(CHAOS_REPLAY_SHAPE),
+        "chaos_plan": json.loads(plan.to_json()),
+        "bit_identical": (
+            not mismatches
+            and not report_run.errors
+            and not report_run.quarantined
+            and len(report_run.results) == len(seeds)
+        ),
+        "mismatched_instances": mismatches,
+        "errors": sorted(map(str, report_run.errors)),
+        "quarantined": sorted(map(str, report_run.quarantined)),
+        "worker_crashes": report_run.worker_crashes,
+        "worker_kills": report_run.worker_kills,
+        "respawns": report_run.respawns,
+        "retried_instances": len(report_run.attempts),
+        "dispatches": injected["dispatch"],
+        "degraded": report_run.degraded,
+        "wall_seconds": round(elapsed, 6),
+    }
+    if out_path is not None:
+        from repro.core.persistence import dumps_deterministic
+
+        Path(out_path).write_text(dumps_deterministic(report), encoding="utf-8")
+    return report
+
+
+def render_chaos_report(report: dict) -> str:
+    """Human-readable summary of a :func:`run_chaos_bench` report."""
+    verdict = "bit-identical" if report["bit_identical"] else "DIVERGED"
+    return "\n".join(
+        [
+            f"chaos shard suite ({report['schema']}, "
+            f"python {report['python']}/{report['machine']}, "
+            f"workers={report['workers']})",
+            f"  {report['instances']} instances  "
+            f"{report['wall_seconds']:>8.3f}s  "
+            f"crashes={report['worker_crashes']} "
+            f"kills={report['worker_kills']} "
+            f"respawns={report['respawns']} "
+            f"retried={report['retried_instances']} "
+            f"degraded={report['degraded']}",
+            f"  serial vs chaotic-sharded: {verdict} "
+            f"(errors={len(report['errors'])} "
+            f"quarantined={len(report['quarantined'])})",
+        ]
+    )

@@ -80,6 +80,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk sweep result cache",
     )
+    figures.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the execution ledger first and re-run only cells "
+             "that were unfinished when the previous run died",
+    )
 
     run = sub.add_parser("run", help="execute one workflow configuration")
     run.add_argument("--algorithm", choices=("matmul", "matmul_fma", "kmeans"),
@@ -203,11 +209,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("simulator", "sweeps", "faults", "scale"),
+        choices=("simulator", "sweeps", "faults", "scale", "chaos"),
         default="simulator",
         help="simulator: raw dispatch throughput; sweeps: engine "
              "cold/warm cells-per-second; faults: node-loss recovery "
-             "cost per workload; scale: 10^5..10^6-task replay floors "
+             "cost per workload; scale: 10^5..10^6-task replay floors; "
+             "chaos: sharded replays under seeded worker kills/hangs/"
+             "slowdowns, checked bit-identical to serial "
              "(default: %(default)s)",
     )
     bench.add_argument(
@@ -260,14 +268,21 @@ def _cmd_figures(
     jobs: int | None = None,
     cache_dir: str | None = None,
     no_cache: bool = False,
+    resume: bool = False,
 ) -> int:
     from repro.core import factors_table
     from repro.core import experiments as exp
 
+    if resume and no_cache:
+        print("--resume needs the execution ledger under the cache dir; "
+              "drop --no-cache", file=sys.stderr)
+        return 2
     # One engine for the whole invocation: cells shared between figures
     # (e.g. Figure 11's base design repeating Figures 7/9a/10) simulate
     # once, and the shard pool's workers stay warm across figures.
-    engine = exp.SweepEngine(jobs=jobs, cache_dir=cache_dir, cache=not no_cache)
+    engine = exp.SweepEngine(
+        jobs=jobs, cache_dir=cache_dir, cache=not no_cache, resume=resume
+    )
     runners = {
         "fig1": lambda: exp.run_fig1(engine=engine),
         "fig6": exp.run_fig6,
@@ -545,6 +560,15 @@ def _cmd_bench(args) -> int:
         out = args.out or DEFAULT_SCALE_OUTPUT
         report = run_scale_bench(out_path=out, jobs=args.jobs)
         print(render_scale_report(report))
+    elif args.suite == "chaos":
+        from repro.bench import DEFAULT_CHAOS_OUTPUT, render_chaos_report, run_chaos_bench
+
+        out = args.out or DEFAULT_CHAOS_OUTPUT
+        report = run_chaos_bench(out_path=out, jobs=args.jobs)
+        print(render_chaos_report(report))
+        if not report["bit_identical"]:
+            print("[chaos] sharded results diverged from serial", file=sys.stderr)
+            return 1
     else:
         from repro.bench import DEFAULT_OUTPUT, render_report, run_bench
 
@@ -614,6 +638,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             no_cache=args.no_cache,
+            resume=args.resume,
         )
     if args.command == "run":
         return _cmd_run(args)

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.core import ledger as ledger_module
 from repro.core import shard
 
 from repro.algorithms import (
@@ -257,6 +258,8 @@ class SweepStats:
     executed: int = 0
     memo_hits: int = 0
     cache_hits: int = 0
+    #: Cells answered from a replayed execution ledger (``--resume``).
+    resumed: int = 0
     evictions: int = 0
     #: Wall-clock the cache hits originally cost to compute.
     wall_saved: float = 0.0
@@ -270,8 +273,8 @@ class SweepStats:
 
     @property
     def hits(self) -> int:
-        """Cells answered without simulating (cache + in-run dedup)."""
-        return self.cache_hits + self.memo_hits
+        """Cells answered without simulating (cache, dedup, ledger)."""
+        return self.cache_hits + self.memo_hits + self.resumed
 
     @property
     def hit_rate(self) -> float:
@@ -283,6 +286,7 @@ class SweepStats:
         return (
             f"[sweep] cells={self.cells} hits={self.cache_hits} "
             f"dedup={self.memo_hits} misses={self.misses} "
+            f"resumed={self.resumed} "
             f"evictions={self.evictions} hit_rate={self.hit_rate:.0%} "
             f"saved={self.wall_saved:.1f}s wall={self.executed_wall:.1f}s"
         )
@@ -298,6 +302,17 @@ class SweepEngine:
     first parallel batch — stays warm for all of them.  Call
     :meth:`close` (or use the engine as a context manager) to reap the
     workers; an unclosed engine's daemon workers die with the process.
+
+    When caching is on (or an explicit ``ledger_path`` is given) every
+    cell execution is journalled to a crash-consistent
+    :class:`~repro.core.ledger.ExecutionLedger` under the cache dir:
+    PENDING on submission, DISPATCHED per attempt, then
+    DONE / FAILED / QUARANTINED.  ``resume=True`` replays the journal
+    first and answers every previously finished cell from its DONE
+    record — no cache lookup, no simulation — so a run SIGKILLed
+    mid-sweep re-executes only what was unfinished (``repro figures
+    --resume``).  ``policy`` and ``chaos`` are forwarded to the worker
+    pool (supervision rules and the deterministic fault-injection plan).
     """
 
     def __init__(
@@ -305,6 +320,10 @@ class SweepEngine:
         jobs: int | None = None,
         cache_dir: str | Path | None = None,
         cache: bool = True,
+        ledger_path: str | Path | None = None,
+        resume: bool = False,
+        policy=None,
+        chaos=None,
     ) -> None:
         self.jobs = jobs if jobs is not None and jobs > 0 else (os.cpu_count() or 1)
         self.stats = SweepStats()
@@ -312,11 +331,35 @@ class SweepEngine:
         self._memo: dict[str, RunMetrics] = {}
         self._pool: shard.ShardPool | None = None
         self._cache: SweepCache | None = None
+        self._policy = policy
+        self._chaos = chaos
         if cache:
             self._cache = SweepCache(
                 Path(cache_dir) if cache_dir is not None else default_cache_dir()
             )
             self.stats.evictions += self._cache.prune(self._fingerprint)
+        # The ledger lives beside the cache shards; SweepCache only globs
+        # one level deeper (``*/*.json``), so the journal is invisible to
+        # cache scans and pruning.
+        if ledger_path is None and self._cache is not None:
+            ledger_path = self._cache.root / "ledger.jsonl"
+        if resume and ledger_path is None:
+            raise ValueError(
+                "resume requires an execution ledger: enable the cache "
+                "or pass ledger_path"
+            )
+        self._ledger: ledger_module.ExecutionLedger | None = None
+        self._resumed: set[str] = set()
+        if ledger_path is not None:
+            if resume:
+                replayed = ledger_module.replay_ledger(ledger_path)
+                for digest, record in replayed.done_records().items():
+                    self._memo[digest] = metrics_from_record(record)
+                    self._resumed.add(digest)
+            self._ledger = ledger_module.ExecutionLedger(ledger_path)
+            self._ledger.open_session(
+                resumed=resume, fingerprint=self._fingerprint
+            )
 
     def __enter__(self) -> "SweepEngine":
         return self
@@ -325,11 +368,15 @@ class SweepEngine:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; the engine stays usable
-        for serial and cached execution afterwards)."""
+        """Shut down the worker pool and the ledger (idempotent; the
+        engine stays usable for serial and cached execution afterwards,
+        which simply goes unjournalled)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._ledger is not None:
+            self._ledger.close()
+            self._ledger = None
 
     @classmethod
     def serial(cls) -> "SweepEngine":
@@ -351,6 +398,11 @@ class SweepEngine:
         """Where results are persisted (``None`` when caching is off)."""
         return self._cache.root if self._cache is not None else None
 
+    @property
+    def ledger_path(self) -> Path | None:
+        """Where the execution journal lives (``None`` when disabled)."""
+        return self._ledger.path if self._ledger is not None else None
+
     def run_cell(self, spec: CellSpec) -> RunMetrics:
         """Execute (or recall) a single cell."""
         return self.run_cells([spec])[0]
@@ -368,6 +420,12 @@ class SweepEngine:
 
         pending: dict[str, CellSpec] = {}
         for spec, digest in zip(specs, digests):
+            if digest in self._resumed:
+                # Answered from the replayed ledger; later repeats of the
+                # same digest count as ordinary dedup hits.
+                self._resumed.discard(digest)
+                self.stats.resumed += 1
+                continue
             if digest in self._memo:
                 self.stats.memo_hits += 1
                 continue
@@ -384,13 +442,18 @@ class SweepEngine:
 
         if pending:
             items = list(pending.items())
+            if self._ledger is not None:
+                for digest, _spec in items:
+                    self._ledger.append(ledger_module.PENDING, item=digest)
             # Nested fan-out degrades to serial: a pool worker must never
             # spin up a second process pool inside itself (fork bombs,
             # oversubscription, and a second interpreter warm-up per cell).
             parallel = self.jobs > 1 and len(items) > 1 and not shard.in_worker()
             if parallel:
                 if self._pool is None:
-                    self._pool = shard.ShardPool(self.jobs)
+                    self._pool = shard.ShardPool(
+                        self.jobs, policy=self._policy, chaos=self._chaos
+                    )
                 cache_root = (
                     str(self._cache.root) if self._cache is not None else None
                 )
@@ -402,11 +465,15 @@ class SweepEngine:
                             args=(spec, digest, self._fingerprint, cache_root),
                         )
                         for digest, spec in items
-                    ]
+                    ],
+                    on_event=self._journal_event,
                 )
                 outcomes = [merged[digest] for digest, _spec in items]
             else:
-                outcomes = [_execute_recorded(spec) for _digest, spec in items]
+                outcomes = [
+                    self._execute_journalled(digest, spec)
+                    for digest, spec in items
+                ]
             for (digest, spec), (record, wall) in zip(items, outcomes):
                 # The fresh path round-trips through the same record
                 # encoding as a cache hit, so both are value-identical.
@@ -424,6 +491,60 @@ class SweepEngine:
                     )
 
         return [self._memo[digest] for digest in digests]
+
+    # ------------------------------------------------------------ journal
+    def _execute_journalled(
+        self, digest: str, spec: CellSpec
+    ) -> tuple[dict[str, Any], float]:
+        """Serial execution with the same ledger transitions as a worker."""
+        if self._ledger is not None:
+            self._ledger.append(ledger_module.DISPATCHED, item=digest, attempt=1)
+        record, wall = _execute_recorded(spec)
+        if self._ledger is not None:
+            self._ledger.append(
+                ledger_module.DONE,
+                item=digest,
+                record=record,
+                duration=round(wall, 6),
+            )
+        return record, wall
+
+    def _journal_event(self, kind: str, info: dict) -> None:
+        """Mirror pool supervision events into the execution ledger."""
+        if self._ledger is None:
+            return
+        if kind == "dispatch":
+            self._ledger.append(
+                ledger_module.DISPATCHED,
+                item=info["item"],
+                worker=info["worker"],
+                attempt=info["attempt"],
+            )
+        elif kind == "result":
+            if info["status"] == "ok":
+                record, wall = info["payload"]
+                self._ledger.append(
+                    ledger_module.DONE,
+                    item=info["item"],
+                    worker=info["worker"],
+                    record=record,
+                    duration=round(wall, 6),
+                )
+            else:
+                error_kind, message = info["payload"]
+                self._ledger.append(
+                    ledger_module.FAILED,
+                    item=info["item"],
+                    worker=info["worker"],
+                    error=f"{error_kind}: {message}",
+                )
+        elif kind == "quarantine":
+            self._ledger.append(
+                ledger_module.QUARANTINED,
+                item=info["item"],
+                error=info["reason"],
+                attempt=info["attempts"],
+            )
 
 
 def cells_product(

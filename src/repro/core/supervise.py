@@ -1,0 +1,240 @@
+"""Worker supervision for :class:`~repro.core.shard.ShardPool`.
+
+The pool's original failure contract handled exactly one mode: a worker
+that *dies cleanly* gets its in-flight instance re-dispatched once.  A
+worker that hangs (stops responding while its process stays alive) or
+merely runs far past any reasonable budget wedged ``ShardPool.run()``
+forever.  This module supplies the host-side health layer:
+
+* **Per-item deadlines** — every dispatched instance carries a
+  wall-clock budget; an overrun escalates to a worker kill
+  (terminate → kill → respawn) and a re-dispatch.
+* **Worker heartbeats** — workers beat over the result queue from a
+  daemon thread; a worker whose beats stop (SIGSTOP, a C extension
+  holding the GIL, a chaos-injected freeze) is presumed hung and killed
+  even if its item deadline has not elapsed.
+* **Retry budget with exponential backoff** — a lost instance is
+  re-dispatched after ``backoff_base * backoff_factor**(n-1)`` seconds,
+  at most ``max_attempts`` dispatches in total.
+* **Poison quarantine** — an instance that keeps killing or hanging
+  workers is *quarantined* (reported failed) once its attempt budget is
+  spent, instead of cycling through the pool's respawn budget forever.
+* **Graceful degradation** — with ``allow_degraded=True`` a pool whose
+  respawn budget runs dry keeps draining the batch on the workers it
+  still has and surfaces ``ShardRunReport.degraded`` instead of raising.
+
+The policy and the per-batch bookkeeping live here so they can be unit
+tested without processes; the process surgery itself (spawning, killing,
+queue plumbing) stays in :mod:`repro.core.shard`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Loss reasons the pool reports to the supervisor.
+REASON_CRASH = "crash"
+REASON_DEADLINE = "deadline"
+REASON_HEARTBEAT = "heartbeat"
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Health rules one :class:`~repro.core.shard.ShardPool` enforces.
+
+    The default policy reproduces the pool's legacy contract exactly: no
+    deadlines, no heartbeats, two dispatches per instance (the original
+    "re-dispatch a crashed worker's item exactly once"), immediate
+    re-dispatch, and a hard error instead of degradation.
+    """
+
+    #: Wall-clock budget per dispatched instance; ``None`` disables the
+    #: deadline (a hung worker is then only caught by heartbeats).
+    item_deadline: float | None = None
+    #: Worker heartbeat period in seconds; ``None`` disables heartbeats.
+    heartbeat_interval: float | None = None
+    #: Multiples of ``heartbeat_interval`` a worker may stay silent
+    #: before it is presumed hung and killed.
+    heartbeat_grace: float = 3.0
+    #: Total dispatches one instance may consume before quarantine.
+    max_attempts: int = 2
+    #: Exponential re-dispatch backoff: ``base * factor**(n-1)`` seconds
+    #: after the n-th loss, capped at ``backoff_max``.
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    #: Keep draining on fewer workers when respawn fails or the respawn
+    #: budget is spent (surfacing ``degraded``) instead of raising.
+    allow_degraded: bool = False
+    #: Seconds to wait between terminate and kill when escalating.
+    kill_grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.item_deadline is not None and self.item_deadline <= 0:
+            raise ValueError("item_deadline must be positive when set")
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive when set")
+
+    def backoff(self, losses: int) -> float:
+        """Re-dispatch delay after the ``losses``-th loss (1-based)."""
+        if losses < 1 or self.backoff_base <= 0:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** (losses - 1)
+        return min(delay, self.backoff_max)
+
+    @property
+    def heartbeat_timeout(self) -> float | None:
+        """Silence window after which a worker is presumed hung."""
+        if self.heartbeat_interval is None:
+            return None
+        return self.heartbeat_interval * self.heartbeat_grace
+
+
+@dataclass
+class ShardRunReport:
+    """Everything one supervised batch produced, without raising.
+
+    ``results`` holds the instances that completed, merged in id order;
+    ``errors`` the instances whose function raised inside a worker (as
+    ``(kind, message)``); ``quarantined`` the instances failed by the
+    supervisor with a human-readable reason; ``attempts`` the dispatch
+    count of every instance that needed more than one.
+    """
+
+    results: dict[Any, Any] = field(default_factory=dict)
+    errors: dict[Any, tuple[str, str]] = field(default_factory=dict)
+    quarantined: dict[Any, str] = field(default_factory=dict)
+    attempts: dict[Any, int] = field(default_factory=dict)
+    #: Workers killed by the supervisor (deadline or heartbeat), plus
+    #: workers that died on their own.
+    worker_kills: int = 0
+    worker_crashes: int = 0
+    respawns: int = 0
+    #: The pool finished the batch below its configured worker count.
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether every instance completed normally."""
+        return not self.errors and not self.quarantined
+
+
+class BatchSupervisor:
+    """Per-batch item bookkeeping: attempts, backoff, quarantine.
+
+    Pure bookkeeping over an injected clock value — no processes, no
+    queues — so the retry/quarantine state machine is directly unit
+    testable.  The pool calls :meth:`note_dispatch` when it hands an
+    instance to a worker and :meth:`record_loss` when the worker holding
+    it died or was killed; ``record_loss`` answers either a re-dispatch
+    delay or a quarantine verdict.
+    """
+
+    def __init__(self, policy: SupervisionPolicy) -> None:
+        self.policy = policy
+        self._attempts: dict[Any, int] = {}
+        self._losses: dict[Any, list[str]] = {}
+
+    def note_dispatch(self, instance_id: Any) -> int:
+        """Record one dispatch; returns the 1-based attempt number."""
+        attempt = self._attempts.get(instance_id, 0) + 1
+        self._attempts[instance_id] = attempt
+        return attempt
+
+    def attempts(self, instance_id: Any) -> int:
+        return self._attempts.get(instance_id, 0)
+
+    def attempts_map(self) -> dict[Any, int]:
+        """Dispatch counts of instances that needed more than one."""
+        return {k: n for k, n in self._attempts.items() if n > 1}
+
+    def record_loss(
+        self, instance_id: Any, reason: str, detail: str = ""
+    ) -> tuple[str, float | str]:
+        """Decide what happens to an instance whose worker was lost.
+
+        Returns ``("retry", delay_seconds)`` while the attempt budget
+        lasts, ``("quarantine", reason_text)`` once it is spent.
+        """
+        losses = self._losses.setdefault(instance_id, [])
+        losses.append(reason)
+        if self._attempts.get(instance_id, 0) >= self.policy.max_attempts:
+            return "quarantine", self.quarantine_reason(instance_id, detail)
+        return "retry", self.policy.backoff(len(losses))
+
+    def quarantine_reason(self, instance_id: Any, detail: str = "") -> str:
+        """Human-readable verdict for a poison instance."""
+        losses = self._losses.get(instance_id, [])
+        counts = []
+        for reason, verb in (
+            (REASON_CRASH, "killed its worker"),
+            (REASON_DEADLINE, "exceeded its deadline"),
+            (REASON_HEARTBEAT, "froze its worker"),
+        ):
+            n = sum(1 for r in losses if r == reason)
+            if n:
+                counts.append(f"{verb} {n} time(s)")
+        what = " and ".join(counts) or "was lost"
+        suffix = f" ({detail})" if detail else ""
+        return (
+            f"instance {instance_id!r} {what}{suffix}; quarantined after "
+            f"{self._attempts.get(instance_id, 0)} of "
+            f"{self.policy.max_attempts} attempt(s)"
+        )
+
+
+def describe_exit(exitcode: int | None) -> str:
+    """Render a worker exit code for loss messages."""
+    if exitcode is None:
+        return "exit code unknown"
+    if exitcode < 0:
+        return f"killed by signal {-exitcode}"
+    return f"exit code {exitcode}"
+
+
+def overdue_workers(
+    workers: Mapping[int, Any], policy: SupervisionPolicy, now: float
+) -> list[tuple[int, str, str]]:
+    """Workers the supervisor should kill, as ``(id, reason, detail)``.
+
+    ``workers`` maps worker ids to objects exposing ``inflight``,
+    ``dispatched_at``, ``last_beat``, and a live ``process``; the pool's
+    ``_Worker`` satisfies this.  A worker is overdue when its in-flight
+    item blew the deadline, or when heartbeats are enabled and it has
+    been silent past the grace window (idle workers beat too, so silence
+    always means a frozen process, not an empty queue).
+    """
+    verdicts: list[tuple[int, str, str]] = []
+    timeout = policy.heartbeat_timeout
+    for worker_id in sorted(workers):
+        worker = workers[worker_id]
+        if not worker.process.is_alive():
+            continue
+        if (
+            policy.item_deadline is not None
+            and worker.inflight is not None
+            and worker.dispatched_at is not None
+            and now - worker.dispatched_at > policy.item_deadline
+        ):
+            verdicts.append(
+                (
+                    worker_id,
+                    REASON_DEADLINE,
+                    f"no result after {policy.item_deadline:g}s",
+                )
+            )
+            continue
+        if timeout is not None and now - worker.last_beat > timeout:
+            verdicts.append(
+                (
+                    worker_id,
+                    REASON_HEARTBEAT,
+                    f"no heartbeat for {timeout:g}s",
+                )
+            )
+    return verdicts

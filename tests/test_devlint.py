@@ -231,6 +231,78 @@ class TestRandomAndClock:
         assert findings == []
 
 
+class TestUnboundedBlocking:
+    def test_dl006_bare_queue_get(self):
+        # The seeded bug class: a supervisor loop that can wedge forever
+        # on a queue whose producer just died.
+        findings = _lint(
+            """
+            def drain(result_queue):
+                while True:
+                    message = result_queue.get()
+                    yield message
+            """
+        )
+        assert _codes(findings) == {"DL006"}
+        [finding] = findings
+        assert finding.line == 4
+
+    def test_dl006_attribute_queue_get(self):
+        findings = _lint(
+            """
+            class Pool:
+                def pump(self):
+                    return self._result_queue.get()
+            """
+        )
+        assert _codes(findings) == {"DL006"}
+
+    def test_dl006_bare_process_join(self):
+        findings = _lint(
+            """
+            def reap(worker):
+                worker.process.join()
+            """
+        )
+        assert _codes(findings) == {"DL006"}
+
+    def test_timeouts_are_quiet(self):
+        findings = _lint(
+            """
+            def pump(task_queue, process):
+                item = task_queue.get(timeout=0.05)
+                task_queue.get_nowait()
+                process.join(5.0)
+                return item
+            """
+        )
+        assert findings == []
+
+    def test_non_queue_non_process_receivers_are_quiet(self):
+        # dict.get, str.join, and os.path.join share the method names but
+        # none of them can block; the receiver heuristic must skip them.
+        findings = _lint(
+            """
+            import os
+
+            def lookup(config, parts):
+                value = config.get("key")
+                joined = ", ".join(parts)
+                return os.path.join(value, joined)
+            """
+        )
+        assert findings == []
+
+    def test_dl006_inline_disable(self):
+        findings = _lint(
+            """
+            def idle_worker(task_queue):
+                return task_queue.get()  # repro: disable=DL006
+            """
+        )
+        assert findings == []
+
+
 class TestSuppressionAndBaseline:
     def test_inline_disable_one_code(self):
         findings = _lint(
@@ -327,7 +399,9 @@ class TestRepoIsClean:
 class TestRegistryMetadata:
     def test_devlint_codes_registered_but_not_workflow_rules(self):
         devlint_codes = known_codes(kind=KIND_DEVLINT)
-        assert devlint_codes == {"DL001", "DL002", "DL003", "DL004", "DL005"}
+        assert devlint_codes == {
+            "DL001", "DL002", "DL003", "DL004", "DL005", "DL006",
+        }
         workflow_codes = {code for code, _ in all_rules()}
         assert devlint_codes.isdisjoint(workflow_codes)
         assert devlint_codes.isdisjoint(set(CODES))

@@ -25,6 +25,7 @@ from repro.core.shard import (
     ShardCrashError,
     ShardItem,
     ShardPool,
+    ShardProtocolError,
     ShardTaskError,
     merge_shard_results,
 )
@@ -133,6 +134,16 @@ class TestMergeOrderInvariance:
     def test_duplicate_ids_across_shards_raise(self):
         with pytest.raises(ValueError, match="more than one shard"):
             merge_shard_results([{1: "a"}, {1: "b"}])
+
+    def test_duplicate_diagnostics_name_the_shard_and_the_stakes(self):
+        """The error is a ShardProtocolError (a ValueError, so existing
+        handlers keep working) and says whether the colliding results
+        actually disagree — the case where silent overwrite would have
+        corrupted merged artifacts."""
+        with pytest.raises(ShardProtocolError, match="shard 1.*a DIFFERENT"):
+            merge_shard_results([{1: "a"}, {1: "b"}])
+        with pytest.raises(ShardProtocolError, match="shard 2.*an identical"):
+            merge_shard_results([{1: "a"}, {2: "b"}, {1: "a"}])
 
 
 # ----------------------------------------------------- crash isolation
@@ -244,6 +255,39 @@ class TestPoolContract:
     def test_map_aligns_with_input_order(self):
         with ShardPool(workers=2, start_method="fork") as pool:
             assert pool.map(_identity, [3, 1, 2]) == [3, 1, 2]
+
+    def test_duplicate_batch_error_is_a_protocol_error(self):
+        with ShardPool(workers=1, start_method="fork") as pool:
+            with pytest.raises(ShardProtocolError):
+                pool.run(
+                    [
+                        ShardItem(instance_id=1, fn=_identity, args=(1,)),
+                        ShardItem(instance_id=1, fn=_identity, args=(2,)),
+                    ]
+                )
+
+    def test_close_escalates_past_a_wedged_worker(self):
+        """A worker stuck in a 1-hour task cannot hang close(): after
+        shutdown_grace the pool terminates, then kills, then joins it.
+        The wedge is injected through the worker's own task queue so the
+        public API never has to expose an 'ignore the sentinel' mode."""
+        import time
+
+        pool = ShardPool(workers=1, start_method="fork", shutdown_grace=0.2)
+        try:
+            assert pool.run(
+                [ShardItem(instance_id=0, fn=_identity, args=(1,))]
+            ) == {0: 1}
+            (worker,) = pool._pool.values()
+            worker.task_queue.put((1, 1, time.sleep, (3600.0,), {}))
+            time.sleep(0.3)  # let the worker pick the sleep up
+            started = time.perf_counter()
+            pool.close()
+            elapsed = time.perf_counter() - started
+            assert not worker.process.is_alive()
+            assert elapsed < 5.0, f"close() took {elapsed:.1f}s against a wedge"
+        finally:
+            pool.close()
 
 
 # --------------------------------------------------- re-entrancy guard

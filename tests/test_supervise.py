@@ -1,0 +1,288 @@
+"""Supervision contracts: the policy/bookkeeping state machine without
+processes, the overdue-worker detector against stub workers, and the
+process-level paths a policy changes — a hung worker reclaimed by its
+item deadline, and a pool degrading (or refusing to) when its respawn
+budget runs dry."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.shard import ShardCrashError, ShardItem, ShardPool
+from repro.core.supervise import (
+    REASON_CRASH,
+    REASON_DEADLINE,
+    REASON_HEARTBEAT,
+    BatchSupervisor,
+    ShardRunReport,
+    SupervisionPolicy,
+    describe_exit,
+    overdue_workers,
+)
+
+
+class TestPolicy:
+    def test_defaults_reproduce_the_legacy_contract(self):
+        policy = SupervisionPolicy()
+        assert policy.item_deadline is None
+        assert policy.heartbeat_interval is None
+        assert policy.heartbeat_timeout is None
+        assert policy.max_attempts == 2
+        assert policy.backoff(1) == 0.0
+        assert policy.allow_degraded is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            SupervisionPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="item_deadline"):
+            SupervisionPolicy(item_deadline=0.0)
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            SupervisionPolicy(heartbeat_interval=-1.0)
+
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = SupervisionPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3
+        )
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.3)  # capped, not 0.4
+        assert policy.backoff(0) == 0.0
+
+    def test_heartbeat_timeout_is_interval_times_grace(self):
+        policy = SupervisionPolicy(heartbeat_interval=0.5, heartbeat_grace=4.0)
+        assert policy.heartbeat_timeout == pytest.approx(2.0)
+
+
+class TestBatchSupervisor:
+    def test_dispatch_counting_and_attempts_map(self):
+        sup = BatchSupervisor(SupervisionPolicy(max_attempts=3))
+        assert sup.note_dispatch("a") == 1
+        assert sup.note_dispatch("a") == 2
+        assert sup.note_dispatch("b") == 1
+        assert sup.attempts("a") == 2
+        assert sup.attempts("missing") == 0
+        # Only instances that needed more than one dispatch are reported.
+        assert sup.attempts_map() == {"a": 2}
+
+    def test_losses_retry_until_the_attempt_budget_then_quarantine(self):
+        sup = BatchSupervisor(
+            SupervisionPolicy(max_attempts=2, backoff_base=0.1)
+        )
+        sup.note_dispatch("a")
+        verdict, delay = sup.record_loss("a", REASON_CRASH)
+        assert verdict == "retry"
+        assert delay == pytest.approx(0.1)
+        sup.note_dispatch("a")
+        verdict, reason = sup.record_loss("a", REASON_CRASH, "exit code 42")
+        assert verdict == "quarantine"
+        assert "killed its worker 2 time(s)" in reason
+        assert "exit code 42" in reason
+        assert "2 of 2 attempt(s)" in reason
+
+    def test_quarantine_reason_names_every_loss_mode(self):
+        sup = BatchSupervisor(SupervisionPolicy(max_attempts=3))
+        for reason in (REASON_CRASH, REASON_DEADLINE, REASON_HEARTBEAT):
+            sup.note_dispatch("a")
+            sup.record_loss("a", reason)
+        text = sup.quarantine_reason("a")
+        assert "killed its worker 1 time(s)" in text
+        assert "exceeded its deadline 1 time(s)" in text
+        assert "froze its worker 1 time(s)" in text
+
+
+class TestDescribeExit:
+    def test_renders_all_exit_shapes(self):
+        assert describe_exit(None) == "exit code unknown"
+        assert describe_exit(-9) == "killed by signal 9"
+        assert describe_exit(3) == "exit code 3"
+
+
+# --------------------------------------------------- overdue detection
+
+class _StubProcess:
+    def __init__(self, alive: bool = True) -> None:
+        self._alive = alive
+
+    def is_alive(self) -> bool:
+        return self._alive
+
+
+class _StubWorker:
+    def __init__(
+        self,
+        alive: bool = True,
+        inflight=None,
+        dispatched_at: float | None = None,
+        last_beat: float = 0.0,
+    ) -> None:
+        self.process = _StubProcess(alive)
+        self.inflight = inflight
+        self.dispatched_at = dispatched_at
+        self.last_beat = last_beat
+
+
+class TestOverdueWorkers:
+    def test_default_policy_never_flags_anyone(self):
+        workers = {0: _StubWorker(inflight="x", dispatched_at=0.0)}
+        assert overdue_workers(workers, SupervisionPolicy(), now=1e9) == []
+
+    def test_blown_item_deadline_is_flagged(self):
+        policy = SupervisionPolicy(item_deadline=1.0)
+        workers = {
+            0: _StubWorker(inflight="x", dispatched_at=0.0, last_beat=2.0),
+            1: _StubWorker(inflight=None, last_beat=2.0),  # idle: no deadline
+        }
+        verdicts = overdue_workers(workers, policy, now=2.0)
+        assert verdicts == [(0, REASON_DEADLINE, "no result after 1s")]
+
+    def test_silent_worker_is_flagged_even_when_idle(self):
+        policy = SupervisionPolicy(heartbeat_interval=0.5, heartbeat_grace=3.0)
+        workers = {
+            0: _StubWorker(inflight=None, last_beat=0.0),
+            1: _StubWorker(inflight=None, last_beat=1.9),
+        }
+        verdicts = overdue_workers(workers, policy, now=2.0)
+        assert verdicts == [(0, REASON_HEARTBEAT, "no heartbeat for 1.5s")]
+
+    def test_deadline_wins_when_both_trip(self):
+        policy = SupervisionPolicy(
+            item_deadline=1.0, heartbeat_interval=0.1, heartbeat_grace=2.0
+        )
+        workers = {0: _StubWorker(inflight="x", dispatched_at=0.0, last_beat=0.0)}
+        ((_, reason, _),) = overdue_workers(workers, policy, now=5.0)
+        assert reason == REASON_DEADLINE
+
+    def test_dead_processes_are_someone_elses_problem(self):
+        """Crash reaping owns dead workers; the overdue detector only
+        judges processes that are still alive."""
+        policy = SupervisionPolicy(item_deadline=0.5, heartbeat_interval=0.1)
+        workers = {0: _StubWorker(alive=False, inflight="x", dispatched_at=0.0)}
+        assert overdue_workers(workers, policy, now=100.0) == []
+
+
+# --------------------------------------------- process-level supervision
+
+def _hang_once(marker: str) -> str:
+    """Wedge (sleep far past any deadline) on the first invocation only.
+
+    The process stays alive and — because only the main thread sleeps —
+    keeps heartbeating, so exactly the item deadline must reclaim it.
+    """
+    with open(marker, "a") as handle:
+        handle.write("x")
+    if os.path.getsize(marker) == 1:
+        time.sleep(60.0)
+    return "finished"
+
+
+def _crash_once(marker: str) -> str:
+    with open(marker, "a") as handle:
+        handle.write("x")
+    if os.path.getsize(marker) == 1:
+        os._exit(42)
+    return "survived"
+
+
+def _identity(value: int) -> int:
+    return value
+
+
+def _slow_identity(value: int) -> int:
+    time.sleep(0.4)
+    return value
+
+
+class TestSupervisedPool:
+    def test_hung_worker_is_reclaimed_by_the_item_deadline(self):
+        policy = SupervisionPolicy(
+            item_deadline=1.0, max_attempts=3, kill_grace=0.5
+        )
+        events = []
+        with tempfile.TemporaryDirectory() as scratch:
+            marker = str(Path(scratch) / "invocations")
+            started = time.perf_counter()
+            with ShardPool(workers=2, start_method="fork", policy=policy) as pool:
+                report = pool.run_report(
+                    [
+                        ShardItem(instance_id=0, fn=_identity, args=(10,)),
+                        ShardItem(instance_id=1, fn=_hang_once, args=(marker,)),
+                    ],
+                    on_event=lambda kind, info: events.append((kind, info)),
+                )
+            wall = time.perf_counter() - started
+            assert report.ok
+            assert report.results == {0: 10, 1: "finished"}
+            assert Path(marker).stat().st_size == 2
+        assert report.worker_kills >= 1
+        assert report.attempts == {1: 2}
+        kills = [info for kind, info in events if kind == "kill"]
+        assert any(k["reason"] == REASON_DEADLINE for k in kills)
+        # The whole point: nothing waited out the 60 s sleep.
+        assert wall < 30.0
+
+    def test_spent_respawn_budget_degrades_when_allowed(self):
+        policy = SupervisionPolicy(max_attempts=3, allow_degraded=True)
+        events = []
+        with tempfile.TemporaryDirectory() as scratch:
+            marker = str(Path(scratch) / "invocations")
+            with ShardPool(workers=2, start_method="fork", policy=policy) as pool:
+                pool._respawn_budget = 0
+                # The surviving items are slow so the batch is still
+                # outstanding when the crash is reaped — the pool must
+                # actually *want* a replacement worker to hit the budget.
+                report = pool.run_report(
+                    [
+                        ShardItem(instance_id=0, fn=_crash_once, args=(marker,)),
+                        ShardItem(instance_id=1, fn=_slow_identity, args=(20,)),
+                        ShardItem(instance_id=2, fn=_slow_identity, args=(30,)),
+                    ],
+                    on_event=lambda kind, info: events.append((kind, info)),
+                )
+        assert report.ok
+        assert report.degraded is True
+        assert report.respawns == 0
+        assert report.worker_crashes == 1
+        assert report.results == {0: "survived", 1: 20, 2: 30}
+        degraded = [info for kind, info in events if kind == "degraded"]
+        assert degraded and degraded[0]["reason"] == "worker respawn budget exhausted"
+
+    def test_spent_respawn_budget_raises_by_default(self):
+        with tempfile.TemporaryDirectory() as scratch:
+            marker = str(Path(scratch) / "invocations")
+            with ShardPool(workers=1, start_method="fork") as pool:
+                pool._respawn_budget = 0
+                with pytest.raises(
+                    ShardCrashError, match="respawn budget exhausted"
+                ):
+                    pool.run(
+                        [ShardItem(instance_id=0, fn=_crash_once, args=(marker,))]
+                    )
+
+    def test_run_report_collects_errors_without_raising(self):
+        with ShardPool(workers=1, start_method="fork") as pool:
+            report = pool.run_report(
+                [
+                    ShardItem(instance_id=0, fn=_raise_value_error, args=("bad",)),
+                    ShardItem(instance_id=1, fn=_identity, args=(7,)),
+                ]
+            )
+        assert not report.ok
+        assert report.results == {1: 7}
+        assert report.errors == {0: ("ValueError", "bad")}
+        assert report.quarantined == {}
+
+
+def _raise_value_error(payload: str) -> None:
+    raise ValueError(payload)
+
+
+class TestShardRunReport:
+    def test_ok_reflects_errors_and_quarantine(self):
+        assert ShardRunReport().ok
+        assert not ShardRunReport(errors={1: ("E", "m")}).ok
+        assert not ShardRunReport(quarantined={1: "poison"}).ok

@@ -269,6 +269,56 @@ class TestSweepEngine:
         assert line.startswith("[sweep] cells=2 hits=0 dedup=1 misses=1 ")
         assert "evictions=0" in line and "hit_rate=50%" in line
 
+    def test_ledger_resume_skips_finished_cells(self, tmp_path):
+        """The SIGKILL-recovery contract in miniature: a partial run
+        journals its cells, and a resumed engine answers exactly those
+        from the ledger (not the cache, not the simulator)."""
+        cells = cells_product(
+            "kmeans", (4, 2), dataset_key="kmeans_100mb", n_clusters=10
+        )
+        finished, remaining = cells[:1], cells[1:]
+        with SweepEngine(jobs=1, cache_dir=tmp_path) as partial:
+            partial.run_cells(finished)
+            assert partial.ledger_path == tmp_path / "ledger.jsonl"
+
+        with SweepEngine(jobs=1, cache_dir=tmp_path, resume=True) as resumed:
+            results = resumed.run_cells(cells)
+            assert resumed.stats.resumed == len(finished)
+            assert resumed.stats.cache_hits == 0
+            assert resumed.stats.executed == len(remaining)
+
+        assert results == SweepEngine.serial().run_cells(cells)
+
+    def test_resume_works_without_a_cache(self, tmp_path):
+        """DONE events carry the metrics record inline, so a bare ledger
+        (no cache at all) is enough to resume from."""
+        ledger_path = tmp_path / "journal.jsonl"
+        cell = small_cell()
+        with SweepEngine(jobs=1, cache=False, ledger_path=ledger_path) as first:
+            (expected,) = first.run_cells([cell])
+
+        with SweepEngine(
+            jobs=1, cache=False, ledger_path=ledger_path, resume=True
+        ) as again:
+            (got,) = again.run_cells([cell])
+            assert again.stats.resumed == 1
+            assert again.stats.executed == 0
+        assert got == expected
+
+    def test_resumed_digest_repeats_count_as_dedup(self, tmp_path):
+        cell = small_cell()
+        with SweepEngine(jobs=1, cache_dir=tmp_path) as partial:
+            partial.run_cells([cell])
+        with SweepEngine(jobs=1, cache_dir=tmp_path, resume=True) as resumed:
+            resumed.run_cells([cell, small_cell()])
+            assert resumed.stats.resumed == 1
+            assert resumed.stats.memo_hits == 1
+            assert resumed.stats.executed == 0
+
+    def test_resume_without_a_ledger_is_rejected(self):
+        with pytest.raises(ValueError, match="resume requires"):
+            SweepEngine(jobs=1, cache=False, resume=True)
+
     def test_cells_product_order_is_grid_major_cpu_first(self):
         cells = cells_product("matmul", (8, 4), dataset_key="matmul_128mb")
         assert [(c.grid, c.use_gpu) for c in cells] == [
